@@ -1,0 +1,60 @@
+"""Ablation: analytic latency model (Eqs. 1-3) vs discrete simulation.
+
+The DSE trusts the analytic model; this bench quantifies its error against
+the independent pipeline simulation for every layer of both networks on
+the DSE-chosen design points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import AcceleratorSimulator
+
+
+def _validate(designs, mnist_trace, cifar_trace, dev9, dev15):
+    rows = []
+    reports = []
+    traces = {t.name: t for t in (mnist_trace, cifar_trace)}
+    for (network, device), design in sorted(designs.items()):
+        if device != "ACU9EG":
+            continue  # one device suffices for model validation
+        sim = AcceleratorSimulator(dev9)
+        report = sim.simulate(traces[network], design.solution)
+        reports.append(report)
+        for layer in report.layers:
+            rows.append(
+                (network, layer.name, layer.analytic_cycles,
+                 layer.simulated_cycles, f"{layer.relative_error:+.1%}")
+            )
+        rows.append(
+            (network, "TOTAL", report.analytic_cycles,
+             report.simulated_cycles, f"{report.relative_error:+.1%}")
+        )
+    return rows, reports
+
+
+def test_model_vs_simulation(benchmark, designs, mnist_trace, cifar_trace,
+                             dev9, dev15, save_report):
+    rows, reports = benchmark.pedantic(
+        _validate, args=(designs, mnist_trace, cifar_trace, dev9, dev15),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["network", "layer", "analytic cycles", "simulated cycles", "error"],
+        rows,
+        title="Ablation: analytic model (Eqs. 1-3) vs discrete simulation",
+    )
+    save_report("ablation_model_vs_sim", table)
+
+    for report in reports:
+        # End-to-end totals agree within 25%: positive deviations are
+        # pipeline fill/drain (the analytic model ignores them); negative
+        # deviations occur when P_intra does not divide L and the greedy
+        # job-level simulation packs copies tighter than the lockstep
+        # ceil(L / P_intra) of Eq. 3 — the analytic model is conservative.
+        assert abs(report.relative_error) < 0.25, report.network
+        # The dominant (KS bottleneck) layer agrees within 20%.
+        dominant = max(report.layers, key=lambda l: l.analytic_cycles)
+        assert abs(dominant.relative_error) < 0.20, report.network

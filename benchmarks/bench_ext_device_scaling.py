@@ -1,0 +1,70 @@
+"""Extension bench: how the generated accelerator scales across devices.
+
+The paper demonstrates flexibility on two boards; this sweep extends the
+claim across four device classes — from a small embedded ZCU104 through
+the paper's two ALINX boards to a datacenter Alveo U250 — for both
+networks.  Expected shape: latency falls monotonically with device
+capability, and the memory-bound CIFAR-10 gains more from on-chip memory
+than the compute-bound MNIST.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import FxHennFramework, InfeasibleDesignError
+from repro.fpga import KNOWN_DEVICES
+
+
+def _sweep(mnist_trace, cifar_trace):
+    framework = FxHennFramework()
+    rows = []
+    results = {}
+    order = ["ZCU104", "ACU9EG", "ACU15EG", "ALVEO-U250"]
+    for name in order:
+        device = KNOWN_DEVICES[name]()
+        for trace in (mnist_trace, cifar_trace):
+            try:
+                design = framework.generate(trace, device)
+                lat = design.latency_seconds
+                energy = design.energy_joules
+            except InfeasibleDesignError:
+                lat = energy = float("nan")
+            rows.append((name, trace.name, lat, energy))
+            results[(name, trace.name)] = lat
+    return rows, results
+
+
+def test_device_scaling(benchmark, mnist_trace, cifar_trace, save_report):
+    rows, results = benchmark.pedantic(
+        _sweep, args=(mnist_trace, cifar_trace), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["device", "network", "latency s", "energy J"],
+        rows,
+        title="Extension: accelerator scaling across device classes",
+    )
+    save_report("ext_device_scaling", table)
+
+    order = ["ZCU104", "ACU9EG", "ACU15EG", "ALVEO-U250"]
+    for net in ("FxHENN-MNIST", "FxHENN-CIFAR10"):
+        lats = [results[(d, net)] for d in order]
+        # Latency improves monotonically with device capability.
+        assert all(a >= b for a, b in zip(lats, lats[1:])), net
+    # The datacenter part is at least an order of magnitude faster than
+    # the small embedded one on the memory-bound network.
+    assert (
+        results[("ZCU104", "FxHENN-CIFAR10")]
+        / results[("ALVEO-U250", "FxHENN-CIFAR10")]
+        > 10
+    )
+    # CIFAR-10 gains more than MNIST moving from ACU9EG to ACU15EG
+    # (memory-boundedness, the Table VII phenomenon).
+    cifar_gain = results[("ACU9EG", "FxHENN-CIFAR10")] / results[
+        ("ACU15EG", "FxHENN-CIFAR10")
+    ]
+    mnist_gain = results[("ACU9EG", "FxHENN-MNIST")] / results[
+        ("ACU15EG", "FxHENN-MNIST")
+    ]
+    assert cifar_gain > mnist_gain

@@ -1,0 +1,59 @@
+"""Extension bench: batch throughput — sequential reuse vs layer pipelining.
+
+Beyond the paper (which optimizes single-image latency): for a batch
+service, is it ever worth forfeiting inter-layer BRAM reuse to pipeline
+images across layers?  Answer: not on the real ACU9EG (partitioned buffers
+spill too hard), but yes on a memory-rich device, where steady-state
+throughput is set by the slowest layer instead of the layer sum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    FxHennFramework,
+    crossover_batch_size,
+    pipelined_batch,
+    sequential_batch,
+)
+from repro.fpga import FpgaDevice
+
+
+def _sweep(mnist_trace, dev9):
+    point = FxHennFramework().generate(mnist_trace, dev9).solution.point
+    big = FpgaDevice(name="BigMem", dsp_slices=dev9.dsp_slices, bram_blocks=8192)
+    rows = []
+    for dev in (dev9, big):
+        for batch in (1, 16, 256):
+            seq = sequential_batch(mnist_trace, point, dev, batch, dev.bram_blocks)
+            pipe = pipelined_batch(mnist_trace, point, dev, batch, dev.bram_blocks)
+            winner = "sequential" if seq.total_seconds <= pipe.total_seconds else "pipelined"
+            rows.append(
+                (dev.name, batch, seq.per_image_seconds,
+                 pipe.per_image_seconds, winner)
+            )
+    crossover = crossover_batch_size(mnist_trace, point, big)
+    return rows, crossover, point
+
+
+def test_throughput_extension(benchmark, mnist_trace, dev9, save_report):
+    rows, crossover, point = benchmark.pedantic(
+        _sweep, args=(mnist_trace, dev9), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["device", "batch", "seq s/img", "pipelined s/img", "winner"],
+        rows,
+        title="Extension: batch throughput, sequential reuse vs layer "
+              f"pipelining (pipelining crossover on BigMem: batch={crossover})",
+    )
+    save_report("ext_throughput", table)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # On the real device, the paper's reuse design wins at all batch sizes.
+    for batch in (1, 16, 256):
+        assert by_key[("ACU9EG", batch)][4] == "sequential"
+    # On the memory-rich device, pipelining wins for large batches.
+    assert by_key[("BigMem", 256)][4] == "pipelined"
+    assert crossover is not None and crossover <= 256

@@ -1,0 +1,93 @@
+"""Microbenchmarks of the functional RNS-CKKS substrate.
+
+Times the real Python implementations of the basic and HE operations
+(pytest-benchmark) and checks that their cost *ordering* matches the
+hardware characterization of Table I: KeySwitch > Rescale >> elementwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, Evaluator, get_ntt_context, tiny_test_params
+from repro.fhe.modmath import BarrettConstant, barrett_reduce, generate_ntt_primes
+
+
+@pytest.fixture(scope="module")
+def bench_ctx():
+    ctx = CkksContext(tiny_test_params(poly_degree=2048, level=4), seed=3)
+    ctx.ensure_relin_keys()
+    ctx.ensure_galois_keys([1])
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def bench_ct(bench_ctx):
+    rng = np.random.default_rng(0)
+    return bench_ctx.encrypt_values(rng.uniform(-1, 1, bench_ctx.slot_count))
+
+
+def test_bench_barrett_reduction(benchmark):
+    q = generate_ntt_primes(28, 1, 2048)[0]
+    bc = BarrettConstant.for_modulus(q)
+    rng = np.random.default_rng(1)
+    x = (rng.integers(0, q, 2048).astype(np.uint64)
+         * rng.integers(0, q, 2048).astype(np.uint64))
+    result = benchmark(barrett_reduce, x, bc)
+    assert np.all(result < q)
+
+
+def test_bench_ntt_forward(benchmark):
+    q = generate_ntt_primes(28, 1, 2048)[0]
+    ctx = get_ntt_context(2048, q)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, q, 2048).astype(np.uint64)
+    out = benchmark(ctx.forward, a)
+    assert out.shape == (2048,)
+
+
+def test_bench_pcmult(benchmark, bench_ctx, bench_ct):
+    ev = Evaluator(bench_ctx)
+    pt = bench_ctx.encode(np.ones(bench_ctx.slot_count))
+    benchmark(ev.multiply_plain, bench_ct, pt)
+
+
+def test_bench_ccadd(benchmark, bench_ctx, bench_ct):
+    ev = Evaluator(bench_ctx)
+    benchmark(ev.add, bench_ct, bench_ct)
+
+
+def test_bench_rescale(benchmark, bench_ctx, bench_ct):
+    ev = Evaluator(bench_ctx)
+    prod = ev.multiply_plain(bench_ct, bench_ctx.encode(np.ones(4)))
+    benchmark(ev.rescale, prod)
+
+
+def test_bench_rotate_keyswitch(benchmark, bench_ctx, bench_ct):
+    ev = Evaluator(bench_ctx)
+    benchmark(ev.rotate, bench_ct, 1)
+
+
+def test_cost_hierarchy_matches_table1(bench_ctx, bench_ct):
+    """Software timings reproduce the hardware ordering: the KeySwitch-
+    bearing ops dominate, Rescale is next, elementwise ops are cheap."""
+    import time
+
+    ev = Evaluator(bench_ctx)
+    pt = bench_ctx.encode(np.ones(4))
+    prod = ev.multiply_plain(bench_ct, pt)
+
+    def t(fn, *args):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    t_add = t(ev.add, bench_ct, bench_ct)
+    t_rescale = t(ev.rescale, prod)
+    t_rotate = t(ev.rotate, bench_ct, 1)
+    assert t_rotate > t_rescale
+    assert t_rescale > t_add

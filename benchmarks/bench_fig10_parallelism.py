@@ -1,0 +1,72 @@
+"""Fig. 10: chosen intra-/inter-parallelism per HE operation module for
+both networks on both devices.
+
+Paper observations reproduced here: (a) the four designs differ — the
+framework adapts to network and device; (b) MNIST affords more KeySwitch
+parallelism than CIFAR-10 on ACU9EG (N=2^13 vs 2^14 doubles the buffers);
+(c) CIFAR-10 gains KeySwitch intra-parallelism on ACU15EG's extra memory;
+(d) CCmult parallelism is always 1 (squarings are rare).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.optypes import MODULE_OPS, HeOp
+
+
+def _collect(designs):
+    rows = []
+    for (network, device), design in sorted(designs.items()):
+        desc = design.solution.point.describe()
+        row = [f"{network} @ {device}", design.solution.point.nc_ntt]
+        for op in MODULE_OPS:
+            row.append(f"{desc[op.value][0]}/{desc[op.value][1]}")
+        rows.append(tuple(row))
+    return rows
+
+
+def test_fig10_reproduction(benchmark, designs, save_report):
+    rows = benchmark.pedantic(_collect, args=(designs,), rounds=1, iterations=1)
+    table = format_table(
+        ["design", "nc_NTT"] + [op.value + " (intra/inter)" for op in MODULE_OPS],
+        rows,
+        title="Fig. 10: selected module parallelism per (network, device)",
+    )
+    save_report("fig10_parallelism", table)
+    # The four designs are not all identical — the DSE adapts.
+    assert len({tuple(r[1:]) for r in rows}) >= 2
+
+
+def test_fig10_ccmult_parallelism_is_one(designs):
+    """Paper: 'the parallelism of the CCmult operation is set to be only 1
+    for high resource efficiency' in all four designs."""
+    for design in designs.values():
+        intra, inter = design.solution.point.describe()["CCmult"]
+        assert intra == 1 and inter == 1
+
+
+def test_fig10_mnist_outparallelizes_cifar_on_acu9eg(designs):
+    """On the same ACU9EG, MNIST's smaller N leaves room for more total
+    KeySwitch parallelism than CIFAR-10 (paper: Fig. 10(a) vs (c))."""
+    m = designs[("FxHENN-MNIST", "ACU9EG")].solution.point.parallelism(
+        HeOp.KEY_SWITCH
+    )
+    c = designs[("FxHENN-CIFAR10", "ACU9EG")].solution.point.parallelism(
+        HeOp.KEY_SWITCH
+    )
+    # Compare deliverable throughput: inter-parallel pipelines are the
+    # dominant lever in Eq. 2.
+    assert m.p_inter >= c.p_inter
+
+
+def test_fig10_cifar_gains_on_acu15eg(designs):
+    """Paper: moving CIFAR-10 to ACU15EG raises the KeySwitch
+    intra-parallelism (they find 3) thanks to the BRAM/URAM capacity."""
+    c9 = designs[("FxHENN-CIFAR10", "ACU9EG")].solution
+    c15 = designs[("FxHENN-CIFAR10", "ACU15EG")].solution
+    k9 = c9.point.parallelism(HeOp.KEY_SWITCH)
+    k15 = c15.point.parallelism(HeOp.KEY_SWITCH)
+    assert (k15.p_intra * k15.p_inter) >= (k9.p_intra * k9.p_inter)
+    assert c15.latency_seconds < c9.latency_seconds

@@ -1,0 +1,86 @@
+"""Figs. 2-4: the pipeline design model, validated by discrete simulation.
+
+* Fig. 2 — coarse-grained (HE-op stages) vs fine-grained (basic-op stages)
+  pipelining of an NKS layer: the unbalanced Rescale stage throttles the
+  coarse design;
+* Fig. 3 — the KS pipeline: each KeySwitch occupies L intervals but
+  independent ciphertexts overlap; inter-parallel pipelines divide latency;
+* Fig. 4 — intra-operation parallelism: P_intra=4 halves the interval of
+  P_intra=2 at L=4, and P_intra=3 underuses its copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fpga import lat_ntt_cycles, pipeline_interval_cycles
+from repro.sim import simulate_ks_layer, simulate_nks_layer
+
+N, L = 8192, 7
+LAT_B = lat_ntt_cycles(N, 2)
+
+
+def _fig2_rows():
+    rows = []
+    for units in (10, 25, 100):
+        fine = simulate_nks_layer(units, L, LAT_B, 1, 1, fine_grained=True)
+        coarse = simulate_nks_layer(units, L, LAT_B, 1, 1, fine_grained=False)
+        rows.append((units, coarse, fine, coarse / fine))
+    return rows
+
+
+def test_fig2_fine_vs_coarse(benchmark, save_report):
+    rows = benchmark(_fig2_rows)
+    table = format_table(
+        ["NKS units", "coarse cycles", "fine cycles", "speedup"],
+        rows,
+        title="Fig. 2: coarse vs fine-grained NKS pipeline (N=8192, L=7)",
+    )
+    save_report("fig2_pipeline_granularity", table)
+    for units, coarse, fine, speedup in rows:
+        assert speedup > 1.5, units
+    # Steady state: speedup approaches the stage imbalance ratio.
+    assert rows[-1][3] > rows[0][3] * 0.8
+
+
+def test_fig3_ks_pipeline(save_report):
+    rows = []
+    for p_inter in (1, 2, 3):
+        cycles = simulate_ks_layer(30, L, LAT_B, 1, p_inter)
+        rows.append((p_inter, cycles, cycles / (30 * L * L * LAT_B)))
+    table = format_table(
+        ["P_inter", "cycles", "vs serial bound"],
+        rows,
+        title="Fig. 3: KS pipeline, 30 KeySwitch ops (N=8192, L=7)",
+    )
+    save_report("fig3_ks_pipeline", table)
+    # Inter-parallel pipelines divide latency near-linearly.
+    assert rows[0][1] / rows[1][1] == pytest.approx(2.0, rel=0.15)
+    assert rows[0][1] / rows[2][1] == pytest.approx(3.0, rel=0.15)
+
+
+def test_fig4_intra_parallelism(save_report):
+    """Eq. 3 at L=4 (the paper's Fig. 4 example): analytic intervals for
+    P_intra in {2, 3, 4}, with the discrete simulation alongside."""
+    level = 4
+    rows = []
+    for p_intra in (1, 2, 3, 4):
+        pi = pipeline_interval_cycles(N, level, p_intra, 2)
+        sim = simulate_nks_layer(40, level, LAT_B, p_intra, 1) / 40
+        rows.append((p_intra, pi, sim))
+    table = format_table(
+        ["P_intra", "analytic PI (cycles)", "simulated cycles/unit"],
+        rows,
+        title="Fig. 4: intra-operation parallelism at L=4",
+    )
+    save_report("fig4_intra_parallelism", table)
+
+    by_p = {r[0]: r for r in rows}
+    # P_intra=4 halves the interval of P_intra=2 (Fig. 4 (a) vs (b)).
+    assert by_p[2][1] == 2 * by_p[4][1]
+    # P_intra=3 wastes copies in the lockstep analytic model.
+    assert by_p[3][1] == by_p[2][1]
+    # The simulation agrees with the analytic interval at steady state.
+    for p_intra in (1, 2, 4):
+        assert by_p[p_intra][2] == pytest.approx(by_p[p_intra][1], rel=0.25)

@@ -1,0 +1,66 @@
+"""Fig. 7: per-layer BRAM usage and latency, baseline vs FxHENN (MNIST).
+
+Paper: the bottleneck layer Fc1 gets 25.8% of BRAM under the baseline's
+partitioned allocation but up to 84.8% under FxHENN's inter-layer sharing,
+speeding Fc1 up 6.63x; per-layer BRAM remains divergent even with reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+PAPER_FC1 = {"baseline_bram_pct": 25.8, "fxhenn_bram_pct": 84.8, "speedup": 6.63}
+
+
+def _per_layer(framework, mnist_trace, dev9):
+    fx = framework.generate(mnist_trace, dev9)
+    base = framework.generate_baseline(mnist_trace, dev9)
+    rows = []
+    for fx_layer, base_layer in zip(fx.solution.layers, base.layers):
+        rows.append(
+            (
+                fx_layer.name,
+                base_layer.bram_blocks / dev9.bram_blocks * 100,
+                fx_layer.bram_blocks / dev9.bram_blocks * 100,
+                base_layer.latency_seconds(dev9.clock_hz),
+                fx_layer.latency_seconds(dev9.clock_hz),
+                base_layer.latency_cycles / fx_layer.latency_cycles,
+            )
+        )
+    return rows
+
+
+def test_fig7_reproduction(benchmark, framework, mnist_trace, dev9, save_report):
+    rows = benchmark.pedantic(
+        _per_layer, args=(framework, mnist_trace, dev9), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["layer", "base BRAM%", "fx BRAM%", "base lat s", "fx lat s",
+         "layer speedup"],
+        rows,
+        title="Fig. 7: per-layer BRAM and latency, baseline vs FxHENN "
+              "(MNIST, ACU9EG)",
+    )
+    save_report("fig7_layer_breakdown", table)
+
+    by_name = {r[0]: r for r in rows}
+    fc1 = by_name["Fc1"]
+    # FxHENN grants the bottleneck far more BRAM than the baseline slice.
+    assert fc1[2] > 2 * fc1[1]
+    assert fc1[2] == pytest.approx(PAPER_FC1["fxhenn_bram_pct"], rel=0.25)
+    assert fc1[1] == pytest.approx(PAPER_FC1["baseline_bram_pct"], rel=0.5)
+    # Fc1 speeds up several-fold (paper 6.63x).
+    assert fc1[5] > 3.0
+    # Fc1 dominates everyone's latency.
+    assert fc1[4] == max(r[4] for r in rows)
+    assert fc1[3] == max(r[3] for r in rows)
+
+
+def test_fig7_divergent_utilization(framework, mnist_trace, dev9):
+    """Even with reuse the per-layer BRAM ratios stay divergent: the DSE
+    prefers the bottleneck layer, Act layers need less (paper Sec. VII-C)."""
+    fx = framework.generate(mnist_trace, dev9)
+    shares = [l.bram_blocks / dev9.bram_blocks for l in fx.solution.layers]
+    assert max(shares) / min(shares) > 1.5

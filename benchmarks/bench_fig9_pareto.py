@@ -1,0 +1,86 @@
+"""Fig. 9: design space scatter and Pareto frontier for FxHENN-MNIST.
+
+Paper: all feasible design solutions with BRAM budgets between 350 and
+1500 blocks, the Pareto frontier of non-dominated points, and the
+observation that FxHENN's generated designs for ACU9EG/ACU15EG sit on the
+frontier; low budgets admit only a few designs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import pareto_frontier, solution_scatter
+from repro.core.pareto import ParetoPoint, is_dominated
+
+
+def _scatter(mnist_trace, dev9):
+    points = solution_scatter(mnist_trace, dev9, bram_min=350, bram_max=1500)
+    return points, pareto_frontier(points)
+
+
+def test_fig9_reproduction(benchmark, framework, mnist_trace, dev9, dev15, save_report):
+    points, frontier = benchmark.pedantic(
+        _scatter, args=(mnist_trace, dev9), rounds=1, iterations=1
+    )
+    rows = [
+        (p.bram_blocks, p.latency_seconds,
+         f"nc={p.solution.point.nc_ntt}",
+         str(p.solution.point.describe()["KeySwitch"]))
+        for p in frontier
+    ]
+    table = format_table(
+        ["BRAM blocks", "latency s", "nc_NTT", "KeySwitch (intra,inter)"],
+        rows,
+        title=f"Fig. 9: Pareto frontier ({len(points)} feasible points, "
+              f"BRAM 350-1500)",
+    )
+    save_report("fig9_pareto", table)
+
+    assert len(points) > 50  # a rich scatter
+    assert 3 <= len(frontier) <= len(points)
+    # Frontier latency strictly improves with BRAM.
+    lats = [p.latency_seconds for p in frontier]
+    assert lats == sorted(lats, reverse=True)
+
+    # The FxHENN-generated designs are non-dominated (the paper's claim).
+    for dev in (dev9, dev15):
+        design = framework.generate(mnist_trace, dev)
+        candidate = ParetoPoint(
+            bram_blocks=design.solution.bram_peak,
+            latency_seconds=design.latency_seconds,
+            solution=design.solution,
+        )
+        comparable = [p for p in points if p.bram_blocks <= design.solution.bram_budget]
+        assert not is_dominated(candidate, comparable), dev.name
+
+
+def test_fig9_low_budget_scarcity(mnist_trace, dev9):
+    """Paper: 'with a low BRAM budget, there are a few possible design
+    solutions, since both intra- and inter-parallelism need to keep at a
+    very low level'.  We count *undegraded* designs — those whose whole
+    working set stays on chip — which are scarce at low budgets."""
+
+    def undegraded(budget: int) -> int:
+        points = solution_scatter(
+            mnist_trace, dev9, bram_min=0, bram_max=budget
+        )
+        return sum(
+            1
+            for p in points
+            if all(l.on_chip_fraction == 1.0 for l in p.solution.layers)
+        )
+
+    low, mid, high = undegraded(450), undegraded(900), undegraded(1500)
+    assert low < mid < high
+    assert low < 0.3 * high
+    # And the achievable latency improves monotonically with the budget.
+    best = [
+        min(
+            p.latency_seconds
+            for p in solution_scatter(mnist_trace, dev9, bram_min=0, bram_max=b)
+        )
+        for b in (450, 900, 1500)
+    ]
+    assert best[0] >= best[1] >= best[2]

@@ -1,0 +1,90 @@
+"""Table V: two hand-picked DSE configurations for Cnv1 + Fc1 (LoLa-MNIST).
+
+Paper: configuration A (Cnv1 intra=1, Fc1 intra=3) reaches 0.352 s total
+while configuration B (Cnv1 intra=4, Fc1 intra=1) needs 0.73 s and *more*
+resources — giving parallelism to the heavy layer wins (2.07x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import DesignPoint, OpParallelism, evaluate_layer
+from repro.core.baseline import layer_private_dsp
+from repro.optypes import HeOp
+
+PAPER = {
+    # config: (cnv1 intra, cnv1 lat, fc1 intra, fc1 lat, dsp %, bram %, sum lat)
+    "A": (1, 0.062, 3, 0.29, 18.1, 43.9, 0.352),
+    "B": (4, 0.021, 1, 0.709, 27.9, 49.1, 0.73),
+}
+
+
+def _evaluate_config(mnist_trace, dev9, cnv1_intra: int, fc1_intra: int):
+    cnv1 = mnist_trace.layer("Cnv1")
+    fc1 = mnist_trace.layer("Fc1")
+    p_cnv1 = DesignPoint(
+        nc_ntt=2, ops={HeOp.RESCALE: OpParallelism(cnv1_intra, 1)}
+    )
+    p_fc1 = DesignPoint(
+        nc_ntt=2, ops={HeOp.KEY_SWITCH: OpParallelism(fc1_intra, 1)}
+    )
+    e_cnv1 = evaluate_layer(
+        cnv1, p_cnv1, mnist_trace.poly_degree, mnist_trace.prime_bits,
+        bram_budget=dev9.bram_blocks,
+    )
+    e_fc1 = evaluate_layer(
+        fc1, p_fc1, mnist_trace.poly_degree, mnist_trace.prime_bits,
+        bram_budget=dev9.bram_blocks,
+    )
+    dsp = layer_private_dsp(cnv1, p_cnv1) + layer_private_dsp(fc1, p_fc1)
+    bram = e_cnv1.bram_blocks + e_fc1.bram_blocks
+    return {
+        "cnv1_s": e_cnv1.latency_seconds(dev9.clock_hz),
+        "fc1_s": e_fc1.latency_seconds(dev9.clock_hz),
+        "dsp_pct": dsp / dev9.dsp_slices * 100,
+        "bram_pct": bram / dev9.bram_blocks * 100,
+    }
+
+
+def _both_configs(mnist_trace, dev9):
+    return {
+        name: _evaluate_config(mnist_trace, dev9, cfg[0], cfg[2])
+        for name, cfg in PAPER.items()
+    }
+
+
+def test_table5_reproduction(benchmark, mnist_trace, dev9, save_report):
+    results = benchmark(_both_configs, mnist_trace, dev9)
+    rows = []
+    for name, cfg in PAPER.items():
+        r = results[name]
+        total = r["cnv1_s"] + r["fc1_s"]
+        rows.append(
+            (name, cfg[0], cfg[1], r["cnv1_s"], cfg[2], cfg[3], r["fc1_s"],
+             cfg[6], total)
+        )
+    table = format_table(
+        ["cfg", "Cnv1 intra", "Cnv1 s paper", "Cnv1 s ours", "Fc1 intra",
+         "Fc1 s paper", "Fc1 s ours", "sum paper", "sum ours"],
+        rows,
+        title="Table V: DSE configurations A vs B (Cnv1+Fc1, ACU9EG, nc=2)",
+    )
+    save_report("table5_dse_configs", table)
+
+    total_a = results["A"]["cnv1_s"] + results["A"]["fc1_s"]
+    total_b = results["B"]["cnv1_s"] + results["B"]["fc1_s"]
+    # The paper's point: A (parallelism on the heavy Fc1) beats B by ~2x.
+    assert total_b / total_a == pytest.approx(2.07, rel=0.4)
+    # Within each config, the per-layer levers move the right way.
+    assert results["B"]["cnv1_s"] < results["A"]["cnv1_s"]
+    assert results["A"]["fc1_s"] < results["B"]["fc1_s"]
+
+
+def test_table5_absolute_latencies_in_range(mnist_trace, dev9):
+    results = _both_configs(mnist_trace, dev9)
+    # Fc1 at intra=1 took 0.709 s on the paper's hardware; ours must land
+    # within 3x on the same configuration.
+    assert results["B"]["fc1_s"] == pytest.approx(0.709, rel=2.0)
+    assert results["A"]["fc1_s"] == pytest.approx(0.29, rel=2.0)

@@ -1,0 +1,65 @@
+"""Table VI: information about the benchmark HE-CNN networks.
+
+Paper: FxHENN-MNIST has layers Cnv1..Fc2, 0.83e3 HOPs and a 15.57 MB
+encoded model; FxHENN-CIFAR10 has 82.73e3 HOPs (2 orders of magnitude
+more) and 2471.25 MB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+PAPER = {
+    "FxHENN-MNIST": ("Cnv1, Act1, Fc1, Act2, Fc2", 0.83e3, 15.57),
+    "FxHENN-CIFAR10": ("Cnv1, Act1, Cnv2, Act2, Fc2", 82.73e3, 2471.25),
+}
+
+
+def _rows(mnist_trace, cifar_trace):
+    rows = []
+    for trace in (mnist_trace, cifar_trace):
+        rows.append(
+            (
+                trace.name,
+                ", ".join(lt.name for lt in trace.layers),
+                trace.hop_count,
+                trace.model_size_bytes() / 1e6,
+            )
+        )
+    return rows
+
+
+def test_table6_reproduction(benchmark, mnist_trace, cifar_trace, save_report):
+    rows = benchmark(_rows, mnist_trace, cifar_trace)
+    rendered = []
+    for name, layers, hops, size in rows:
+        p_layers, p_hops, p_size = PAPER[name]
+        rendered.append((name, layers, p_hops, hops, p_size, size))
+    table = format_table(
+        ["network", "layers", "HOPs paper", "HOPs ours", "MB paper",
+         "MB ours"],
+        rendered,
+        title="Table VI: benchmark HE-CNN networks",
+    )
+    save_report("table6_networks", table)
+
+    by_name = {r[0]: r for r in rows}
+    # Layer taxonomy matches the paper exactly.
+    for name, (p_layers, _, _) in PAPER.items():
+        assert by_name[name][1] == p_layers
+    # HOPs within 25% for both networks.
+    assert by_name["FxHENN-MNIST"][2] == pytest.approx(830, rel=0.25)
+    assert by_name["FxHENN-CIFAR10"][2] == pytest.approx(82730, rel=0.25)
+    # Model sizes in the right order of magnitude, with the ~100x gap.
+    m = by_name["FxHENN-MNIST"][3]
+    c = by_name["FxHENN-CIFAR10"][3]
+    assert m == pytest.approx(15.57, rel=1.0)
+    assert c == pytest.approx(2471.25, rel=1.0)
+    assert 50 < c / m < 400
+
+
+def test_table6_cifar_is_two_orders_heavier(mnist_trace, cifar_trace):
+    ratio = cifar_trace.hop_count / mnist_trace.hop_count
+    assert 50 < ratio < 200  # paper: ~100x

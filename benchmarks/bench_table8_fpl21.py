@@ -1,0 +1,101 @@
+"""Table VIII: single convolution layers vs FPL'21 [28].
+
+FPL'21 accelerates individual BFV-encrypted ResNet-50 convolution layers
+(N=2048, 54-bit words, PCmult + CCadd only — no Rotate/KeySwitch) on 3584
+DSPs.  The paper's FxHENN rows reach 19.95 ms / 10.87 ms with 3072 DSPs —
+1.32x / 1.11x faster with fewer resources, thanks to the fine-grained
+pipeline keeping the multiplier lanes busy.
+
+We model the same two layers with our elementwise-pipeline lane model:
+each PCmult streams ``2 * N`` coefficient multiply-reduce operations per
+ciphertext through however many 54-bit modular-MAC lanes the DSP budget
+affords.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import TABLE8_FPL21, TABLE8_FXHENN_PAPER, format_table
+from repro.hecnn import ConvSpec
+
+#: DSP48E2 slices per 54-bit modular multiply-accumulate lane: a 54x54
+#: product decomposes into ~6 27x27 partial products and Barrett reduction
+#: adds two more wide multiplies (~12 slices), plus accumulation.
+LANE_DSP_54BIT = 18
+
+#: ResNet-50 layers the FPL'21 table evaluates (conv2_3 is the third
+#: convolution of the conv2_x block: 1x1x64 -> 256 on 56x56).
+RESNET_LAYERS = {
+    "conv1": ConvSpec(
+        in_channels=3, out_channels=64, kernel_size=7, stride=2, padding=3,
+        in_size=224,
+    ),
+    "conv2_3": ConvSpec(
+        in_channels=64, out_channels=256, kernel_size=1, stride=1, padding=0,
+        in_size=56,
+    ),
+}
+
+
+def bfv_conv_pcmult_units(spec: ConvSpec, slot_count: int) -> int:
+    """PCmult operations of a tiled BFV convolution: one per (output tile,
+    kernel offset)."""
+    tiles_per_map = math.ceil(spec.out_positions / slot_count)
+    return spec.out_channels * tiles_per_map * spec.kernel_offsets
+
+
+def modeled_latency_ms(
+    spec: ConvSpec, poly_degree: int, dsp_budget: int, clock_hz: float
+) -> float:
+    """Latency of a single BFV conv layer under the lane model."""
+    lanes = dsp_budget // LANE_DSP_54BIT
+    units = bfv_conv_pcmult_units(spec, poly_degree // 2)
+    coeff_ops = units * 2 * poly_degree  # two ciphertext components
+    return coeff_ops / lanes / clock_hz * 1e3
+
+
+def _rows(dev9):
+    rows = []
+    for entry in TABLE8_FPL21:
+        spec = RESNET_LAYERS[entry.layer]
+        paper_dsp, paper_ms, paper_speedup = TABLE8_FXHENN_PAPER[entry.layer]
+        ours_ms = modeled_latency_ms(
+            spec, entry.poly_degree, paper_dsp, dev9.clock_hz
+        )
+        rows.append(
+            (entry.layer, entry.dsp, entry.latency_ms, paper_dsp, paper_ms,
+             ours_ms, entry.latency_ms / ours_ms, paper_speedup)
+        )
+    return rows
+
+
+def test_table8_reproduction(benchmark, dev9, save_report):
+    rows = benchmark(_rows, dev9)
+    table = format_table(
+        ["layer", "FPL21 DSP", "FPL21 ms", "FxHENN DSP", "FxHENN ms (paper)",
+         "FxHENN ms (ours)", "speedup ours", "speedup paper"],
+        rows,
+        title="Table VIII: single conv layers vs FPL'21 (N=2048, 54-bit)",
+    )
+    save_report("table8_fpl21", table)
+
+    by_layer = {r[0]: r for r in rows}
+    for layer, (p_dsp, p_ms, p_speedup) in TABLE8_FXHENN_PAPER.items():
+        ours_ms = by_layer[layer][5]
+        ours_speedup = by_layer[layer][6]
+        # Modeled latency within 50% of the paper's FxHENN measurement.
+        assert ours_ms == pytest.approx(p_ms, rel=0.5), layer
+        # The crossover direction: faster than FPL'21 with fewer DSPs.
+        assert ours_speedup > 1.0, layer
+        assert p_dsp < by_layer[layer][1]
+
+
+def test_table8_layer_ratio(dev9):
+    """conv1 carries ~2x the PCmult workload of conv2_3 (the paper's
+    26.32/12.03 = 2.19x latency gap)."""
+    u1 = bfv_conv_pcmult_units(RESNET_LAYERS["conv1"], 1024)
+    u2 = bfv_conv_pcmult_units(RESNET_LAYERS["conv2_3"], 1024)
+    assert u1 / u2 == pytest.approx(2.19, rel=0.2)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it computes our modeled/measured values, renders them next to the paper's
+published numbers, asserts the *shape* of the result (who wins, by roughly
+what factor, where crossovers fall), and saves the rendered table under
+``benchmarks/output/`` for EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import FxHennFramework
+from repro.fpga import acu9eg, acu15eg
+from repro.hecnn import fxhenn_cifar10_model, fxhenn_mnist_model
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def mnist_trace():
+    return fxhenn_mnist_model().trace()
+
+
+@pytest.fixture(scope="session")
+def cifar_trace():
+    return fxhenn_cifar10_model().trace()
+
+
+@pytest.fixture(scope="session")
+def dev9():
+    return acu9eg()
+
+
+@pytest.fixture(scope="session")
+def dev15():
+    return acu15eg()
+
+
+@pytest.fixture(scope="session")
+def framework():
+    return FxHennFramework()
+
+
+@pytest.fixture(scope="session")
+def designs(framework, mnist_trace, cifar_trace, dev9, dev15):
+    """All four (network, device) accelerator designs, generated once."""
+    out = {}
+    for trace in (mnist_trace, cifar_trace):
+        for dev in (dev9, dev15):
+            out[(trace.name, dev.name)] = framework.generate(trace, dev)
+    return out
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered table under benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/output/{name}.txt]")
+
+    return _save

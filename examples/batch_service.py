@@ -1,0 +1,75 @@
+"""Model a batched encrypted-inference service (throughput extension).
+
+The paper optimizes single-image latency.  This example asks the service
+question: given a stream of encrypted images, should the accelerator run
+them sequentially (keeping FxHENN's inter-layer buffer reuse) or pipeline
+them across layers (forfeiting the reuse so all layers stay resident)?
+
+Usage::
+
+    python examples/batch_service.py
+    python examples/batch_service.py --device acu15eg --batches 1 8 64 512
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import (
+    FxHennFramework,
+    crossover_batch_size,
+    pipelined_batch,
+    sequential_batch,
+)
+from repro.fpga import FpgaDevice, device_by_name
+from repro.hecnn import fxhenn_mnist_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--device", default="acu9eg")
+    parser.add_argument(
+        "--batches", type=int, nargs="+", default=[1, 8, 64, 512]
+    )
+    args = parser.parse_args()
+
+    trace = fxhenn_mnist_model().trace()
+    device = device_by_name(args.device)
+    design = FxHennFramework().generate(trace, device)
+    point = design.solution.point
+    print(f"{trace.name} on {device.name}; DSE-chosen point "
+          f"nc_NTT={point.nc_ntt} {point.describe()}\n")
+
+    rows = []
+    for batch in args.batches:
+        seq = sequential_batch(trace, point, device, batch, device.bram_blocks)
+        pipe = pipelined_batch(trace, point, device, batch, device.bram_blocks)
+        winner = "sequential" if seq.total_seconds <= pipe.total_seconds else "pipelined"
+        rows.append(
+            (batch, seq.per_image_seconds, seq.throughput_per_second,
+             pipe.per_image_seconds, pipe.throughput_per_second, winner)
+        )
+    print(format_table(
+        ["batch", "seq s/img", "seq img/s", "pipe s/img", "pipe img/s",
+         "winner"],
+        rows, title="sequential reuse vs layer pipelining",
+    ))
+
+    crossover = crossover_batch_size(trace, point, device)
+    if crossover is None:
+        print(f"\nOn {device.name}, partitioned buffers spill so hard that "
+              "the paper's sequential-reuse design wins at every batch size.")
+    else:
+        print(f"\nPipelining pays off from batch size {crossover}.")
+
+    big = FpgaDevice(
+        name="BigMem", dsp_slices=device.dsp_slices, bram_blocks=8192
+    )
+    crossover_big = crossover_batch_size(trace, point, big)
+    print(f"On a hypothetical {big.bram_blocks}-block device, the pipelined "
+          f"crossover moves to batch size {crossover_big}.")
+
+
+if __name__ == "__main__":
+    main()

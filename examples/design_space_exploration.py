@@ -1,0 +1,84 @@
+"""Explore the accelerator design space and plot the Pareto frontier.
+
+Reproduces the paper's Fig. 9 workflow: enumerate every feasible design
+solution for FxHENN-MNIST under a range of BRAM budgets, extract the
+Pareto frontier, and render it as an ASCII scatter — no plotting
+dependencies required.
+
+Usage::
+
+    python examples/design_space_exploration.py
+    python examples/design_space_exploration.py --bram-min 400 --bram-max 1200
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import pareto_frontier, solution_scatter
+from repro.fpga import acu9eg
+from repro.hecnn import fxhenn_mnist_model
+
+
+def ascii_scatter(points, frontier, width: int = 72, height: int = 20) -> str:
+    """Render (BRAM, latency) points as a terminal scatter plot."""
+    xs = [p.bram_blocks for p in points]
+    ys = [p.latency_seconds for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    frontier_ids = {id(p) for p in frontier}
+
+    def cell(p):
+        cx = int((p.bram_blocks - x0) / max(1, x1 - x0) * (width - 1))
+        cy = int((p.latency_seconds - y0) / max(1e-12, y1 - y0) * (height - 1))
+        return height - 1 - cy, cx
+
+    for p in points:
+        r, c = cell(p)
+        if grid[r][c] == " ":
+            grid[r][c] = "."
+    for p in frontier:
+        r, c = cell(p)
+        grid[r][c] = "#"
+    lines = [f"latency {y1:.3f}s"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append(f"+{'-' * width}  BRAM {x0}..{x1} blocks")
+    lines.append(f"latency {y0:.3f}s at bottom; '#' = Pareto frontier")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bram-min", type=int, default=350)
+    parser.add_argument("--bram-max", type=int, default=1500)
+    args = parser.parse_args()
+
+    trace = fxhenn_mnist_model().trace()
+    device = acu9eg()
+    print(f"enumerating the design space for {trace.name} on {device.name} "
+          f"(BRAM budget {args.bram_min}..{args.bram_max} blocks)")
+    points = solution_scatter(
+        trace, device, bram_min=args.bram_min, bram_max=args.bram_max
+    )
+    frontier = pareto_frontier(points)
+    print(f"{len(points)} feasible design solutions, "
+          f"{len(frontier)} on the Pareto frontier\n")
+    print(ascii_scatter(points, frontier))
+    print()
+    rows = [
+        (p.bram_blocks, f"{p.latency_seconds:.4f}",
+         p.solution.point.nc_ntt,
+         str(p.solution.point.describe()["KeySwitch"]),
+         str(p.solution.point.describe()["Rescale"]))
+        for p in frontier
+    ]
+    print(format_table(
+        ["BRAM blocks", "latency s", "nc_NTT", "KeySwitch", "Rescale"],
+        rows, title="Pareto frontier (Fig. 9)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Generate FPGA accelerator designs for HE-CNN models (the paper's flow).
+
+Reproduces the FxHENN design flow of Fig. 1 for any combination of the
+benchmark networks and target devices: trace extraction, exhaustive design
+space exploration, and emission of the accelerator design solution with
+HLS directives.  Also generates the no-reuse baseline for comparison
+(Sec. VII-C).
+
+Usage::
+
+    python examples/generate_accelerator.py --network mnist --device acu9eg
+    python examples/generate_accelerator.py --network cifar10 --device acu15eg
+    python examples/generate_accelerator.py --all
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import FxHennFramework
+from repro.fpga import device_by_name
+from repro.hecnn import fxhenn_cifar10_model, fxhenn_mnist_model
+
+NETWORKS = {
+    "mnist": fxhenn_mnist_model,
+    "cifar10": fxhenn_cifar10_model,
+}
+
+
+def generate(network: str, device: str) -> None:
+    model = NETWORKS[network]()
+    dev = device_by_name(device)
+    framework = FxHennFramework()
+
+    print(f"\n### {model.name} on {dev.name} "
+          f"({dev.dsp_slices} DSP, {dev.bram_blocks} BRAM36K, "
+          f"{dev.uram_blocks} URAM) ###")
+    design = framework.generate(model, dev)
+    baseline = framework.generate_baseline(model, dev)
+
+    print(f"DSE: {design.dse.evaluated} points evaluated, "
+          f"{design.dse.feasible} feasible")
+    rows = [
+        ("FxHENN", design.latency_seconds,
+         design.solution.dsp_usage / dev.dsp_slices,
+         design.solution.bram_peak / design.solution.bram_budget),
+        ("baseline (no reuse)", baseline.latency_seconds,
+         baseline.dsp_usage / dev.dsp_slices,
+         baseline.bram_total / dev.bram_blocks),
+    ]
+    print(format_table(
+        ["scheme", "latency s", "DSP util", "BRAM util"], rows
+    ))
+    print(f"speedup from reuse + DSE: "
+          f"{baseline.latency_seconds / design.latency_seconds:.2f}x")
+
+    per_layer = [
+        (l.name, l.kind, l.level, l.latency_seconds(dev.clock_hz),
+         l.bram_blocks, f"{l.on_chip_fraction:.0%}")
+        for l in design.solution.layers
+    ]
+    print(format_table(
+        ["layer", "kind", "level", "latency s", "BRAM blocks", "on-chip"],
+        per_layer, title="per-layer breakdown",
+    ))
+    print("\nHLS directives:")
+    print(design.hls_directives())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", choices=sorted(NETWORKS), default="mnist")
+    parser.add_argument("--device", default="acu9eg")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="generate all four (network, device) designs",
+    )
+    args = parser.parse_args()
+
+    if args.all:
+        for network in NETWORKS:
+            for device in ("acu9eg", "acu15eg"):
+                generate(network, device)
+    else:
+        generate(args.network, args.device)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Quickstart: encrypted CNN inference plus accelerator generation.
+
+Runs in well under a minute:
+
+1. build a small HE-CNN and run a *real* encrypted inference with the
+   bundled RNS-CKKS library, checking the result against the plaintext
+   network;
+2. extract the network's HE operation trace (the input to the performance
+   model);
+3. generate an FPGA accelerator design for the paper's FxHENN-MNIST
+   network on the ACU9EG board and print the modeled latency, resource
+   utilization, and the emitted HLS directives.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FxHennFramework
+from repro.fhe import CkksContext, OperationRecorder, tiny_test_params
+from repro.fpga import acu9eg
+from repro.hecnn import fxhenn_mnist_model, tiny_mnist_model
+
+
+def encrypted_inference_demo() -> None:
+    print("=" * 70)
+    print("1. Encrypted inference with the bundled RNS-CKKS library")
+    print("=" * 70)
+    params = tiny_test_params(poly_degree=512, level=7)
+    model = tiny_mnist_model(seed=3, params=params)
+    context = CkksContext(params, seed=11)
+    model.provision_keys(context)
+
+    image = np.random.default_rng(5).uniform(0, 1, (1, 8, 8))
+    recorder = OperationRecorder()
+    encrypted_logits = model.infer(context, image, recorder=recorder)
+    plain_logits = model.infer_plain(image)
+
+    print(f"network: {model.name} (N={params.poly_degree}, L={params.level})")
+    print(f"plaintext logits: {np.round(plain_logits, 4)}")
+    print(f"encrypted logits: {np.round(encrypted_logits, 4)}")
+    err = np.max(np.abs(encrypted_logits - plain_logits))
+    print(f"max CKKS error:   {err:.2e}")
+    print(f"HE operations executed: {recorder.total}")
+    for op, count in sorted(recorder.counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {op.value:10s} {count}")
+
+
+def trace_demo() -> None:
+    print()
+    print("=" * 70)
+    print("2. Operation trace of the paper's FxHENN-MNIST network")
+    print("=" * 70)
+    trace = fxhenn_mnist_model().trace()
+    print(f"{'layer':6s} {'kind':4s} {'HOPs':>6s} {'KeySwitch':>10s} {'level':>6s}")
+    for lt in trace.layers:
+        print(
+            f"{lt.name:6s} {lt.kind:4s} {lt.hop_count:6d} "
+            f"{lt.keyswitch_count:10d} {lt.level:6d}"
+        )
+    print(
+        f"total: {trace.hop_count} HOPs, {trace.keyswitch_count} KeySwitch "
+        f"(paper: 826 / 280)"
+    )
+
+
+def accelerator_demo() -> None:
+    print()
+    print("=" * 70)
+    print("3. Accelerator generation (DSE) for FxHENN-MNIST on ACU9EG")
+    print("=" * 70)
+    design = FxHennFramework().generate(fxhenn_mnist_model(), acu9eg())
+    util = design.utilization()
+    print(f"modeled latency:  {design.latency_seconds * 1e3:.1f} ms "
+          f"(paper: 240 ms)")
+    print(f"energy/inference: {design.energy_joules:.2f} J")
+    print(f"DSP utilization:  {util['dsp']:.1%}")
+    print(f"BRAM peak:        {util['bram_peak']:.1%} "
+          f"(aggregate with reuse: {util['bram_aggregate']:.1%})")
+    print(f"design point:     nc_NTT={design.solution.point.nc_ntt}, "
+          f"{design.solution.point.describe()}")
+    print()
+    print("emitted HLS directives:")
+    print(design.hls_directives())
+
+
+if __name__ == "__main__":
+    encrypted_inference_demo()
+    trace_demo()
+    accelerator_demo()

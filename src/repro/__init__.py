@@ -1,0 +1,31 @@
+"""FxHENN reproduction: FPGA acceleration framework for HE-CNN inference.
+
+A full-system Python reproduction of *FxHENN: FPGA-based acceleration
+framework for homomorphic encrypted CNN inference* (HPCA 2023):
+
+* :mod:`repro.fhe` -- a from-scratch RNS-CKKS library (NTT, keys, all HE ops);
+* :mod:`repro.hecnn` -- LoLa-style packed HE-CNN layers, the paper's two
+  benchmark networks, and analytic operation-trace extraction;
+* :mod:`repro.fpga` -- FPGA device specs and Table-I-calibrated
+  resource/latency models of the HE operation modules;
+* :mod:`repro.sim` -- a discrete pipeline simulator validating the model;
+* :mod:`repro.core` -- the FxHENN framework itself: design space
+  exploration, module/buffer reuse, baseline comparison, design emission;
+* :mod:`repro.analysis` -- reporting and published comparison data.
+
+Quickstart::
+
+    from repro.core import FxHennFramework
+    from repro.fpga import acu9eg
+    from repro.hecnn import fxhenn_mnist_model
+
+    design = FxHennFramework().generate(fxhenn_mnist_model(), acu9eg())
+    print(design.latency_seconds)
+    print(design.hls_directives())
+"""
+
+from .optypes import MODULE_OPS, HeOp, module_for
+
+__version__ = "1.0.0"
+
+__all__ = ["HeOp", "MODULE_OPS", "module_for", "__version__"]

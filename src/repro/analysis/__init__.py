@@ -1,0 +1,27 @@
+"""Reporting utilities: table rendering, literature data, experiment records."""
+
+from .literature import (
+    PAPER_HEADLINES,
+    TABLE7_FXHENN_PAPER,
+    TABLE7_LITERATURE,
+    TABLE8_FPL21,
+    TABLE8_FXHENN_PAPER,
+    Fpl21Entry,
+    LiteratureEntry,
+)
+from .report import Comparison, ExperimentReport
+from .tables import format_table, ratio_note
+
+__all__ = [
+    "Comparison",
+    "ExperimentReport",
+    "Fpl21Entry",
+    "LiteratureEntry",
+    "PAPER_HEADLINES",
+    "TABLE7_FXHENN_PAPER",
+    "TABLE7_LITERATURE",
+    "TABLE8_FPL21",
+    "TABLE8_FXHENN_PAPER",
+    "format_table",
+    "ratio_note",
+]

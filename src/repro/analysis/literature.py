@@ -1,0 +1,133 @@
+"""Published comparison data (paper Tables VII and VIII).
+
+The paper compares FxHENN against *published* results of prior HE-CNN
+systems, not reruns — so these numbers are reference constants, quoted
+verbatim from Table VII (HE-CNN inference on MNIST and CIFAR-10) and
+Table VIII (single convolution layers vs FPL'21 [28]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fpga.energy import PlatformResult
+
+
+@dataclass(frozen=True)
+class LiteratureEntry:
+    """One row of the paper's Table VII."""
+
+    system: str
+    architecture: str
+    tdp_watts: float
+    scheme: str
+    mnist_latency_s: float | None = None
+    cifar_latency_s: float | None = None
+    mnist_hops: int | None = None
+    mnist_ks: int | None = None
+    cifar_hops: int | None = None
+    cifar_ks: int | None = None
+
+    def platform(self, dataset: str) -> PlatformResult:
+        latency = (
+            self.mnist_latency_s if dataset == "mnist" else self.cifar_latency_s
+        )
+        if latency is None:
+            raise ValueError(f"{self.system} has no {dataset} result")
+        return PlatformResult(
+            platform=self.system, tdp_watts=self.tdp_watts,
+            latency_seconds=latency,
+        )
+
+
+#: Paper Table VII rows (published results; '-' entries omitted).
+TABLE7_LITERATURE: tuple[LiteratureEntry, ...] = (
+    LiteratureEntry(
+        system="CryptoNets", architecture="Intel Xeon E5-1620L",
+        tdp_watts=140, scheme="BFV",
+        mnist_latency_s=205, mnist_hops=215_000, mnist_ks=945,
+    ),
+    LiteratureEntry(
+        system="nGraph-HE", architecture="Xeon Platinum 8180 (112 CPUs)",
+        tdp_watts=205, scheme="CKKS",
+        mnist_latency_s=16.7, cifar_latency_s=1324,
+    ),
+    LiteratureEntry(
+        system="EVA", architecture="4x Intel Xeon Gold 5120",
+        tdp_watts=4 * 105, scheme="CKKS",
+        mnist_latency_s=121.5, cifar_latency_s=3062,
+        mnist_hops=10_000, mnist_ks=2_000,
+        cifar_hops=150_000, cifar_ks=16_000,
+    ),
+    LiteratureEntry(
+        system="LoLa", architecture="Azure B8ms (8 vCPUs)",
+        tdp_watts=8 * 110, scheme="BFV",
+        mnist_latency_s=2.2, cifar_latency_s=730,
+        mnist_hops=798, mnist_ks=227,
+        cifar_hops=123_000, cifar_ks=61_000,
+    ),
+    LiteratureEntry(
+        system="Falcon", architecture="Azure B8ms (8 vCPUs)",
+        tdp_watts=8 * 110, scheme="BFV",
+        mnist_latency_s=1.2, cifar_latency_s=107,
+        mnist_hops=626, mnist_ks=122,
+        cifar_hops=21_000, cifar_ks=7_900,
+    ),
+    LiteratureEntry(
+        system="AHEC", architecture="Xeon Platinum 8180 (112 CPUs)",
+        tdp_watts=250, scheme="CKKS",
+        mnist_latency_s=29.17, mnist_hops=215_000, mnist_ks=945,
+    ),
+    LiteratureEntry(
+        system="A*FV", architecture="3x P100 + 1x V100 GPUs",
+        tdp_watts=4 * 250, scheme="BFV",
+        mnist_latency_s=5.2, cifar_latency_s=553.89,
+        mnist_hops=47_000, mnist_ks=0, cifar_hops=7_000_000, cifar_ks=0,
+    ),
+)
+
+#: The paper's own FxHENN rows of Table VII (for measured-vs-paper checks).
+TABLE7_FXHENN_PAPER = {
+    ("FxHENN-MNIST", "ACU15EG"): 0.19,
+    ("FxHENN-MNIST", "ACU9EG"): 0.24,
+    ("FxHENN-CIFAR10", "ACU15EG"): 54.1,
+    ("FxHENN-CIFAR10", "ACU9EG"): 254.0,
+}
+
+#: Paper headline speedups/efficiencies (abstract & Sec. VII-B).
+PAPER_HEADLINES = {
+    "mnist_speedup_vs_lola_acu9eg": 9.17,
+    "mnist_speedup_vs_lola_acu15eg": 11.58,
+    "cifar_speedup_vs_lola_acu9eg": 2.87,
+    "cifar_speedup_vs_lola_acu15eg": 13.49,
+    "mnist_energy_vs_lola_acu9eg": 806.96,
+    "mnist_energy_vs_lola_acu15eg": 1019.04,
+    "cifar_energy_vs_lola_acu9eg": 252.56,
+    "cifar_energy_vs_lola_acu15eg": 1187.12,
+}
+
+
+@dataclass(frozen=True)
+class Fpl21Entry:
+    """One row of the paper's Table VIII (single convolution layers)."""
+
+    layer: str
+    poly_degree: int
+    word_bits: int
+    dsp: int
+    latency_ms: float
+
+
+#: FPL'21 [28] published single-layer results (ResNet-50 convolutions).
+TABLE8_FPL21: tuple[Fpl21Entry, ...] = (
+    Fpl21Entry(layer="conv1", poly_degree=2048, word_bits=54, dsp=3584,
+               latency_ms=26.32),
+    Fpl21Entry(layer="conv2_3", poly_degree=2048, word_bits=54, dsp=3584,
+               latency_ms=12.03),
+)
+
+#: The paper's FxHENN rows of Table VIII.
+TABLE8_FXHENN_PAPER = {
+    "conv1": (3072, 19.95, 1.32),      # (dsp, latency ms, speedup)
+    "conv2_3": (3072, 10.87, 1.11),
+}

@@ -1,0 +1,55 @@
+"""Experiment records: measured-vs-paper comparisons used by the benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper quantity next to our measured/modeled value."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper if self.paper else float("nan")
+
+    def row(self) -> tuple[str, float, float, str]:
+        return (self.metric, self.paper, self.measured, f"{self.ratio:.2f}x")
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates comparisons for one table/figure reproduction."""
+
+    experiment: str
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def add(self, metric: str, paper: float, measured: float, unit: str = "") -> None:
+        self.comparisons.append(
+            Comparison(metric=metric, paper=paper, measured=measured, unit=unit)
+        )
+
+    def render(self) -> str:
+        from .tables import format_table
+
+        rows = [c.row() for c in self.comparisons]
+        return format_table(
+            ["metric", "paper", "measured", "ratio"],
+            rows,
+            title=f"== {self.experiment} ==",
+        )
+
+    def max_abs_log_ratio(self) -> float:
+        """Worst-case |log10(measured/paper)| — 0.0 means exact."""
+        import math
+
+        worst = 0.0
+        for c in self.comparisons:
+            if c.paper and c.measured:
+                worst = max(worst, abs(math.log10(c.measured / c.paper)))
+        return worst

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the framework's workflow:
+
+* ``devices`` — list the built-in FPGA targets;
+* ``trace``   — print a network's HE operation trace;
+* ``generate``— run the DSE and emit the accelerator design (optionally
+  saving JSON and HLS directives);
+* ``explore`` — print the Pareto frontier over a BRAM budget window;
+* ``infer``   — run a real encrypted inference and verify it against the
+  plaintext reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import format_table
+from .core import FxHennFramework, design_to_json, pareto_frontier, solution_scatter
+from .fpga import acu9eg, acu15eg, device_by_name
+from .hecnn import fxhenn_cifar10_model, fxhenn_mnist_model, tiny_mnist_model
+
+_NETWORKS = {
+    "mnist": fxhenn_mnist_model,
+    "cifar10": fxhenn_cifar10_model,
+    "tiny": tiny_mnist_model,
+}
+
+
+def _network(name: str):
+    try:
+        return _NETWORKS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown network {name!r}; choose from {sorted(_NETWORKS)}"
+        ) from None
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    rows = [
+        (d.name, d.dsp_slices, d.bram_blocks, d.uram_blocks, d.tdp_watts,
+         d.clock_mhz)
+        for d in (acu9eg(), acu15eg())
+    ]
+    print(format_table(
+        ["device", "DSP", "BRAM36K", "URAM", "TDP W", "clock MHz"], rows,
+        title="built-in FPGA targets",
+    ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = _network(args.network).trace()
+    rows = [
+        (lt.name, lt.kind, lt.level, lt.hop_count, lt.keyswitch_count,
+         lt.macs, lt.plaintext_count)
+        for lt in trace.layers
+    ]
+    rows.append(
+        ("TOTAL", "", "", trace.hop_count, trace.keyswitch_count,
+         trace.macs, sum(lt.plaintext_count for lt in trace.layers))
+    )
+    print(format_table(
+        ["layer", "kind", "level", "HOPs", "KeySwitch", "MACs", "plaintexts"],
+        rows, title=f"{trace.name} (N={trace.poly_degree}, "
+                    f"L={trace.base_level})",
+    ))
+    print(f"model size: {trace.model_size_bytes() / 1e6:.2f} MB; "
+          f"HE-MACs: {trace.he_macs():.3e}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    model = _network(args.network)
+    device = device_by_name(args.device)
+    design = FxHennFramework().generate(model, device)
+    util = design.utilization()
+    print(f"{design.network.name} on {device.name}:")
+    print(f"  latency:   {design.latency_seconds:.4f} s "
+          f"({design.solution.latency_cycles} cycles)")
+    print(f"  energy:    {design.energy_joules:.3f} J/inference")
+    print(f"  DSP:       {util['dsp']:.1%}")
+    print(f"  BRAM peak: {util['bram_peak']:.1%} "
+          f"(aggregate {util['bram_aggregate']:.1%})")
+    print(f"  DSE:       {design.dse.feasible}/{design.dse.evaluated} "
+          f"feasible points")
+    print(f"  point:     nc_NTT={design.solution.point.nc_ntt} "
+          f"{design.solution.point.describe()}")
+    if args.json:
+        Path(args.json).write_text(design_to_json(design))
+        print(f"  design record written to {args.json}")
+    if args.directives:
+        Path(args.directives).write_text(design.hls_directives())
+        print(f"  HLS directives written to {args.directives}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    trace = _network(args.network).trace()
+    device = device_by_name(args.device)
+    points = solution_scatter(
+        trace, device, bram_min=args.bram_min, bram_max=args.bram_max
+    )
+    frontier = pareto_frontier(points)
+    rows = [
+        (p.bram_blocks, f"{p.latency_seconds:.4f}",
+         p.solution.point.nc_ntt,
+         str(p.solution.point.describe()["KeySwitch"]))
+        for p in frontier
+    ]
+    print(format_table(
+        ["BRAM blocks", "latency s", "nc_NTT", "KeySwitch"],
+        rows,
+        title=f"Pareto frontier: {trace.name} on {device.name} "
+              f"({len(points)} feasible points)",
+    ))
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    from .fhe import CkksContext, CkksParameters
+    from .hecnn import synthetic_mnist_image
+
+    if args.network == "tiny":
+        from .fhe import tiny_test_params
+
+        params = tiny_test_params(poly_degree=512, level=7)
+        model = tiny_mnist_model(seed=0, params=params)
+        image = np.random.default_rng(args.seed).uniform(0, 1, (1, 8, 8))
+    elif args.network == "mnist":
+        if args.fast:
+            params = CkksParameters(
+                poly_degree=2048, prime_bits=28, level=7, scale_bits=26
+            )
+        else:
+            from .fhe import fxhenn_mnist_params
+
+            params = fxhenn_mnist_params()
+        model = fxhenn_mnist_model(seed=0, params=params)
+        image = synthetic_mnist_image(seed=args.seed)
+    else:
+        raise SystemExit("infer supports networks: tiny, mnist")
+
+    context = CkksContext(params, seed=1)
+    model.provision_keys(context)
+    encrypted = model.infer(context, image)
+    plain = model.infer_plain(image)
+    err = float(np.max(np.abs(encrypted - plain)))
+    print(f"{model.name}: {len(plain)} logits, max CKKS error {err:.2e}")
+    agree = int(np.argmax(encrypted)) == int(np.argmax(plain))
+    print(f"argmax agreement: {'OK' if agree else 'MISMATCH'}")
+    return 0 if agree else 1
+
+
+def cmd_report(_args: argparse.Namespace) -> int:
+    """Regenerate the headline evaluation (Table VII + Fig. 10 + Table IX)."""
+    from .analysis import TABLE7_FXHENN_PAPER, TABLE7_LITERATURE
+    from .fpga import energy_efficiency, speedup
+    from .optypes import MODULE_OPS
+
+    framework = FxHennFramework()
+    lola = next(e for e in TABLE7_LITERATURE if e.system == "LoLa")
+    rows = []
+    fig10_rows = []
+    for net_name, make in (("mnist", fxhenn_mnist_model),
+                           ("cifar", fxhenn_cifar10_model)):
+        trace = make().trace()
+        for device in (acu9eg(), acu15eg()):
+            design = framework.generate(trace, device)
+            ref = lola.platform(net_name)
+            ours = design.platform_result()
+            paper = TABLE7_FXHENN_PAPER[(trace.name, device.name)]
+            rows.append(
+                (trace.name, device.name, paper, design.latency_seconds,
+                 speedup(ours, ref), energy_efficiency(ours, ref))
+            )
+            desc = design.solution.point.describe()
+            fig10_rows.append(
+                (f"{trace.name} @ {device.name}",
+                 design.solution.point.nc_ntt)
+                + tuple(f"{desc[op.value][0]}/{desc[op.value][1]}"
+                        for op in MODULE_OPS)
+            )
+    print(format_table(
+        ["network", "device", "paper s", "modeled s", "speedup vs LoLa",
+         "energy eff vs LoLa"],
+        rows, title="Table VII (FxHENN rows)",
+    ))
+    print()
+    print(format_table(
+        ["design", "nc"] + [op.value for op in MODULE_OPS],
+        fig10_rows, title="Fig. 10 (chosen parallelism, intra/inter)",
+    ))
+    mnist = fxhenn_mnist_model().trace()
+    dev = acu9eg()
+    fx = framework.generate(mnist, dev)
+    base = framework.generate_baseline(mnist, dev)
+    print()
+    print(f"Table IX: FxHENN {fx.latency_seconds:.3f} s vs baseline "
+          f"{base.latency_seconds:.3f} s "
+          f"({base.latency_seconds / fx.latency_seconds:.1f}x from reuse; "
+          f"paper: 0.24 s vs 1.17 s, 4.9x)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FxHENN reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list built-in FPGA targets")
+
+    p_trace = sub.add_parser("trace", help="print a network's HE op trace")
+    p_trace.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+
+    p_gen = sub.add_parser("generate", help="run the DSE for a network/device")
+    p_gen.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+    p_gen.add_argument("--device", default="acu9eg")
+    p_gen.add_argument("--json", help="write the design record to this file")
+    p_gen.add_argument("--directives", help="write HLS directives to this file")
+
+    p_exp = sub.add_parser("explore", help="print the Pareto frontier")
+    p_exp.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+    p_exp.add_argument("--device", default="acu9eg")
+    p_exp.add_argument("--bram-min", type=int, default=350)
+    p_exp.add_argument("--bram-max", type=int, default=1500)
+
+    p_inf = sub.add_parser("infer", help="run a real encrypted inference")
+    p_inf.add_argument("--network", default="tiny", choices=["tiny", "mnist"])
+    p_inf.add_argument("--fast", action="store_true",
+                       help="mnist only: reduced N=2048 parameters")
+    p_inf.add_argument("--seed", type=int, default=4)
+
+    sub.add_parser(
+        "report", help="regenerate the headline evaluation tables"
+    )
+
+    return parser
+
+
+_COMMANDS = {
+    "devices": cmd_devices,
+    "trace": cmd_trace,
+    "generate": cmd_generate,
+    "explore": cmd_explore,
+    "infer": cmd_infer,
+    "report": cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""FxHENN core: design space exploration and accelerator generation.
+
+The paper's primary contribution: given an HE-CNN operation trace and a
+target FPGA device, search the configuration space of the parameterized HE
+modules (with intra-/inter-layer module and buffer reuse) for the
+latency-optimal feasible accelerator, and emit its design solution.
+"""
+
+from .baseline import BaselineSolution, allocate_baseline, layer_private_dsp
+from .codegen import emit_hls_directives
+from .design_point import (
+    DesignPoint,
+    DesignSolution,
+    LayerEvaluation,
+    OpParallelism,
+    evaluate_layer,
+)
+from .dse import DseResult, InfeasibleDesignError, enumerate_feasible, explore
+from .framework import AcceleratorDesign, FxHennFramework
+from .serialization import (
+    design_point_from_dict,
+    design_point_from_json,
+    design_point_to_dict,
+    design_to_dict,
+    design_to_json,
+)
+from .pareto import ParetoPoint, is_dominated, pareto_frontier, solution_scatter
+from .space import DesignSpace
+from .throughput import (
+    BatchExecution,
+    batch_execution,
+    crossover_batch_size,
+    pipelined_batch,
+    sequential_batch,
+)
+
+__all__ = [
+    "AcceleratorDesign",
+    "BatchExecution",
+    "BaselineSolution",
+    "DesignPoint",
+    "DesignSolution",
+    "DesignSpace",
+    "DseResult",
+    "FxHennFramework",
+    "InfeasibleDesignError",
+    "LayerEvaluation",
+    "OpParallelism",
+    "ParetoPoint",
+    "allocate_baseline",
+    "batch_execution",
+    "crossover_batch_size",
+    "pipelined_batch",
+    "sequential_batch",
+    "design_point_from_dict",
+    "design_point_from_json",
+    "design_point_to_dict",
+    "design_to_dict",
+    "design_to_json",
+    "emit_hls_directives",
+    "enumerate_feasible",
+    "evaluate_layer",
+    "explore",
+    "is_dominated",
+    "layer_private_dsp",
+    "pareto_frontier",
+    "solution_scatter",
+]

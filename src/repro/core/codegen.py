@@ -1,0 +1,57 @@
+"""Accelerator design emission: the FxHENN framework's output artifact.
+
+The real toolchain hands the DSE result to Vivado HLS as pragmas and
+directives on the parameterized C++ modules (paper Sec. IV: "The output of
+the FxHENN framework is a dedicated accelerator design solution, which
+contains the structure information and HLS pragmas and directives").  We
+emit the same information as a human-readable directive script — the
+boundary where the paper's contribution ends and the commercial toolchain
+begins (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from ..optypes import MODULE_OPS, HeOp
+from .design_point import DesignSolution
+
+
+def emit_hls_directives(solution: DesignSolution) -> str:
+    """Render a design solution as an HLS-style directive script."""
+    point = solution.point
+    lines = [
+        f"# FxHENN accelerator design: {solution.network} on {solution.device.name}",
+        f"# modeled latency: {solution.latency_seconds:.4f} s "
+        f"({solution.latency_cycles} cycles @ {solution.device.clock_mhz:.0f} MHz)",
+        f"# DSP: {solution.dsp_usage}/{solution.device.dsp_slices}"
+        f" ({solution.dsp_usage / solution.device.dsp_slices:.1%})",
+        f"# BRAM peak: {solution.bram_peak}/{solution.bram_budget} blocks"
+        f" ({solution.bram_peak / solution.bram_budget:.1%})",
+        "",
+        f"set_param ntt_cores {point.nc_ntt}",
+    ]
+    for op in MODULE_OPS:
+        par = point.parallelism(op)
+        name = op.value.lower()
+        lines.append("")
+        lines.append(f"# module {op.value} ({op.table1_label})")
+        lines.append(
+            f"set_directive_allocation -limit {par.p_inter} "
+            f"-type function top {name}"
+        )
+        lines.append(
+            f"set_directive_unroll -factor {par.p_intra} {name}/rns_poly_loop"
+        )
+        if op.uses_ntt:
+            lines.append(
+                f"set_directive_array_partition -factor "
+                f"{max(1, point.nc_ntt // 2)} -type block {name} buffer_bn"
+            )
+    lines.append("")
+    lines.append("# per-layer buffer binding (inter-layer reuse pool)")
+    for layer in solution.layers:
+        lines.append(
+            f"bind_layer {layer.name} kind={layer.kind} level={layer.level} "
+            f"bram_blocks={layer.bram_blocks} "
+            f"latency_cycles={layer.latency_cycles}"
+        )
+    return "\n".join(lines) + "\n"

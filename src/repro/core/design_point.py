@@ -1,0 +1,246 @@
+"""Design points and evaluated design solutions.
+
+A :class:`DesignPoint` is one candidate accelerator configuration — the
+paper's decision variables (Sec. VI-B): the NTT core count ``nc_NTT`` plus
+intra-/inter-parallelism for each HE operation module type (the quantities
+Fig. 10 reports per network/device).  Module instances are *shared across
+layers* (Sec. V-C module reuse): the DSP cost of an op type is paid once,
+at the largest parallelism any layer needs, and layers with lower levels
+reuse the same instances with idle copies.
+
+A :class:`DesignSolution` is a design point evaluated against a network
+trace and a device: per-layer latency and buffer demand, aggregate resource
+usage, and feasibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..fpga.buffers import buffer_tile_words, layer_buffer_demand, offchip_slowdown
+from ..fpga.device import FpgaDevice
+from ..fpga.modules import dsp_const, pipeline_interval_cycles
+from ..hecnn.trace import LayerTrace, NetworkTrace
+from ..optypes import MODULE_OPS, HeOp
+
+
+@dataclass(frozen=True)
+class OpParallelism:
+    """Intra-/inter-parallelism of one HE operation module type (Eq. 7)."""
+
+    p_intra: int = 1
+    p_inter: int = 1
+
+    def __post_init__(self) -> None:
+        if self.p_intra < 1 or self.p_inter < 1:
+            raise ValueError("parallelism must be >= 1")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration of the parameterized HE modules."""
+
+    nc_ntt: int = 2
+    ops: dict[HeOp, OpParallelism] = field(default_factory=dict)
+
+    def parallelism(self, op: HeOp) -> OpParallelism:
+        return self.ops.get(op, OpParallelism())
+
+    def dsp_usage(self) -> int:
+        """Total DSP with module reuse: one shared instance pool per op."""
+        return sum(
+            self.parallelism(op).p_intra
+            * self.parallelism(op).p_inter
+            * dsp_const(op, self.nc_ntt)
+            for op in MODULE_OPS
+        )
+
+    def describe(self) -> dict[str, tuple[int, int]]:
+        """Per-op (intra, inter) map — the content of paper Fig. 10."""
+        return {
+            op.value: (self.parallelism(op).p_intra, self.parallelism(op).p_inter)
+            for op in MODULE_OPS
+        }
+
+
+@dataclass(frozen=True)
+class LayerEvaluation:
+    """One layer's modeled latency and buffer usage under a design point.
+
+    ``bram_mandatory`` is the module-working-buffer demand that *must* fit
+    on chip; ``bram_blocks`` is the total the layer actually occupies
+    (mandatory plus whatever ciphertext/key residency fits its budget);
+    ``on_chip_fraction`` drives the Table III off-chip slowdown already
+    folded into ``latency_cycles``.
+    """
+
+    name: str
+    kind: str
+    level: int
+    latency_cycles: int
+    bram_blocks: int
+    bram_mandatory: int
+    on_chip_fraction: float
+
+    def latency_seconds(self, clock_hz: float) -> float:
+        return self.latency_cycles / clock_hz
+
+
+def evaluate_layer(
+    trace: LayerTrace,
+    point: DesignPoint,
+    poly_degree: int,
+    word_bits: int,
+    bram_budget: int | None = None,
+) -> LayerEvaluation:
+    """Model one layer under a design point (Eqs. 1-3, 8-9, Table III).
+
+    The layer's elementwise chains run on the Rescale-anchored NKS pipeline;
+    its KeySwitch units occupy ``L`` intervals each on the KeySwitch
+    pipeline (Fig. 3).  Each pipeline's interval follows Eq. 3 with that
+    module's intra-parallelism, and its throughput scales with the module's
+    inter-parallelism.  ``bram_budget`` is the on-chip memory the layer may
+    claim (under FxHENN's inter-layer reuse, the whole device pool); any
+    residency that does not fit incurs the off-chip access penalty.
+    """
+    level = trace.level
+    rescale = point.parallelism(HeOp.RESCALE)
+    nks_pi = pipeline_interval_cycles(
+        poly_degree, level, rescale.p_intra, point.nc_ntt
+    )
+    cycles = math.ceil(trace.nks_units * nks_pi / rescale.p_inter)
+    if trace.ks_units:
+        ks = point.parallelism(HeOp.KEY_SWITCH)
+        ks_pi = pipeline_interval_cycles(
+            poly_degree, level, ks.p_intra, point.nc_ntt
+        )
+        cycles += math.ceil(trace.ks_units * level * ks_pi / ks.p_inter)
+
+    pipeline = (
+        point.parallelism(HeOp.KEY_SWITCH) if trace.kind == "KS" else rescale
+    )
+    mandatory, cacheable = layer_buffer_demand(
+        kind=trace.kind,
+        level=level,
+        poly_degree=poly_degree,
+        word_bits=word_bits,
+        p_intra=pipeline.p_intra,
+        p_inter=pipeline.p_inter,
+        nc_ntt=point.nc_ntt,
+    )
+    if bram_budget is None:
+        resident = cacheable
+    else:
+        resident = max(0, min(cacheable, bram_budget - mandatory))
+    on_chip = resident / cacheable if cacheable else 1.0
+    cycles = math.ceil(cycles * offchip_slowdown(on_chip, trace.kind))
+    return LayerEvaluation(
+        name=trace.name,
+        kind=trace.kind,
+        level=level,
+        latency_cycles=cycles,
+        bram_blocks=mandatory + resident,
+        bram_mandatory=mandatory,
+        on_chip_fraction=on_chip,
+    )
+
+
+@dataclass(frozen=True)
+class DesignSolution:
+    """A design point evaluated against a network trace on a device."""
+
+    point: DesignPoint
+    network: str
+    device: FpgaDevice
+    layers: tuple[LayerEvaluation, ...]
+    poly_degree: int
+    word_bits: int
+
+    @classmethod
+    def evaluate(
+        cls,
+        point: DesignPoint,
+        trace: NetworkTrace,
+        device: FpgaDevice,
+        bram_limit: int | None = None,
+    ) -> "DesignSolution":
+        budget = bram_limit
+        if budget is None:
+            budget = device.effective_bram_blocks(
+                buffer_tile_words(trace.poly_degree, point.nc_ntt)
+            )
+        layers = tuple(
+            evaluate_layer(
+                lt, point, trace.poly_degree, trace.prime_bits,
+                bram_budget=budget,
+            )
+            for lt in trace.layers
+        )
+        return cls(
+            point=point,
+            network=trace.name,
+            device=device,
+            layers=layers,
+            poly_degree=trace.poly_degree,
+            word_bits=trace.prime_bits,
+        )
+
+    # -- aggregate metrics -------------------------------------------------------
+
+    @property
+    def latency_cycles(self) -> int:
+        return sum(layer.latency_cycles for layer in self.layers)
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / self.device.clock_hz
+
+    @property
+    def dsp_usage(self) -> int:
+        return self.point.dsp_usage()
+
+    @property
+    def bram_peak(self) -> int:
+        """On-chip buffer usage with inter-layer reuse: the max layer."""
+        return max(layer.bram_blocks for layer in self.layers)
+
+    @property
+    def bram_mandatory_peak(self) -> int:
+        """Largest per-layer *mandatory* buffer demand — the feasibility
+        floor below which the design cannot be built at all."""
+        return max(layer.bram_mandatory for layer in self.layers)
+
+    @property
+    def bram_aggregate(self) -> int:
+        """Sum of per-layer demands — what the device would need *without*
+        inter-layer reuse (the Table IX "aggregate" row)."""
+        return sum(layer.bram_blocks for layer in self.layers)
+
+    @property
+    def bram_budget(self) -> int:
+        return self.device.effective_bram_blocks(
+            buffer_tile_words(self.poly_degree, self.point.nc_ntt)
+        )
+
+    def is_feasible(
+        self, dsp_limit: int | None = None, bram_limit: int | None = None
+    ) -> bool:
+        """DSP fits, and every layer's mandatory buffers fit the budget.
+
+        Ciphertext residency beyond the budget spills to DRAM (with the
+        Table III penalty already folded into the latency) rather than
+        making the design infeasible.
+        """
+        dsp_limit = dsp_limit if dsp_limit is not None else self.device.dsp_slices
+        bram_limit = bram_limit if bram_limit is not None else self.bram_budget
+        return (
+            self.dsp_usage <= dsp_limit
+            and self.bram_mandatory_peak <= bram_limit
+        )
+
+    def layer(self, name: str) -> LayerEvaluation:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")

@@ -1,0 +1,95 @@
+"""Exhaustive design space exploration (paper Sec. VI-B).
+
+Objective::
+
+    Minimize    sum_lr LAT_lr
+    subject to  sum_op DSP_op          <= DSP_max
+                max_lr BRAM_lr         <= BRAM_max
+
+The problem is non-linear (ceil divisions, the dual-port BRAM step, the
+KeySwitch DSP table), so — like the paper — we search the whole space
+exhaustively; at a few thousand points this takes well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fpga.device import FpgaDevice
+from ..hecnn.trace import NetworkTrace
+from .design_point import DesignPoint, DesignSolution
+from .space import DesignSpace
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """Outcome of one exploration run."""
+
+    best: DesignSolution
+    evaluated: int
+    feasible: int
+
+
+class InfeasibleDesignError(RuntimeError):
+    """No design point satisfies the device's resource constraints."""
+
+
+def explore(
+    trace: NetworkTrace,
+    device: FpgaDevice,
+    space: DesignSpace | None = None,
+    dsp_limit: int | None = None,
+    bram_limit: int | None = None,
+) -> DseResult:
+    """Exhaustively search the design space for the latency-optimal point.
+
+    ``dsp_limit`` / ``bram_limit`` override the device capacities — used by
+    the Pareto sweep of Fig. 9, which constrains the BRAM budget directly.
+    """
+    space = space or DesignSpace()
+    best: DesignSolution | None = None
+    evaluated = 0
+    feasible = 0
+    for point in space.points():
+        solution = DesignSolution.evaluate(
+            point, trace, device, bram_limit=bram_limit
+        )
+        evaluated += 1
+        if not solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
+            continue
+        feasible += 1
+        if best is None or _better(solution, best):
+            best = solution
+    if best is None:
+        raise InfeasibleDesignError(
+            f"no feasible design for {trace.name} on {device.name} "
+            f"(DSP<= {dsp_limit or device.dsp_slices}, "
+            f"BRAM<= {bram_limit if bram_limit is not None else 'device'})"
+        )
+    return DseResult(best=best, evaluated=evaluated, feasible=feasible)
+
+
+def enumerate_feasible(
+    trace: NetworkTrace,
+    device: FpgaDevice,
+    space: DesignSpace | None = None,
+    dsp_limit: int | None = None,
+    bram_limit: int | None = None,
+) -> list[DesignSolution]:
+    """All feasible solutions — the scatter behind Fig. 9."""
+    space = space or DesignSpace()
+    out = []
+    for point in space.points():
+        solution = DesignSolution.evaluate(
+            point, trace, device, bram_limit=bram_limit
+        )
+        if solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
+            out.append(solution)
+    return out
+
+
+def _better(a: DesignSolution, b: DesignSolution) -> bool:
+    """Latency-first comparison; resources break ties deterministically."""
+    key_a = (a.latency_cycles, a.dsp_usage, a.bram_peak)
+    key_b = (b.latency_cycles, b.dsp_usage, b.bram_peak)
+    return key_a < key_b

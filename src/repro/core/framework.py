@@ -1,0 +1,90 @@
+"""The FxHENN framework facade (paper Fig. 1).
+
+Ties the stack together: given an HE-CNN model and a target FPGA device,
+extract the operation trace, run design space exploration, and return an
+:class:`AcceleratorDesign` carrying the chosen configuration, the modeled
+per-layer and end-to-end latency, resource utilization, energy, and the
+emitted HLS directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fpga.device import FpgaDevice
+from ..fpga.energy import PlatformResult
+from ..hecnn.network import HeCnn
+from ..hecnn.trace import NetworkTrace
+from .baseline import BaselineSolution, allocate_baseline
+from .codegen import emit_hls_directives
+from .design_point import DesignSolution
+from .dse import DseResult, explore
+from .space import DesignSpace
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """The framework's end product for one (network, device) pair."""
+
+    network: NetworkTrace
+    device: FpgaDevice
+    solution: DesignSolution
+    dse: DseResult
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.solution.latency_seconds
+
+    @property
+    def energy_joules(self) -> float:
+        return self.device.tdp_watts * self.latency_seconds
+
+    def platform_result(self) -> PlatformResult:
+        return PlatformResult(
+            platform=self.device.name,
+            tdp_watts=self.device.tdp_watts,
+            latency_seconds=self.latency_seconds,
+        )
+
+    def hls_directives(self) -> str:
+        return emit_hls_directives(self.solution)
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            "dsp": self.solution.dsp_usage / self.device.dsp_slices,
+            "bram_peak": self.solution.bram_peak / self.solution.bram_budget,
+            "bram_aggregate": (
+                self.solution.bram_aggregate / self.solution.bram_budget
+            ),
+        }
+
+
+class FxHennFramework:
+    """Automatic accelerator generation for HE-CNN inference.
+
+    Usage::
+
+        framework = FxHennFramework()
+        design = framework.generate(fxhenn_mnist_model(), acu9eg())
+        print(design.latency_seconds, design.hls_directives())
+    """
+
+    def __init__(self, space: DesignSpace | None = None) -> None:
+        self.space = space or DesignSpace()
+
+    def generate(
+        self, model: HeCnn | NetworkTrace, device: FpgaDevice
+    ) -> AcceleratorDesign:
+        """Run the full flow: trace -> DSE -> accelerator design."""
+        trace = model.trace() if isinstance(model, HeCnn) else model
+        dse = explore(trace, device, space=self.space)
+        return AcceleratorDesign(
+            network=trace, device=device, solution=dse.best, dse=dse
+        )
+
+    def generate_baseline(
+        self, model: HeCnn | NetworkTrace, device: FpgaDevice
+    ) -> BaselineSolution:
+        """The no-reuse comparison accelerator of Sec. VII-C."""
+        trace = model.trace() if isinstance(model, HeCnn) else model
+        return allocate_baseline(trace, device)

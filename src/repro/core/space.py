@@ -1,0 +1,57 @@
+"""Design space enumeration (paper Sec. VI-B).
+
+The explored space matches the paper's description — "a few thousand design
+points that can be solved within a few seconds":
+
+* ``nc_NTT`` in {2, 4, 8} (the Table I design choices);
+* KeySwitch and Rescale intra-parallelism in 1..L and inter-parallelism in
+  1..max_inter;
+* elementwise modules pinned to parallelism 1 — the paper observes "the
+  parallelism of the CCmult operation is set to be only 1 ... due to the
+  extremely low frequency of CCmult operations" (Sec. VII-D), and CCadd
+  uses no DSP at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..optypes import HeOp
+from .design_point import DesignPoint, OpParallelism
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Bounds of the exhaustive search."""
+
+    nc_ntt_choices: tuple[int, ...] = (2, 4, 8)
+    max_intra: int = 7  # bounded by the level L: more copies sit idle
+    max_inter: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_intra < 1 or self.max_inter < 1:
+            raise ValueError("parallelism bounds must be >= 1")
+
+    def size(self) -> int:
+        per_op = self.max_intra * self.max_inter
+        return len(self.nc_ntt_choices) * per_op * per_op
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Enumerate every candidate design point."""
+        for nc in self.nc_ntt_choices:
+            for ks_intra in range(1, self.max_intra + 1):
+                for ks_inter in range(1, self.max_inter + 1):
+                    for rs_intra in range(1, self.max_intra + 1):
+                        for rs_inter in range(1, self.max_inter + 1):
+                            yield DesignPoint(
+                                nc_ntt=nc,
+                                ops={
+                                    HeOp.KEY_SWITCH: OpParallelism(
+                                        ks_intra, ks_inter
+                                    ),
+                                    HeOp.RESCALE: OpParallelism(
+                                        rs_intra, rs_inter
+                                    ),
+                                },
+                            )

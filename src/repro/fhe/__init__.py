@@ -1,0 +1,93 @@
+"""RNS-CKKS fully homomorphic encryption substrate.
+
+A from-scratch implementation of the CKKS scheme in its RNS variant
+(Cheon et al. 2017/2018), sufficient to run the paper's HE-CNN inference
+workloads on encrypted data: modular kernels, negacyclic NTT, RNS
+polynomials, canonical-embedding batching, key generation and all seven HE
+operations (PCadd, PCmult, CCadd, CCmult, Rescale, Relinearize, Rotate).
+"""
+
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .encoder import CkksEncoder
+from .keys import GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, SecretKey
+from .modmath import (
+    BarrettConstant,
+    barrett_reduce,
+    find_primitive_root,
+    find_root_of_unity,
+    generate_ntt_primes,
+    is_prime,
+    mod_add,
+    mod_inverse,
+    mod_mul,
+    mod_pow,
+    mod_sub,
+)
+from .noise import NoiseBound, NoiseEstimator, depth_capacity, measured_noise_bits
+from .ntt import NttContext, get_ntt_context
+from .ops import Evaluator, OperationRecorder
+from .params import (
+    CkksParameters,
+    build_prime_chain,
+    fxhenn_cifar10_params,
+    fxhenn_mnist_params,
+    max_coeff_modulus_bits,
+    security_bits,
+    tiny_test_params,
+)
+from .poly import RnsBasis, RnsPolynomial
+from .serialization import (
+    SerializationError,
+    ciphertext_from_bytes,
+    ciphertext_to_bytes,
+    ciphertext_wire_bytes,
+    plaintext_from_bytes,
+    plaintext_to_bytes,
+)
+
+__all__ = [
+    "BarrettConstant",
+    "Ciphertext",
+    "CkksContext",
+    "CkksEncoder",
+    "CkksParameters",
+    "Evaluator",
+    "GaloisKeys",
+    "KeyGenerator",
+    "KeySwitchKey",
+    "NoiseBound",
+    "NoiseEstimator",
+    "NttContext",
+    "OperationRecorder",
+    "Plaintext",
+    "PublicKey",
+    "RnsBasis",
+    "RnsPolynomial",
+    "SecretKey",
+    "SerializationError",
+    "ciphertext_from_bytes",
+    "ciphertext_to_bytes",
+    "ciphertext_wire_bytes",
+    "plaintext_from_bytes",
+    "plaintext_to_bytes",
+    "barrett_reduce",
+    "build_prime_chain",
+    "depth_capacity",
+    "measured_noise_bits",
+    "find_primitive_root",
+    "find_root_of_unity",
+    "fxhenn_cifar10_params",
+    "fxhenn_mnist_params",
+    "generate_ntt_primes",
+    "get_ntt_context",
+    "is_prime",
+    "max_coeff_modulus_bits",
+    "mod_add",
+    "mod_inverse",
+    "mod_mul",
+    "mod_pow",
+    "mod_sub",
+    "security_bits",
+    "tiny_test_params",
+]

@@ -1,0 +1,150 @@
+"""Top-level CKKS context: parameters, keys, encryption and decryption.
+
+A :class:`CkksContext` owns everything a client or server needs:
+
+* the RNS prime chain and special key-switching prime,
+* the canonical-embedding encoder,
+* a seeded key generator, public key, and (on request) relinearization and
+  Galois keys,
+* encrypt/decrypt, which in the paper's deployment model run on the client
+  (the FPGA only ever sees ciphertexts and plaintext-encoded weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext, Plaintext
+from .encoder import CkksEncoder
+from .keys import GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey
+from .params import CkksParameters, build_prime_chain
+from .poly import RnsBasis, RnsPolynomial
+from .sampling import sample_gaussian, sample_ternary
+
+
+class CkksContext:
+    """A fully initialized RNS-CKKS instance.
+
+    Parameters
+    ----------
+    params:
+        Parameter set; must be functional (word size <= 30 bits).  Use
+        ``params.functional_variant()`` to narrow a model-only preset.
+    seed:
+        Seed for all key/encryption randomness (reproducible by design).
+    """
+
+    def __init__(self, params: CkksParameters, seed: int = 0) -> None:
+        if not params.is_functional:
+            raise ValueError(
+                "parameter set is model-only; call params.functional_variant()"
+            )
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        chain, special = build_prime_chain(params)
+        self.chain_primes = chain
+        self.special_prime = special
+        self.encoder = CkksEncoder(params.poly_degree)
+        self.keygen = KeyGenerator(
+            chain, special, params.poly_degree, self.rng, params.error_std
+        )
+        self.public_key: PublicKey = self.keygen.generate_public_key()
+        self.relin_keys: dict[int, KeySwitchKey] = {}
+        self.galois_keys: GaloisKeys = GaloisKeys()
+
+    # -- key provisioning ---------------------------------------------------------
+
+    def ensure_relin_keys(self, levels: list[int] | None = None) -> None:
+        """Generate relinearization keys for the given levels (default: all)."""
+        levels = levels or list(range(1, self.params.level + 1))
+        missing = [lvl for lvl in levels if lvl not in self.relin_keys]
+        if missing:
+            self.relin_keys.update(self.keygen.generate_relin_keys(missing))
+
+    def ensure_galois_keys(
+        self, steps: list[int], levels: list[int] | None = None
+    ) -> None:
+        """Generate rotation keys for the given steps/levels if absent."""
+        levels = levels or list(range(1, self.params.level + 1))
+        needed = [
+            s for s in dict.fromkeys(steps)
+            if any((s, lvl) not in self.galois_keys.keys for lvl in levels)
+        ]
+        if needed:
+            fresh = self.keygen.generate_galois_keys(needed, levels)
+            self.galois_keys.keys.update(fresh.keys)
+
+    def ensure_conjugation_keys(self, levels: list[int] | None = None) -> None:
+        """Generate complex-conjugation keys (Galois element ``2N - 1``)."""
+        from .keys import CONJUGATION_STEP
+
+        self.ensure_galois_keys([CONJUGATION_STEP], levels)
+
+    # -- bases ---------------------------------------------------------------------
+
+    def basis(self, level: int | None = None) -> RnsBasis:
+        """The RNS basis at the given level (default: full chain)."""
+        level = level if level is not None else self.params.level
+        return RnsBasis(self.params.poly_degree, self.chain_primes[:level])
+
+    @property
+    def scale(self) -> float:
+        return self.params.scale
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.slot_count
+
+    # -- encoding ------------------------------------------------------------------
+
+    def encode(
+        self,
+        values: np.ndarray,
+        level: int | None = None,
+        scale: float | None = None,
+    ) -> Plaintext:
+        scale = scale if scale is not None else self.scale
+        poly = self.encoder.encode(values, scale, self.basis(level))
+        return Plaintext(poly=poly, scale=scale)
+
+    def decode(self, plaintext: Plaintext) -> np.ndarray:
+        return self.encoder.decode_real(plaintext.poly, plaintext.scale)
+
+    # -- encryption ------------------------------------------------------------------
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Public-key encryption: ``ct = (b*u + e0 + m, a*u + e1)``."""
+        basis = plaintext.basis
+        full = self.basis()
+        if basis.primes != full.primes[: basis.level]:
+            raise ValueError("plaintext basis is not a prefix of the chain")
+        pk_b = self.public_key.b.drop_to_basis(basis)
+        pk_a = self.public_key.a.drop_to_basis(basis)
+        u = sample_ternary(basis, self.rng).to_ntt()
+        e0 = sample_gaussian(basis, self.rng, self.params.error_std).to_ntt()
+        e1 = sample_gaussian(basis, self.rng, self.params.error_std).to_ntt()
+        m = plaintext.poly.to_ntt()
+        c0 = pk_b * u + e0 + m
+        c1 = pk_a * u + e1
+        return Ciphertext(components=(c0, c1), scale=plaintext.scale)
+
+    def encrypt_values(
+        self, values: np.ndarray, level: int | None = None
+    ) -> Ciphertext:
+        """Encode then encrypt a slot vector in one step."""
+        return self.encrypt(self.encode(values, level))
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Decrypt ``sum_k c_k * s^k`` (handles 2- and 3-component cts)."""
+        basis = ciphertext.basis
+        s = self.keygen.secret_key.to_basis(basis)
+        acc: RnsPolynomial = ciphertext.components[0].to_ntt()
+        s_power = s
+        for comp in ciphertext.components[1:]:
+            acc = acc + comp.to_ntt() * s_power
+            s_power = s_power * s
+        return Plaintext(poly=acc, scale=ciphertext.scale)
+
+    def decrypt_values(self, ciphertext: Ciphertext) -> np.ndarray:
+        """Decrypt and decode to real slot values."""
+        return self.decode(self.decrypt(ciphertext))

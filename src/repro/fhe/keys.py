@@ -1,0 +1,229 @@
+"""Key material for RNS-CKKS: secret/public keys and key-switching keys.
+
+Key switching (paper: the *KeySwitch* module backing both Relinearize and
+Rotate — the dominant HE operation, Table I OP5) is implemented in the
+hybrid style: keys are generated over the extended modulus ``p * Q_l`` with a
+special prime ``p``, and the switched result is divided by ``p``, keeping the
+added noise at the error-sampler scale.
+
+Because the RNS gadget constants ``D_i = (Q_l / q_i) * [(Q_l / q_i)^-1]_{q_i}``
+depend on the ciphertext level ``l``, one :class:`KeySwitchKey` is generated
+per level at which switching will occur.  With the paper's ``L = 7`` this is
+a handful of small keys, mirroring how an FPGA deployment would preload
+per-level key material into off-chip DRAM (Sec. VI-A: "KeySwitch keys ...
+are also stored in off-chip memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .modmath import mod_inverse
+from .poly import RnsBasis, RnsPolynomial
+from .sampling import sample_gaussian, sample_ternary, sample_uniform
+
+_U64 = np.uint64
+
+
+def _signed_to_basis(signed: np.ndarray, basis: RnsBasis) -> RnsPolynomial:
+    rows = np.empty((basis.level, basis.n), dtype=_U64)
+    for i, q in enumerate(basis.primes):
+        rows[i] = np.mod(signed, np.int64(q)).astype(_U64)
+    return RnsPolynomial(basis, rows, is_ntt=False)
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Ternary secret, kept as signed coefficients for cheap basis lifts."""
+
+    signed_coeffs: np.ndarray  # int64, shape (N,)
+
+    def to_basis(self, basis: RnsBasis, ntt: bool = True) -> RnsPolynomial:
+        poly = _signed_to_basis(self.signed_coeffs, basis)
+        return poly.to_ntt() if ntt else poly
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RLWE public key ``(b, a) = (-(a*s) + e, a)`` over the full chain."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+
+@dataclass(frozen=True)
+class KeySwitchKey:
+    """Per-level key-switching key toward secret ``s`` from target ``s'``.
+
+    ``b[i] + a[i]*s = e_i + p * D_i * s'`` over the extended basis
+    ``(q_1..q_l, p)``; all components stored in NTT domain.
+    """
+
+    level: int
+    basis: RnsBasis  # extended basis including the special prime (last)
+    b: tuple[RnsPolynomial, ...]
+    a: tuple[RnsPolynomial, ...]
+
+
+#: Sentinel step used to index complex-conjugation keys (element 2N - 1).
+CONJUGATION_STEP = -1
+
+
+@dataclass
+class GaloisKeys:
+    """Key-switching keys for rotations, indexed by (step, level).
+
+    Complex conjugation (Galois element ``2N - 1``) is stored under the
+    sentinel step :data:`CONJUGATION_STEP`.
+    """
+
+    keys: dict[tuple[int, int], KeySwitchKey] = field(default_factory=dict)
+
+    def get(self, step: int, level: int) -> KeySwitchKey:
+        try:
+            return self.keys[(step, level)]
+        except KeyError:
+            kind = (
+                "conjugation" if step == CONJUGATION_STEP
+                else f"rotation step {step}"
+            )
+            raise KeyError(
+                f"no Galois key for {kind} at level {level}; "
+                "generate it via KeyGenerator.generate_galois_keys"
+            ) from None
+
+
+class KeyGenerator:
+    """Generates all key material for a :class:`~repro.fhe.context.CkksContext`.
+
+    Parameters
+    ----------
+    chain_primes:
+        The RNS modulus chain ``q_1 .. q_L`` (largest level first dropped last).
+    special_prime:
+        Hybrid key-switching prime ``p``.
+    poly_degree:
+        Ring degree ``N``.
+    rng:
+        Seeded generator; all randomness flows through it.
+    error_std:
+        Gaussian error standard deviation.
+    """
+
+    def __init__(
+        self,
+        chain_primes: tuple[int, ...],
+        special_prime: int,
+        poly_degree: int,
+        rng: np.random.Generator,
+        error_std: float = 3.2,
+    ) -> None:
+        self.chain_primes = chain_primes
+        self.special_prime = special_prime
+        self.n = poly_degree
+        self.rng = rng
+        self.error_std = error_std
+        full = RnsBasis(poly_degree, chain_primes)
+        ternary = sample_ternary(full, rng)
+        # Recover the signed form from the first residue row.
+        q0 = chain_primes[0]
+        row = ternary.residues[0].astype(np.int64)
+        signed = np.where(row > q0 // 2, row - q0, row)
+        self.secret_key = SecretKey(signed_coeffs=signed)
+
+    # -- bases ------------------------------------------------------------------
+
+    def chain_basis(self, level: int) -> RnsBasis:
+        return RnsBasis(self.n, self.chain_primes[:level])
+
+    def extended_basis(self, level: int) -> RnsBasis:
+        return RnsBasis(self.n, self.chain_primes[:level] + (self.special_prime,))
+
+    # -- public key ----------------------------------------------------------------
+
+    def generate_public_key(self) -> PublicKey:
+        basis = self.chain_basis(len(self.chain_primes))
+        s = self.secret_key.to_basis(basis)
+        a = sample_uniform(basis, self.rng).to_ntt()
+        e = sample_gaussian(basis, self.rng, self.error_std).to_ntt()
+        b = -(a * s) + e
+        return PublicKey(b=b, a=a)
+
+    # -- key switching ----------------------------------------------------------------
+
+    def _generate_kswitch_key(
+        self, target_signed: np.ndarray, level: int
+    ) -> KeySwitchKey:
+        """Key that moves a component decryptable under ``target`` back to ``s``.
+
+        ``target_signed`` are the signed coefficients of ``s'`` (e.g. ``s^2``
+        for relinearization, ``s(X^g)`` for rotation).
+        """
+        ext = self.extended_basis(level)
+        s = self.secret_key.to_basis(ext)
+        s_prime = _signed_to_basis(target_signed, ext).to_ntt()
+        q_chain = self.chain_primes[:level]
+        big_q = 1
+        for q in q_chain:
+            big_q *= q
+        p = self.special_prime
+        bs: list[RnsPolynomial] = []
+        As: list[RnsPolynomial] = []
+        for i, q_i in enumerate(q_chain):
+            q_hat = big_q // q_i
+            d_i = q_hat * mod_inverse(q_hat % q_i, q_i)
+            a_i = sample_uniform(ext, self.rng).to_ntt()
+            e_i = sample_gaussian(ext, self.rng, self.error_std).to_ntt()
+            gadget = s_prime.scalar_multiply(p * d_i)
+            b_i = -(a_i * s) + e_i + gadget
+            bs.append(b_i)
+            As.append(a_i)
+        return KeySwitchKey(level=level, basis=ext, b=tuple(bs), a=tuple(As))
+
+    def generate_relin_keys(
+        self, levels: list[int] | None = None
+    ) -> dict[int, KeySwitchKey]:
+        """Relinearization keys (target ``s^2``) for each requested level."""
+        levels = levels or list(range(1, len(self.chain_primes) + 1))
+        # Square the secret in a wide-enough basis: coefficients of s^2 are
+        # bounded by N, far below any prime, so one prime suffices to lift.
+        basis = self.chain_basis(1)
+        s = self.secret_key.to_basis(basis)
+        s_sq = (s * s).to_coefficient()
+        q0 = basis.primes[0]
+        row = s_sq.residues[0].astype(np.int64)
+        signed = np.where(row > q0 // 2, row - q0, row)
+        return {lvl: self._generate_kswitch_key(signed, lvl) for lvl in levels}
+
+    def generate_galois_keys(
+        self, steps: list[int], levels: list[int] | None = None
+    ) -> GaloisKeys:
+        """Rotation keys for every (step, level) pair requested.
+
+        ``step`` is a left-rotation amount in slots; the Galois element is
+        ``5^step mod 2N``.
+        """
+        levels = levels or list(range(1, len(self.chain_primes) + 1))
+        out = GaloisKeys()
+        n = self.n
+        for step in steps:
+            if step == CONJUGATION_STEP:
+                g = 2 * n - 1
+            else:
+                g = pow(5, step % (n // 2), 2 * n)
+            rotated = _apply_galois_signed(self.secret_key.signed_coeffs, g, n)
+            for lvl in levels:
+                out.keys[(step, lvl)] = self._generate_kswitch_key(rotated, lvl)
+        return out
+
+
+def _apply_galois_signed(signed: np.ndarray, galois_element: int, n: int) -> np.ndarray:
+    """``X -> X^g`` on a signed coefficient vector (exact, no modulus)."""
+    idx = (np.arange(n, dtype=np.int64) * galois_element) % (2 * n)
+    target = np.where(idx < n, idx, idx - n)
+    sign = np.where(idx < n, 1, -1)
+    out = np.zeros(n, dtype=np.int64)
+    out[target] = signed * sign
+    return out

@@ -1,0 +1,164 @@
+"""Negacyclic number-theoretic transform (NTT) over RNS prime fields.
+
+The NTT is the fundamental building block of the Rescale and KeySwitch HE
+operations (paper Sec. III, Table I) and the performance bottleneck of the
+whole accelerator.  This module implements the functional transform used by
+the FHE substrate; its hardware cost model (``LAT_NTT = log2(N) * N /
+(2 * nc_NTT)``, Eq. 4) lives in ``repro.fpga.modules``.
+
+The transform is the standard in-place iterative form used by SEAL/HEAX:
+Cooley-Tukey butterflies with the 2N-th root ``psi`` merged into the twiddle
+factors (forward), and Gentleman-Sande with ``psi**-1`` (inverse), so that
+pointwise multiplication in the NTT domain realizes *negacyclic* convolution
+in ``Z_q[X]/(X^N + 1)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .modmath import (
+    BarrettConstant,
+    find_root_of_unity,
+    mod_add,
+    mod_inverse,
+    mod_mul,
+    mod_sub,
+)
+
+_U64 = np.uint64
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation of ``range(n)`` (n a power of two)."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError("n must be a positive power of two")
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev |= ((idx >> b) & 1) << (bits - 1 - b)
+    return rev
+
+
+class NttContext:
+    """Precomputed tables for the negacyclic NTT modulo one RNS prime.
+
+    Parameters
+    ----------
+    n:
+        Ring degree (power of two).  Polynomials live in Z_q[X]/(X^N + 1).
+    q:
+        NTT-friendly prime with ``q = 1 (mod 2n)``.
+    """
+
+    def __init__(self, n: int, q: int) -> None:
+        if n <= 1 or n & (n - 1):
+            raise ValueError("ring degree must be a power of two > 1")
+        self.n = n
+        self.q = q
+        self.barrett = BarrettConstant.for_modulus(q)
+        psi = find_root_of_unity(2 * n, q)
+        self.psi = psi
+        self.psi_inv = mod_inverse(psi, q)
+        self.n_inv = mod_inverse(n, q)
+
+        rev = bit_reverse_indices(n)
+        powers = np.empty(n, dtype=_U64)
+        inv_powers = np.empty(n, dtype=_U64)
+        acc = 1
+        acc_inv = 1
+        for i in range(n):
+            powers[i] = acc
+            inv_powers[i] = acc_inv
+            acc = acc * psi % q
+            acc_inv = acc_inv * self.psi_inv % q
+        #: psi^i stored in bit-reversed order, as consumed by the butterflies.
+        self.psi_bitrev = powers[rev].copy()
+        self.psi_inv_bitrev = inv_powers[rev].copy()
+
+    # -- transforms ---------------------------------------------------------
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT along the last axis.
+
+        Accepts any leading batch shape; the last axis must have length
+        ``self.n``.  Input coefficients must be reduced modulo ``q``.
+        """
+        a = np.ascontiguousarray(values, dtype=_U64).copy()
+        if a.shape[-1] != self.n:
+            raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
+        batch_shape = a.shape[:-1]
+        a = a.reshape(-1, self.n)
+        q, bc = self.q, self.barrett
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            twiddles = self.psi_bitrev[m : 2 * m]  # one per block
+            blocks = a.reshape(-1, m, 2 * t)
+            u = blocks[:, :, :t].copy()  # copy: assignments below alias blocks
+            v = mod_mul(blocks[:, :, t:], twiddles[None, :, None], bc)
+            blocks[:, :, :t] = mod_add(u, v, q)
+            blocks[:, :, t:] = mod_sub(u, v, q)
+            m *= 2
+        return a.reshape(*batch_shape, self.n)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT along the last axis (exact inverse of
+        :meth:`forward`, including the ``1/N`` scaling)."""
+        a = np.ascontiguousarray(values, dtype=_U64).copy()
+        if a.shape[-1] != self.n:
+            raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
+        batch_shape = a.shape[:-1]
+        a = a.reshape(-1, self.n)
+        q, bc = self.q, self.barrett
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            twiddles = self.psi_inv_bitrev[h : 2 * h]
+            blocks = a.reshape(-1, h, 2 * t)
+            u = blocks[:, :, :t].copy()
+            v = blocks[:, :, t:].copy()
+            blocks[:, :, :t] = mod_add(u, v, q)
+            blocks[:, :, t:] = mod_mul(mod_sub(u, v, q), twiddles[None, :, None], bc)
+            t *= 2
+            m = h
+        n_inv = np.full(1, self.n_inv, dtype=_U64)
+        a = mod_mul(a, n_inv, bc)
+        return a.reshape(*batch_shape, self.n)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Product of two coefficient-domain polynomials in Z_q[X]/(X^N+1)."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(mod_mul(fa, fb, self.barrett))
+
+
+@lru_cache(maxsize=None)
+def get_ntt_context(n: int, q: int) -> NttContext:
+    """Cached NTT context lookup — table setup costs O(N) per (n, q) pair."""
+    return NttContext(n, q)
+
+
+def negacyclic_convolution_reference(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """Schoolbook negacyclic convolution, used as a test oracle.
+
+    O(N^2); intended only for small N in tests.
+    """
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = a.shape[-1]
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            term = int(a[i]) * int(b[j])
+            if k >= n:
+                out[k - n] = (out[k - n] - term) % q
+            else:
+                out[k] = (out[k] + term) % q
+    return out.astype(np.uint64)

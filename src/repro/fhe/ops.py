@@ -1,0 +1,310 @@
+"""The homomorphic evaluator: every HE operation of paper Sec. II-A.
+
+Implements PCadd, PCmult, CCadd, CCmult, Rescale, Relinearize and Rotate.
+Relinearize and Rotate share the :func:`_key_switch` core, matching the
+paper's observation that both reduce to the same *KeySwitch* algorithm
+(and hence share one hardware module, Table I OP5).
+
+The evaluator optionally records every operation it executes into an
+:class:`OperationRecorder`; the HE-CNN layers use this to validate their
+*analytic* operation traces (the input to the performance model) against the
+operations actually performed on ciphertexts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..optypes import HeOp
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .poly import RnsPolynomial
+
+_RELATIVE_SCALE_TOLERANCE = 1e-9
+
+
+@dataclass
+class OperationRecorder:
+    """Counts HE operations, optionally attributed to named phases (layers)."""
+
+    counts: dict[HeOp, int] = field(default_factory=dict)
+    by_phase: dict[str, dict[HeOp, int]] = field(default_factory=dict)
+    _phase: str | None = None
+
+    def record(self, op: HeOp, count: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + count
+        if self._phase is not None:
+            phase = self.by_phase.setdefault(self._phase, {})
+            phase[op] = phase.get(op, 0) + count
+
+    def set_phase(self, name: str | None) -> None:
+        self._phase = name
+        if name is not None:
+            self.by_phase.setdefault(name, {})
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, op: HeOp) -> int:
+        return self.counts.get(op, 0)
+
+
+class Evaluator:
+    """Performs homomorphic operations using a context's public key material."""
+
+    def __init__(
+        self, context: CkksContext, recorder: OperationRecorder | None = None
+    ) -> None:
+        self.context = context
+        self.recorder = recorder
+
+    def _note(self, op: HeOp, count: int = 1) -> None:
+        if self.recorder is not None:
+            self.recorder.record(op, count)
+
+    # -- scale/level alignment ------------------------------------------------------
+
+    @staticmethod
+    def _check_scales(a: float, b: float) -> None:
+        if not math.isclose(a, b, rel_tol=_RELATIVE_SCALE_TOLERANCE):
+            raise ValueError(f"scale mismatch: {a} vs {b}")
+
+    def mod_switch_to_level(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Drop RNS components (no rescale) so the ciphertext sits at ``level``."""
+        if level > ct.level:
+            raise ValueError("cannot raise ciphertext level")
+        if level == ct.level:
+            return ct
+        basis = self.context.basis(level)
+        comps = tuple(c.drop_to_basis(basis) for c in ct.components)
+        return Ciphertext(components=comps, scale=ct.scale)
+
+    # -- additions -------------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """CCadd: elementwise slot addition of two ciphertexts."""
+        self._check_scales(a.scale, b.scale)
+        level = min(a.level, b.level)
+        a = self.mod_switch_to_level(a, level)
+        b = self.mod_switch_to_level(b, level)
+        if a.size != b.size:
+            raise ValueError("component-count mismatch; relinearize first")
+        comps = tuple(
+            x.to_ntt() + y.to_ntt() for x, y in zip(a.components, b.components)
+        )
+        self._note(HeOp.CC_ADD)
+        return Ciphertext(components=comps, scale=a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Ciphertext subtraction (counted as CCadd — same hardware module)."""
+        self._check_scales(a.scale, b.scale)
+        level = min(a.level, b.level)
+        a = self.mod_switch_to_level(a, level)
+        b = self.mod_switch_to_level(b, level)
+        comps = tuple(
+            x.to_ntt() - y.to_ntt() for x, y in zip(a.components, b.components)
+        )
+        self._note(HeOp.CC_ADD)
+        return Ciphertext(components=comps, scale=a.scale)
+
+    def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PCadd: add an encoded plaintext to a ciphertext."""
+        self._check_scales(ct.scale, pt.scale)
+        pt_poly = pt.poly
+        if pt.level > ct.level:
+            pt_poly = pt_poly.drop_to_basis(self.context.basis(ct.level))
+        elif pt.level < ct.level:
+            raise ValueError("plaintext level below ciphertext level")
+        comps = (ct.components[0].to_ntt() + pt_poly.to_ntt(),) + tuple(
+            c.to_ntt() for c in ct.components[1:]
+        )
+        self._note(HeOp.PC_ADD)
+        return Ciphertext(components=comps, scale=ct.scale)
+
+    # -- multiplications ---------------------------------------------------------------
+
+    def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PCmult: multiply a ciphertext by an encoded plaintext.
+
+        The result's scale is the product of the operand scales; follow with
+        :meth:`rescale` to return to the base scale, as in the paper's NKS
+        layer pipeline (PCmult -> Rescale -> CCadd).
+        """
+        pt_poly = pt.poly
+        if pt.level > ct.level:
+            pt_poly = pt_poly.drop_to_basis(self.context.basis(ct.level))
+        elif pt.level < ct.level:
+            raise ValueError("plaintext level below ciphertext level")
+        pt_ntt = pt_poly.to_ntt()
+        comps = tuple(c.to_ntt() * pt_ntt for c in ct.components)
+        self._note(HeOp.PC_MULT)
+        return Ciphertext(components=comps, scale=ct.scale * pt.scale)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """CCmult: tensor product; yields a 3-component ciphertext.
+
+        Call :meth:`relinearize` afterwards (or use :meth:`square` which is
+        the only CCmult the HE-CNNs in the paper perform).
+        """
+        if not (a.is_linear and b.is_linear):
+            raise ValueError("operands must be 2-component ciphertexts")
+        level = min(a.level, b.level)
+        a = self.mod_switch_to_level(a, level)
+        b = self.mod_switch_to_level(b, level)
+        a0, a1 = (c.to_ntt() for c in a.components)
+        b0, b1 = (c.to_ntt() for c in b.components)
+        c0 = a0 * b0
+        c1 = a0 * b1 + a1 * b0
+        c2 = a1 * b1
+        self._note(HeOp.CC_MULT)
+        return Ciphertext(components=(c0, c1, c2), scale=a.scale * b.scale)
+
+    def square(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring — the activation of CryptoNets-style CNNs."""
+        if not ct.is_linear:
+            raise ValueError("operand must be a 2-component ciphertext")
+        c0, c1 = (c.to_ntt() for c in ct.components)
+        s0 = c0 * c0
+        cross = c0 * c1
+        s1 = cross + cross
+        s2 = c1 * c1
+        self._note(HeOp.CC_MULT)
+        return Ciphertext(components=(s0, s1, s2), scale=ct.scale * ct.scale)
+
+    # -- maintenance ops ----------------------------------------------------------------
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Rescale: divide by the last chain prime, dropping one level."""
+        q_last = ct.basis.primes[-1]
+        comps = tuple(c.rescale() for c in ct.components)
+        self._note(HeOp.RESCALE)
+        return Ciphertext(components=comps, scale=ct.scale / q_last)
+
+    def relinearize(self, ct: Ciphertext) -> Ciphertext:
+        """Relinearize a 3-component ciphertext back to 2 components."""
+        if ct.is_linear:
+            return ct
+        key = self.context.relin_keys.get(ct.level)
+        if key is None:
+            raise KeyError(
+                f"no relinearization key at level {ct.level}; call "
+                "context.ensure_relin_keys()"
+            )
+        k0, k1 = _key_switch(ct.components[2], key)
+        c0 = ct.components[0].to_ntt() + k0
+        c1 = ct.components[1].to_ntt() + k1
+        self._note(HeOp.KEY_SWITCH)
+        return Ciphertext(components=(c0, c1), scale=ct.scale)
+
+    def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
+        """Rotate slot contents left by ``step`` positions (Galois + KeySwitch)."""
+        if not ct.is_linear:
+            raise ValueError("relinearize before rotating")
+        step = step % self.context.slot_count
+        if step == 0:
+            return ct
+        n = self.context.params.poly_degree
+        g = pow(5, step, 2 * n)
+        key = self.context.galois_keys.get(step, ct.level)
+        rot0 = ct.components[0].galois_transform(g)
+        rot1 = ct.components[1].galois_transform(g)
+        k0, k1 = _key_switch(rot1, key)
+        self._note(HeOp.KEY_SWITCH)
+        return Ciphertext(
+            components=(rot0.to_ntt() + k0, k1), scale=ct.scale
+        )
+
+    def negate(self, ct: Ciphertext) -> Ciphertext:
+        """Homomorphic negation (free — no HE operation module involved)."""
+        return Ciphertext(
+            components=tuple(-c for c in ct.components), scale=ct.scale
+        )
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        """Complex-conjugate every slot (Galois element ``2N - 1``).
+
+        Needs a conjugation key: ``context.ensure_conjugation_keys()``.
+        Counted as a KeySwitch — same hardware module as Rotate.
+        """
+        from .keys import CONJUGATION_STEP
+
+        if not ct.is_linear:
+            raise ValueError("relinearize before conjugating")
+        n = self.context.params.poly_degree
+        g = 2 * n - 1
+        key = self.context.galois_keys.get(CONJUGATION_STEP, ct.level)
+        conj0 = ct.components[0].galois_transform(g)
+        conj1 = ct.components[1].galois_transform(g)
+        k0, k1 = _key_switch(conj1, key)
+        self._note(HeOp.KEY_SWITCH)
+        return Ciphertext(components=(conj0.to_ntt() + k0, k1), scale=ct.scale)
+
+    # -- composite helpers -----------------------------------------------------------
+
+    def multiply_plain_rescale(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
+        """PCmult followed by Rescale — the NKS-layer inner step."""
+        return self.rescale(self.multiply_plain(ct, pt))
+
+    def multiply_values_rescale(self, ct: Ciphertext, values) -> Ciphertext:
+        """Scale-stationary PCmult: encode ``values`` at exactly the prime
+        that the following Rescale divides out, so the result keeps
+        ``ct.scale`` unchanged (the standard LoLa/SEAL weight-encoding
+        trick, which keeps every NKS layer's output scale equal to Δ)."""
+        q_last = ct.basis.primes[-1]
+        pt = self.context.encode(values, level=ct.level, scale=float(q_last))
+        return self.rescale(self.multiply_plain(ct, pt))
+
+    def square_relinearize_rescale(self, ct: Ciphertext) -> Ciphertext:
+        """CCmult + Relinearize + Rescale — the activation-layer step."""
+        return self.rescale(self.relinearize(self.square(ct)))
+
+    def rotate_and_sum(self, ct: Ciphertext, width: int) -> Ciphertext:
+        """Sum the first ``width`` slots into slot 0 by log2(width) rotations.
+
+        The paper's KS-layer pattern: "summing up all the slots ... is
+        equivalent to iterations of Rotate and CCadd operations" [5].
+        ``width`` must be a power of two.
+        """
+        if width <= 0 or width & (width - 1):
+            raise ValueError("width must be a positive power of two")
+        acc = ct
+        step = width // 2
+        while step >= 1:
+            acc = self.add(acc, self.rotate(acc, step))
+            step //= 2
+        return acc
+
+
+def _key_switch(
+    component: RnsPolynomial, key
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Hybrid RNS key switch of one polynomial component.
+
+    Decomposes ``d`` into its per-prime residues, lifts each (centered) into
+    the extended basis, inner-products with the key, and divides out the
+    special prime.  Returns NTT-domain polynomials over the chain basis.
+    """
+    basis = component.basis
+    if key.level != basis.level:
+        raise ValueError(
+            f"key generated for level {key.level}, ciphertext at {basis.level}"
+        )
+    ext = key.basis
+    d = component.to_coefficient()
+    acc0 = RnsPolynomial.zero(ext, is_ntt=True)
+    acc1 = RnsPolynomial.zero(ext, is_ntt=True)
+    for i, q_i in enumerate(basis.primes):
+        row = d.residues[i].astype(np.int64)
+        signed = np.where(row > q_i // 2, row - q_i, row)
+        rows = np.empty((ext.level, ext.n), dtype=np.uint64)
+        for j, q_j in enumerate(ext.primes):
+            rows[j] = np.mod(signed, np.int64(q_j)).astype(np.uint64)
+        lifted = RnsPolynomial(ext, rows, is_ntt=False).to_ntt()
+        acc0 = acc0 + lifted * key.b[i]
+        acc1 = acc1 + lifted * key.a[i]
+    # Divide by the special prime (last in the extended basis).
+    return acc0.rescale(), acc1.rescale()

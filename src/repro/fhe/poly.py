@@ -1,0 +1,277 @@
+"""RNS polynomial arithmetic in ``R_Q = Z_Q[X]/(X^N + 1)``.
+
+RNS-CKKS (paper Sec. II-A) decomposes the large ciphertext modulus ``Q`` into
+``L`` word-sized primes ``q_1 .. q_L`` so every polynomial is stored as an
+``(L, N)`` matrix of residues, one row per prime.  Rows are independent for
+all basic operations — the parallelism the accelerator's *intra-operation*
+parameter ``P_intra`` exploits (Sec. V-B, Fig. 4).
+
+:class:`RnsPolynomial` is an immutable-by-convention value type; arithmetic
+returns new objects.  Polynomials track whether they are in coefficient or
+NTT (evaluation) domain; multiplication requires the NTT domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .modmath import BarrettConstant, mod_add, mod_inverse, mod_mul, mod_neg, mod_sub
+from .ntt import get_ntt_context
+
+_U64 = np.uint64
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An ordered chain of RNS primes for ring degree ``n``.
+
+    The chain order matters: Rescale drops primes from the *end* of the
+    chain, mirroring the modulus-switching chain of RNS-CKKS.
+    """
+
+    n: int
+    primes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.primes)) != len(self.primes):
+            raise ValueError("RNS primes must be distinct")
+        for q in self.primes:
+            if (q - 1) % (2 * self.n) != 0:
+                raise ValueError(f"prime {q} is not NTT-friendly for N={self.n}")
+
+    @property
+    def level(self) -> int:
+        """Number of primes in the chain (the ciphertext level ``L``)."""
+        return len(self.primes)
+
+    @property
+    def modulus(self) -> int:
+        """The composite modulus ``Q = prod(q_i)`` as a Python int."""
+        out = 1
+        for q in self.primes:
+            out *= q
+        return out
+
+    def drop_last(self) -> "RnsBasis":
+        """Basis with the final prime removed (one Rescale step)."""
+        if self.level <= 1:
+            raise ValueError("cannot drop below one prime")
+        return RnsBasis(self.n, self.primes[:-1])
+
+    def prefix(self, level: int) -> "RnsBasis":
+        """Basis truncated to the first ``level`` primes."""
+        if not 1 <= level <= self.level:
+            raise ValueError(f"level {level} out of range 1..{self.level}")
+        return RnsBasis(self.n, self.primes[:level])
+
+    def barrett(self, i: int) -> BarrettConstant:
+        return BarrettConstant.for_modulus(self.primes[i])
+
+
+class RnsPolynomial:
+    """A polynomial in ``R_Q`` stored as per-prime residue rows.
+
+    Attributes
+    ----------
+    basis:
+        The RNS basis; ``residues.shape == (basis.level, basis.n)``.
+    residues:
+        ``uint64`` array of residues, each row reduced modulo its prime.
+    is_ntt:
+        ``True`` if rows are in the NTT (evaluation) domain.
+    """
+
+    __slots__ = ("basis", "residues", "is_ntt")
+
+    def __init__(self, basis: RnsBasis, residues: np.ndarray, is_ntt: bool) -> None:
+        residues = np.asarray(residues, dtype=_U64)
+        if residues.shape != (basis.level, basis.n):
+            raise ValueError(
+                f"expected residues of shape {(basis.level, basis.n)}, "
+                f"got {residues.shape}"
+            )
+        self.basis = basis
+        self.residues = residues
+        self.is_ntt = is_ntt
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, is_ntt: bool = False) -> "RnsPolynomial":
+        return cls(basis, np.zeros((basis.level, basis.n), dtype=_U64), is_ntt)
+
+    @classmethod
+    def from_coefficients(
+        cls, basis: RnsBasis, coefficients: Sequence[int] | np.ndarray
+    ) -> "RnsPolynomial":
+        """Build from signed integer coefficients (coefficient domain).
+
+        Coefficients may be arbitrary Python ints; each is reduced into every
+        prime of the basis.
+        """
+        coeffs = np.asarray(coefficients, dtype=object)
+        if coeffs.shape != (basis.n,):
+            raise ValueError(f"expected {basis.n} coefficients, got {coeffs.shape}")
+        rows = np.empty((basis.level, basis.n), dtype=_U64)
+        for i, q in enumerate(basis.primes):
+            rows[i] = np.array([int(c) % q for c in coeffs], dtype=_U64)
+        return cls(basis, rows, is_ntt=False)
+
+    # -- domain conversions ---------------------------------------------------
+
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.is_ntt:
+            return self
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            ctx = get_ntt_context(self.basis.n, q)
+            rows[i] = ctx.forward(self.residues[i])
+        return RnsPolynomial(self.basis, rows, is_ntt=True)
+
+    def to_coefficient(self) -> "RnsPolynomial":
+        if not self.is_ntt:
+            return self
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            ctx = get_ntt_context(self.basis.n, q)
+            rows[i] = ctx.inverse(self.residues[i])
+        return RnsPolynomial(self.basis, rows, is_ntt=False)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def _require_same_form(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ValueError("RNS bases differ")
+        if self.is_ntt != other.is_ntt:
+            raise ValueError("operands are in different domains")
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._require_same_form(other)
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            rows[i] = mod_add(self.residues[i], other.residues[i], q)
+        return RnsPolynomial(self.basis, rows, self.is_ntt)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._require_same_form(other)
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            rows[i] = mod_sub(self.residues[i], other.residues[i], q)
+        return RnsPolynomial(self.basis, rows, self.is_ntt)
+
+    def __neg__(self) -> "RnsPolynomial":
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            rows[i] = mod_neg(self.residues[i], q)
+        return RnsPolynomial(self.basis, rows, self.is_ntt)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Pointwise (NTT-domain) product; both operands must be in NTT form."""
+        self._require_same_form(other)
+        if not self.is_ntt:
+            raise ValueError("polynomial multiplication requires NTT domain")
+        rows = np.empty_like(self.residues)
+        for i in range(self.basis.level):
+            rows[i] = mod_mul(self.residues[i], other.residues[i], self.basis.barrett(i))
+        return RnsPolynomial(self.basis, rows, is_ntt=True)
+
+    def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
+        """Multiply every coefficient by an integer scalar."""
+        rows = np.empty_like(self.residues)
+        for i, q in enumerate(self.basis.primes):
+            s = np.full(1, int(scalar) % q, dtype=_U64)
+            rows[i] = mod_mul(self.residues[i], s, self.basis.barrett(i))
+        return RnsPolynomial(self.basis, rows, self.is_ntt)
+
+    # -- level management -----------------------------------------------------
+
+    def drop_to_basis(self, basis: RnsBasis) -> "RnsPolynomial":
+        """Restrict to a prefix basis by discarding the extra residue rows."""
+        if basis.primes != self.basis.primes[: basis.level]:
+            raise ValueError("target basis is not a prefix of the current basis")
+        return RnsPolynomial(basis, self.residues[: basis.level].copy(), self.is_ntt)
+
+    def rescale(self) -> "RnsPolynomial":
+        """Exact RNS rescale: divide by the last prime and drop it.
+
+        Implements the standard RNS-CKKS Rescale (paper Sec. II-A): for each
+        remaining prime ``q_i``, ``c'_i = (c_i - c_last) * q_last^-1 mod q_i``
+        computed in the coefficient domain, then returned in the original
+        domain.
+        """
+        if self.basis.level <= 1:
+            raise ValueError("cannot rescale a level-1 polynomial")
+        was_ntt = self.is_ntt
+        coeff = self.to_coefficient()
+        new_basis = self.basis.drop_last()
+        q_last = self.basis.primes[-1]
+        last_row = coeff.residues[-1]
+        # Centered lift of the last row so the rounding error stays small.
+        half = q_last // 2
+        rows = np.empty((new_basis.level, new_basis.n), dtype=_U64)
+        for i, q in enumerate(new_basis.primes):
+            bc = new_basis.barrett(i)
+            lifted = np.where(
+                last_row > half,
+                # negative lift: (c_last - q_last) mod q_i
+                (last_row.astype(np.int64) - np.int64(q_last)) % np.int64(q),
+                last_row.astype(np.int64) % np.int64(q),
+            ).astype(_U64)
+            diff = mod_sub(coeff.residues[i], lifted, q)
+            inv = np.full(1, mod_inverse(q_last, q), dtype=_U64)
+            rows[i] = mod_mul(diff, inv, bc)
+        out = RnsPolynomial(new_basis, rows, is_ntt=False)
+        return out.to_ntt() if was_ntt else out
+
+    # -- automorphisms ---------------------------------------------------------
+
+    def galois_transform(self, galois_element: int) -> "RnsPolynomial":
+        """Apply the ring automorphism ``X -> X^g`` (coefficient domain).
+
+        This is the algebraic core of the Rotate operation: sending slot
+        contents around requires mapping ``a(X)`` to ``a(X^g)`` for
+        ``g = 5^k mod 2N``, then key-switching back to the original key.
+        """
+        was_ntt = self.is_ntt
+        coeff = self.to_coefficient()
+        n = self.basis.n
+        g = galois_element % (2 * n)
+        if g % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        idx = (np.arange(n, dtype=np.int64) * g) % (2 * n)
+        target = np.where(idx < n, idx, idx - n)
+        negate = idx >= n
+        rows = np.empty_like(coeff.residues)
+        for i, q in enumerate(self.basis.primes):
+            out = np.zeros(n, dtype=_U64)
+            vals = coeff.residues[i]
+            negated = mod_neg(vals, q)
+            out[target] = np.where(negate, negated, vals)
+            rows[i] = out
+        out_poly = RnsPolynomial(self.basis, rows, is_ntt=False)
+        return out_poly.to_ntt() if was_ntt else out_poly
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def to_integer_coefficients(self) -> list[int]:
+        """CRT-reconstruct centered integer coefficients in ``(-Q/2, Q/2]``."""
+        coeff = self.to_coefficient()
+        big_q = self.basis.modulus
+        # Garner-style CRT via per-prime basis constants.
+        result = [0] * self.basis.n
+        for i, q in enumerate(self.basis.primes):
+            q_hat = big_q // q
+            q_hat_inv = mod_inverse(q_hat % q, q)
+            row = coeff.residues[i]
+            factor = q_hat * q_hat_inv
+            for j in range(self.basis.n):
+                result[j] = (result[j] + int(row[j]) * factor) % big_q
+        half = big_q // 2
+        return [c - big_q if c > half else c for c in result]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        domain = "ntt" if self.is_ntt else "coeff"
+        return f"RnsPolynomial(L={self.basis.level}, N={self.basis.n}, {domain})"

@@ -1,0 +1,121 @@
+"""Wire formats for ciphertexts and plaintexts.
+
+The paper's deployment model (Sec. I) has the client encrypt locally and
+ship ciphertexts to the accelerator host, which returns encrypted results.
+This module provides the byte-level formats for that boundary:
+
+* a compact binary format for :class:`~repro.fhe.ciphertext.Ciphertext`
+  and :class:`~repro.fhe.ciphertext.Plaintext` — a fixed little-endian
+  header (magic, version, geometry, scale, domain flags) followed by the
+  raw residue words;
+* helpers computing the exact wire sizes, used by the Table VI model-size
+  accounting and by bandwidth estimates.
+
+Secret keys are deliberately *not* serializable here: they never leave the
+client in the paper's threat model.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .ciphertext import Ciphertext, Plaintext
+from .poly import RnsBasis, RnsPolynomial
+
+_MAGIC = b"FXHN"
+_VERSION = 1
+# magic, version, kind, num_polys, n, level, scale (f64)
+_HEADER = struct.Struct("<4sBBBxIIdI")
+_KIND_CIPHERTEXT = 1
+_KIND_PLAINTEXT = 2
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or incompatible serialized data."""
+
+
+def _pack(polys: list[RnsPolynomial], scale: float, kind: int) -> bytes:
+    basis = polys[0].basis
+    flags = 0
+    for i, poly in enumerate(polys):
+        if poly.basis != basis:
+            raise SerializationError("components must share one basis")
+        if poly.is_ntt:
+            flags |= 1 << i
+    header = _HEADER.pack(
+        _MAGIC, _VERSION, kind, len(polys), basis.n, basis.level, scale, flags
+    )
+    prime_block = struct.pack(f"<{basis.level}Q", *basis.primes)
+    body = b"".join(
+        np.ascontiguousarray(p.residues, dtype="<u8").tobytes() for p in polys
+    )
+    return header + prime_block + body
+
+
+def _unpack(data: bytes, expected_kind: int) -> tuple[list[RnsPolynomial], float]:
+    if len(data) < _HEADER.size:
+        raise SerializationError("truncated header")
+    magic, version, kind, num_polys, n, level, scale, flags = _HEADER.unpack(
+        data[: _HEADER.size]
+    )
+    if magic != _MAGIC:
+        raise SerializationError("bad magic")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    if kind != expected_kind:
+        raise SerializationError("wrong payload kind")
+    offset = _HEADER.size
+    prime_bytes = level * 8
+    if len(data) < offset + prime_bytes:
+        raise SerializationError("truncated prime block")
+    primes = struct.unpack(f"<{level}Q", data[offset : offset + prime_bytes])
+    offset += prime_bytes
+    basis = RnsBasis(n, tuple(int(q) for q in primes))
+    poly_bytes = level * n * 8
+    expected_len = offset + num_polys * poly_bytes
+    if len(data) != expected_len:
+        raise SerializationError(
+            f"payload length {len(data)} != expected {expected_len}"
+        )
+    polys = []
+    for i in range(num_polys):
+        chunk = data[offset : offset + poly_bytes]
+        residues = np.frombuffer(chunk, dtype="<u8").reshape(level, n).copy()
+        polys.append(RnsPolynomial(basis, residues, is_ntt=bool(flags >> i & 1)))
+        offset += poly_bytes
+    return polys, scale
+
+
+def ciphertext_to_bytes(ct: Ciphertext) -> bytes:
+    """Serialize a ciphertext to the wire format."""
+    return _pack(list(ct.components), ct.scale, _KIND_CIPHERTEXT)
+
+
+def ciphertext_from_bytes(data: bytes) -> Ciphertext:
+    """Parse a ciphertext from the wire format (validates structure)."""
+    polys, scale = _unpack(data, _KIND_CIPHERTEXT)
+    if not 2 <= len(polys) <= 3:
+        raise SerializationError("ciphertext must have 2 or 3 components")
+    return Ciphertext(components=tuple(polys), scale=scale)
+
+
+def plaintext_to_bytes(pt: Plaintext) -> bytes:
+    """Serialize an encoded plaintext to the wire format."""
+    return _pack([pt.poly], pt.scale, _KIND_PLAINTEXT)
+
+
+def plaintext_from_bytes(data: bytes) -> Plaintext:
+    """Parse an encoded plaintext from the wire format."""
+    polys, scale = _unpack(data, _KIND_PLAINTEXT)
+    if len(polys) != 1:
+        raise SerializationError("plaintext must have exactly one polynomial")
+    return Plaintext(poly=polys[0], scale=scale)
+
+
+def ciphertext_wire_bytes(poly_degree: int, level: int, components: int = 2) -> int:
+    """Exact serialized size of a ciphertext with the given geometry."""
+    return (
+        _HEADER.size + level * 8 + components * level * poly_degree * 8
+    )

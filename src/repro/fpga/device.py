@@ -1,0 +1,140 @@
+"""COTS FPGA device specifications (paper Sec. VII-A, "Platforms").
+
+The paper evaluates on two low-power ALINX MPSoC boards:
+
+* **ACU9EG** (Xilinx Zynq UltraScale+ XCZU9EG): 2,520 DSP slices and
+  32.1 Mbit of on-chip BRAM (912 BRAM36K blocks) — "mid-end embedded".
+* **ACU15EG** (XCZU15EG): 3,528 DSP slices, 26.2 Mbit BRAM (728 BRAM36K
+  blocks) plus 31.5 Mbit URAM (112 URAM288 blocks) — "high-end embedded".
+
+Both boards have a 10 W thermal design power.  URAM capacity is converted
+to equivalent BRAM blocks per the paper's Sec. VI-A conversion rule (see
+:meth:`FpgaDevice.uram_equivalent_bram`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: One BRAM36K block holds 36 Kbit with 1K addresses.
+BRAM_BLOCK_BITS = 36 * 1024
+BRAM_ADDRESSES = 1024
+#: One URAM288 block holds 288 Kbit with 4K addresses.
+URAM_BLOCK_BITS = 288 * 1024
+URAM_ADDRESSES = 4096
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource capacity of a target FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Board name used in reports.
+    dsp_slices:
+        DSP48 slice count.
+    bram_blocks:
+        BRAM36K block count.
+    uram_blocks:
+        URAM288 block count (0 for devices without URAM).
+    tdp_watts:
+        Thermal design power, used by the energy-efficiency comparisons.
+    clock_mhz:
+        Accelerator clock; the paper's HLS designs close timing around
+        150 MHz on these parts (calibrated against Table I latencies).
+    """
+
+    name: str
+    dsp_slices: int
+    bram_blocks: int
+    uram_blocks: int = 0
+    tdp_watts: float = 10.0
+    clock_mhz: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.dsp_slices <= 0 or self.bram_blocks <= 0 or self.uram_blocks < 0:
+            raise ValueError("resource counts must be positive")
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def bram_bits(self) -> int:
+        return self.bram_blocks * BRAM_BLOCK_BITS
+
+    def uram_equivalent_bram(self, tile_words: int) -> int:
+        """Equivalent BRAM36K capacity of the URAM, per paper Sec. VI-A.
+
+        A URAM block has 4x the capacity but the same r/w bandwidth as a
+        BRAM block; partitioned buffers underuse it.  With ``num`` words per
+        buffer tile, the per-block conversion ratio is::
+
+            ratio = 1                 if num <= 1K
+                    num / 1K          if 1K < num < 4K
+                    4                 if num >= 4K
+        """
+        if self.uram_blocks == 0:
+            return 0
+        if tile_words <= BRAM_ADDRESSES:
+            ratio = 1.0
+        elif tile_words >= URAM_ADDRESSES:
+            ratio = 4.0
+        else:
+            ratio = tile_words / BRAM_ADDRESSES
+        return int(self.uram_blocks * ratio)
+
+    def effective_bram_blocks(self, tile_words: int) -> int:
+        """Total on-chip memory budget in BRAM36K-equivalent blocks."""
+        return self.bram_blocks + self.uram_equivalent_bram(tile_words)
+
+
+def acu9eg() -> FpgaDevice:
+    """ALINX ACU9EG (XCZU9EG): 2,520 DSP, 32.1 Mbit BRAM (912 blocks)."""
+    return FpgaDevice(
+        name="ACU9EG", dsp_slices=2520, bram_blocks=912, uram_blocks=0,
+    )
+
+
+def acu15eg() -> FpgaDevice:
+    """ALINX ACU15EG (XCZU15EG): 3,528 DSP, 26.2 Mbit BRAM + 31.5 Mbit URAM."""
+    return FpgaDevice(
+        name="ACU15EG", dsp_slices=3528, bram_blocks=728, uram_blocks=112,
+    )
+
+
+def zcu104() -> FpgaDevice:
+    """Xilinx ZCU104 (XCZU7EV): a smaller embedded target than the paper's
+    boards — 1,728 DSP, 312 BRAM36K (11 Mbit), 96 URAM288."""
+    return FpgaDevice(
+        name="ZCU104", dsp_slices=1728, bram_blocks=312, uram_blocks=96,
+        tdp_watts=8.0,
+    )
+
+
+def alveo_u250() -> FpgaDevice:
+    """AMD Alveo U250 (datacenter-class): 12,288 DSP, 2,688 BRAM36K,
+    1,280 URAM288, 225 W TDP — an upper anchor for scaling studies."""
+    return FpgaDevice(
+        name="ALVEO-U250", dsp_slices=12288, bram_blocks=2688,
+        uram_blocks=1280, tdp_watts=225.0, clock_mhz=200.0,
+    )
+
+
+#: Registry of built-in device presets, keyed by upper-case name.
+KNOWN_DEVICES = {
+    "ACU9EG": acu9eg,
+    "ACU15EG": acu15eg,
+    "ZCU104": zcu104,
+    "ALVEO-U250": alveo_u250,
+}
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    try:
+        return KNOWN_DEVICES[name.upper()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; known: {sorted(KNOWN_DEVICES)}"
+        ) from None

@@ -1,0 +1,38 @@
+"""Energy and efficiency accounting for platform comparisons (Table VII).
+
+The paper compares platforms by energy per inference using the thermal
+design power (TDP) of each platform: ``E = TDP * latency``.  Energy
+efficiency of platform A over platform B is then
+``(TDP_B * lat_B) / (TDP_A * lat_A)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """One platform's published (or modeled) inference result."""
+
+    platform: str
+    tdp_watts: float
+    latency_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.tdp_watts <= 0 or self.latency_seconds <= 0:
+            raise ValueError("TDP and latency must be positive")
+
+    @property
+    def energy_joules(self) -> float:
+        return self.tdp_watts * self.latency_seconds
+
+
+def speedup(ours: PlatformResult, baseline: PlatformResult) -> float:
+    """How many times faster ``ours`` is than ``baseline``."""
+    return baseline.latency_seconds / ours.latency_seconds
+
+
+def energy_efficiency(ours: PlatformResult, baseline: PlatformResult) -> float:
+    """Energy-per-inference ratio baseline/ours (higher favors ``ours``)."""
+    return baseline.energy_joules / ours.energy_joules

@@ -1,0 +1,405 @@
+"""Packed HE-CNN layers: functional encrypted execution + analytic traces.
+
+Each layer implements two faces of the same computation:
+
+* :meth:`forward` runs the layer on real ciphertexts via an
+  :class:`~repro.fhe.ops.Evaluator` — the functional ground truth;
+* :meth:`trace` computes, from geometry alone, the exact HE-operation
+  counts, pipeline work-unit counts and rotation steps the forward pass
+  will perform — the input to the FPGA performance model and DSE.
+
+The test suite asserts that an :class:`~repro.fhe.ops.OperationRecorder`
+attached to :meth:`forward` reproduces :meth:`trace` op-for-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fhe.ciphertext import Ciphertext
+from ..fhe.ops import Evaluator
+from ..optypes import HeOp
+from .packing import ConvPacking, DensePacking, SlotLayout
+from .reference import ConvSpec, DenseSpec, PoolSpec
+from .trace import LayerTrace
+
+
+class PackedLayer:
+    """Interface of a packed HE-CNN layer."""
+
+    name: str
+
+    def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
+        raise NotImplementedError
+
+    def trace(self, level: int) -> LayerTrace:
+        """Analytic trace when entered at ciphertext ``level``."""
+        raise NotImplementedError
+
+    @property
+    def levels_consumed(self) -> int:
+        """Rescales applied between layer input and output (always 1 for
+        the LoLa layer types: one multiplication per layer)."""
+        return 1
+
+    @property
+    def output_layout(self) -> SlotLayout:
+        raise NotImplementedError
+
+    def rotation_steps(self) -> list[int]:
+        return []
+
+
+@dataclass
+class PackedConv(PackedLayer):
+    """LoLa convolution: one ``PCmult -> Rescale -> CCadd`` pass per kernel
+    offset per output group, plus a bias PCadd (an **NKS** layer)."""
+
+    name: str
+    packing: ConvPacking
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = self.packing.spec
+        expected = (s.out_channels, s.in_channels, s.kernel_size, s.kernel_size)
+        if self.weights.shape != expected:
+            raise ValueError(f"weights must have shape {expected}")
+        if self.bias.shape != (s.out_channels,):
+            raise ValueError(f"bias must have shape ({s.out_channels},)")
+
+    @property
+    def output_layout(self) -> SlotLayout:
+        return self.packing.output_layout()
+
+    def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
+        k = self.packing.spec.kernel_offsets
+        if len(cts) != k:
+            raise ValueError(f"expected {k} per-offset ciphertexts, got {len(cts)}")
+        ctx = evaluator.context
+        outputs: list[Ciphertext] = []
+        for g in range(self.packing.num_groups):
+            acc: Ciphertext | None = None
+            for offset in range(k):
+                w = self.packing.weight_vector(g, offset, self.weights)
+                term = evaluator.multiply_values_rescale(cts[offset], w)
+                acc = term if acc is None else evaluator.add(acc, term)
+            bias_pt = ctx.encode(
+                self.packing.bias_vector(g, self.bias),
+                level=acc.level,
+                scale=acc.scale,
+            )
+            outputs.append(evaluator.add_plain(acc, bias_pt))
+        return outputs
+
+    def trace(self, level: int) -> LayerTrace:
+        k = self.packing.spec.kernel_offsets
+        g = self.packing.num_groups
+        counts = {
+            HeOp.PC_MULT: k * g,
+            HeOp.RESCALE: k * g,
+            HeOp.CC_ADD: (k - 1) * g,
+            HeOp.PC_ADD: g,
+        }
+        return LayerTrace(
+            name=self.name,
+            kind="NKS",
+            op_counts=counts,
+            nks_units=k * g,
+            ks_units=0,
+            level=level,
+            num_input_cts=k,
+            num_output_cts=g,
+            macs=self.packing.spec.macs,
+            plaintext_count=(k + 1) * g,
+        )
+
+
+@dataclass
+class PackedSquare(PackedLayer):
+    """Square activation: ``CCmult -> Relinearize -> Rescale`` per
+    ciphertext (a **KS** layer — Relinearize is a KeySwitch)."""
+
+    name: str
+    layout: SlotLayout
+
+    @property
+    def output_layout(self) -> SlotLayout:
+        return self.layout
+
+    def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
+        return [evaluator.square_relinearize_rescale(ct) for ct in cts]
+
+    def trace(self, level: int) -> LayerTrace:
+        n = self.layout.num_cts
+        counts = {HeOp.CC_MULT: n, HeOp.KEY_SWITCH: n, HeOp.RESCALE: n}
+        return LayerTrace(
+            name=self.name,
+            kind="KS",
+            op_counts=counts,
+            nks_units=n,
+            ks_units=n,
+            level=level,
+            num_input_cts=n,
+            num_output_cts=n,
+            macs=self.layout.value_count,  # one multiply per activation
+            plaintext_count=0,
+        )
+
+
+@dataclass
+class PackedDense(PackedLayer):
+    """LoLa fully connected layer (a **KS** layer).
+
+    ``PCmult`` with stacked/masked matrix rows, rotate-and-sum reduction,
+    chunk merging and a bias PCadd.  See :class:`~repro.hecnn.packing
+    .DensePacking` for the two packing regimes.
+    """
+
+    name: str
+    packing: DensePacking
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        spec = self.packing.spec
+        if self.weights.shape != (spec.out_features, spec.in_features):
+            raise ValueError(
+                f"weights must have shape {(spec.out_features, spec.in_features)}"
+            )
+        if self.bias.shape != (spec.out_features,):
+            raise ValueError(f"bias must have shape ({spec.out_features},)")
+
+    @property
+    def output_layout(self) -> SlotLayout:
+        return self.packing.output_layout()
+
+    @property
+    def levels_consumed(self) -> int:
+        """Masked merges spend one extra level on the mask PCmult."""
+        return 2 if self.packing.needs_mask else 1
+
+    def rotation_steps(self) -> list[int]:
+        return self.packing.rotation_steps_needed()
+
+    def _rotate_sum(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
+        for phase in self.packing.rotation_phases():
+            for step in phase.steps:
+                ct = evaluator.add(ct, evaluator.rotate(ct, step))
+        return ct
+
+    def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
+        pk = self.packing
+        if len(cts) != pk.input_layout.num_cts:
+            raise ValueError(
+                f"expected {pk.input_layout.num_cts} ciphertexts, got {len(cts)}"
+            )
+        ctx = evaluator.context
+        inputs = list(cts)
+        if pk.replicated and pk.copies > 1:
+            base = inputs[0]
+            for step in pk.replication_steps():
+                base = evaluator.add(base, evaluator.rotate(base, step))
+            inputs = [base]
+
+        chunk_results: list[Ciphertext] = []
+        for chunk in range(pk.num_chunks):
+            partial: Ciphertext | None = None
+            for g, ct in enumerate(inputs):
+                w = pk.weight_vector(chunk, g, self.weights)
+                term = evaluator.multiply_values_rescale(ct, w)
+                partial = term if partial is None else evaluator.add(partial, term)
+            reduced = self._rotate_sum(evaluator, partial)
+            if pk.needs_mask:
+                # Isolate this chunk's output slots so merging cannot
+                # pollute other chunks' results (see DensePacking.needs_mask).
+                reduced = evaluator.multiply_values_rescale(
+                    reduced, pk.mask_vector(chunk)
+                )
+            chunk_results.append(reduced)
+
+        if not pk.merge_output:
+            outputs = []
+            for chunk, result in enumerate(chunk_results):
+                bias_pt = ctx.encode(
+                    pk.chunk_bias_vector(chunk, self.bias),
+                    level=result.level,
+                    scale=result.scale,
+                )
+                outputs.append(evaluator.add_plain(result, bias_pt))
+            return outputs
+
+        if pk.replicated:
+            merged = chunk_results[0]
+            for other in chunk_results[1:]:
+                merged = evaluator.add(merged, other)
+        else:
+            # Shift-by-one accumulator: row r ends up at slot r.
+            merged = chunk_results[-1]
+            for result in reversed(chunk_results[:-1]):
+                merged = evaluator.rotate(merged, pk.slot_count - 1)
+                merged = evaluator.add(merged, result)
+
+        bias_pt = ctx.encode(
+            pk.bias_vector(self.bias), level=merged.level, scale=merged.scale
+        )
+        return [evaluator.add_plain(merged, bias_pt)]
+
+    def trace(self, level: int) -> LayerTrace:
+        pk = self.packing
+        g = 1 if pk.replicated else pk.input_layout.num_cts
+        repl_steps = pk.replication_steps()
+        rot_per_chunk = sum(len(ph.steps) for ph in pk.rotation_phases())
+        merge_rot = len(pk.merge_rotation_steps())
+        chunks = pk.num_chunks
+        mask_ops = chunks if pk.needs_mask else 0
+        merge_adds = chunks - 1 if pk.merge_output else 0
+        counts = {
+            HeOp.PC_MULT: chunks * g + mask_ops,
+            HeOp.RESCALE: chunks * g + mask_ops,
+            HeOp.KEY_SWITCH: len(repl_steps) + chunks * rot_per_chunk + merge_rot,
+            HeOp.CC_ADD: (
+                len(repl_steps)
+                + chunks * (g - 1)
+                + chunks * rot_per_chunk
+                + merge_adds
+            ),
+            HeOp.PC_ADD: 1 if pk.merge_output else chunks,
+        }
+        return LayerTrace(
+            name=self.name,
+            kind="KS",
+            op_counts=counts,
+            nks_units=chunks * g + mask_ops,
+            ks_units=counts[HeOp.KEY_SWITCH],
+            level=level,
+            num_input_cts=pk.input_layout.num_cts,
+            num_output_cts=1 if pk.merge_output else chunks,
+            rotation_steps=tuple(pk.rotation_steps_needed()),
+            macs=pk.spec.macs,
+            plaintext_count=chunks * g + mask_ops + 1,
+        )
+
+
+@dataclass
+class PackedAveragePool(PackedLayer):
+    """Non-overlapping k x k average pooling (a **KS** layer).
+
+    Uses the separable reduction: ``k - 1`` horizontal rotate-adds of the
+    input followed by ``k - 1`` vertical ones (``2(k-1)`` rotations instead
+    of ``k^2 - 1``), leaving each window's sum at its anchor slot; a mask
+    PCmult then keeps the anchors, folds in the ``1/k^2`` mean factor, and
+    zeroes the residue (consuming one level, like the dense merge mask).
+
+    The input must be in the conv-style map-major layout: value
+    ``m * P + p`` at slot ``m_local * P + p`` of its group ciphertext.
+    """
+
+    name: str
+    spec: PoolSpec
+    input_layout: SlotLayout
+
+    def __post_init__(self) -> None:
+        expected = self.spec.channels * self.spec.in_positions
+        if self.input_layout.value_count != expected:
+            raise ValueError(
+                f"layout carries {self.input_layout.value_count} values, "
+                f"pool expects {expected}"
+            )
+
+    @property
+    def levels_consumed(self) -> int:
+        return 1
+
+    def _maps_per_ct(self) -> int:
+        return -(-self.spec.channels // self.input_layout.num_cts)
+
+    def rotation_steps(self) -> list[int]:
+        k, s = self.spec.k, self.spec.in_size
+        horizontal = list(range(1, k))
+        vertical = [dy * s for dy in range(1, k)]
+        return sorted(set(horizontal + vertical))
+
+    def _anchor_slots(self, ct: int) -> np.ndarray:
+        """Slots holding window anchors within one input ciphertext."""
+        s = self.spec
+        mpg = self._maps_per_ct()
+        anchors = []
+        for m_local in range(mpg):
+            m = ct * mpg + m_local
+            if m >= s.channels:
+                break
+            base = m_local * s.in_positions
+            for oy in range(s.out_size):
+                for ox in range(s.out_size):
+                    anchors.append(base + s.k * oy * s.in_size + s.k * ox)
+        return np.array(anchors, dtype=np.int64)
+
+    def mask_vector(self, ct: int) -> np.ndarray:
+        vec = np.zeros(self.input_layout.slot_count)
+        vec[self._anchor_slots(ct)] = 1.0 / (self.spec.k ** 2)
+        return vec
+
+    @property
+    def output_layout(self) -> SlotLayout:
+        s = self.spec
+        mpg = self._maps_per_ct()
+        values = np.arange(s.output_count)
+        m, op = np.divmod(values, s.out_positions)
+        oy, ox = np.divmod(op, s.out_size)
+        ct = m // mpg
+        slot = (m % mpg) * s.in_positions + s.k * oy * s.in_size + s.k * ox
+        return SlotLayout(
+            slot_count=self.input_layout.slot_count,
+            num_cts=self.input_layout.num_cts,
+            ct_index=ct.astype(np.int64),
+            slot_index=slot.astype(np.int64),
+            clean=True,
+        )
+
+    def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
+        if len(cts) != self.input_layout.num_cts:
+            raise ValueError(
+                f"expected {self.input_layout.num_cts} ciphertexts"
+            )
+        k, s = self.spec.k, self.spec.in_size
+        outputs = []
+        for i, ct in enumerate(cts):
+            # Horizontal window sums: accumulate rotations of the original.
+            acc = ct
+            for dx in range(1, k):
+                acc = evaluator.add(acc, evaluator.rotate(ct, dx))
+            # Vertical window sums over the horizontal partials.
+            rows = acc
+            for dy in range(1, k):
+                rows = evaluator.add(rows, evaluator.rotate(acc, dy * s))
+            outputs.append(
+                evaluator.multiply_values_rescale(rows, self.mask_vector(i))
+            )
+        return outputs
+
+    def trace(self, level: int) -> LayerTrace:
+        k = self.spec.k
+        n = self.input_layout.num_cts
+        rot_per_ct = 2 * (k - 1)
+        counts = {
+            HeOp.KEY_SWITCH: n * rot_per_ct,
+            HeOp.CC_ADD: n * rot_per_ct,
+            HeOp.PC_MULT: n,
+            HeOp.RESCALE: n,
+        }
+        return LayerTrace(
+            name=self.name,
+            kind="KS",
+            op_counts=counts,
+            nks_units=n,
+            ks_units=n * rot_per_ct,
+            level=level,
+            num_input_cts=n,
+            num_output_cts=n,
+            rotation_steps=tuple(self.rotation_steps()),
+            macs=self.spec.output_count * k * k,
+            plaintext_count=n,
+        )

@@ -1,0 +1,175 @@
+"""End-to-end HE-CNN container: packing, key provisioning, inference, trace.
+
+The deployment model mirrors the paper (Fig. 1 and Sec. IV): the *client*
+encodes and encrypts its image into the per-offset convolution ciphertexts
+and holds the secret key; the *server* (in the paper, the generated FPGA
+accelerator; here, the functional evaluator or the performance model) runs
+every layer on ciphertexts — non-interactively, with no decryption of
+intermediate results — and returns the encrypted logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fhe.ciphertext import Ciphertext
+from ..fhe.context import CkksContext
+from ..fhe.ops import Evaluator, OperationRecorder
+from .layers import PackedConv, PackedLayer
+from .packing import ConvPacking
+from .reference import PlainNetwork
+from .trace import NetworkTrace
+
+
+@dataclass
+class HeCnn:
+    """A packed HE-CNN: an input conv packing plus a sequence of layers.
+
+    Attributes
+    ----------
+    name:
+        Model name (e.g. ``"FxHENN-MNIST"``).
+    poly_degree / base_level / prime_bits:
+        HE parameters the network is defined against.  The first layer
+        enters at ``base_level``; each layer consumes one level.
+    input_packing:
+        Client-side conv packing for the first layer.
+    layers:
+        Packed layers in execution order (first must be a
+        :class:`~repro.hecnn.layers.PackedConv` using ``input_packing``).
+    plain_reference:
+        The cleartext oracle computing the identical function.
+    """
+
+    name: str
+    poly_degree: int
+    base_level: int
+    input_packing: ConvPacking
+    layers: list[PackedLayer]
+    plain_reference: PlainNetwork
+    prime_bits: int = 30
+    output_slots: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.layers or not isinstance(self.layers[0], PackedConv):
+            raise ValueError("first layer must be a PackedConv")
+        depth = sum(layer.levels_consumed for layer in self.layers)
+        if self.base_level < depth + 1:
+            raise ValueError(
+                f"network consumes {depth} levels; base_level must be >= "
+                f"{depth + 1} (got {self.base_level})"
+            )
+        if self.output_slots is None:
+            last = self.layers[-1].output_layout
+            self.output_slots = last.slot_index.copy()
+
+    # -- trace ---------------------------------------------------------------------
+
+    def layer_entry_levels(self) -> list[int]:
+        """Ciphertext level at each layer's entry.
+
+        Each layer consumes ``levels_consumed`` levels (1 rescale for most,
+        2 for dense layers that mask their chunk merge).
+        """
+        levels = []
+        level = self.base_level
+        for layer in self.layers:
+            levels.append(level)
+            level -= layer.levels_consumed
+        return levels
+
+    def trace(self) -> NetworkTrace:
+        traces = tuple(
+            layer.trace(level)
+            for layer, level in zip(self.layers, self.layer_entry_levels())
+        )
+        return NetworkTrace(
+            name=self.name,
+            layers=traces,
+            poly_degree=self.poly_degree,
+            base_level=self.base_level,
+            prime_bits=self.prime_bits,
+        )
+
+    # -- key provisioning --------------------------------------------------------------
+
+    def provision_keys(self, context: CkksContext) -> None:
+        """Generate exactly the relin/Galois keys the forward pass needs."""
+        levels = self.layer_entry_levels()
+        relin_levels = sorted(
+            {lvl for layer, lvl in zip(self.layers, levels) if _is_square(layer)}
+        )
+        if relin_levels:
+            context.ensure_relin_keys(relin_levels)
+        for layer, lvl in zip(self.layers, levels):
+            steps = layer.rotation_steps()
+            if steps:
+                # Replication rotates at the entry level; rotate-and-sum
+                # after the weight rescale (one lower); merge rotations
+                # after an eventual mask rescale (two lower).
+                key_levels = [lvl, lvl - 1]
+                if layer.levels_consumed > 1:
+                    key_levels.append(lvl - 2)
+                context.ensure_galois_keys(steps, levels=key_levels)
+
+    # -- inference ----------------------------------------------------------------------
+
+    def encrypt_input(self, context: CkksContext, image: np.ndarray) -> list[Ciphertext]:
+        """Client side: gather, encode and encrypt the per-offset vectors."""
+        self._check_context(context)
+        vectors = self.input_packing.gather_offsets(image)
+        return [
+            context.encrypt_values(vec, level=self.base_level) for vec in vectors
+        ]
+
+    def forward_encrypted(
+        self,
+        evaluator: Evaluator,
+        cts: list[Ciphertext],
+        recorder: OperationRecorder | None = None,
+    ) -> list[Ciphertext]:
+        """Server side: run every layer on ciphertexts."""
+        state = cts
+        for layer in self.layers:
+            if recorder is not None:
+                recorder.set_phase(layer.name)
+            state = layer.forward(evaluator, state)
+        if recorder is not None:
+            recorder.set_phase(None)
+        return state
+
+    def infer(
+        self,
+        context: CkksContext,
+        image: np.ndarray,
+        recorder: OperationRecorder | None = None,
+    ) -> np.ndarray:
+        """Full round trip: encrypt, evaluate, decrypt, extract the logits."""
+        self._check_context(context)
+        evaluator = Evaluator(context, recorder=recorder)
+        cts = self.encrypt_input(context, image)
+        outputs = self.forward_encrypted(evaluator, cts, recorder)
+        layout = self.layers[-1].output_layout
+        slot_vectors = [context.decrypt_values(ct) for ct in outputs]
+        return layout.extract(slot_vectors)
+
+    def infer_plain(self, image: np.ndarray) -> np.ndarray:
+        """The cleartext oracle on the same image."""
+        return self.plain_reference.forward(image)
+
+    def _check_context(self, context: CkksContext) -> None:
+        if context.params.poly_degree != self.poly_degree:
+            raise ValueError(
+                f"context N={context.params.poly_degree} does not match "
+                f"network N={self.poly_degree}"
+            )
+        if context.params.level < self.base_level:
+            raise ValueError("context level below network base level")
+
+
+def _is_square(layer: PackedLayer) -> bool:
+    from .layers import PackedSquare
+
+    return isinstance(layer, PackedSquare)

@@ -1,0 +1,63 @@
+"""The HE operation taxonomy shared across the whole framework.
+
+The paper names five accelerator-level HE operation modules (Table I,
+OP1..OP5) out of the seven logical HE operations of Sec. II-A:
+
+====== =========== =====================================================
+Label  Operation   Notes
+====== =========== =====================================================
+OP1    CCadd       ciphertext + ciphertext; PCadd shares this module
+OP2    PCmult      plaintext * ciphertext
+OP3    CCmult      ciphertext * ciphertext (squaring in HE-CNN)
+OP4    Rescale     NTT-based modulus truncation after any multiplication
+OP5    KeySwitch   covers both Relinearize and Rotate (same algorithm)
+====== =========== =====================================================
+
+Every layer of the stack — the functional evaluator's operation recorder,
+the HE-CNN trace extractor, the FPGA module models and the DSE — keys its
+data on :class:`HeOp`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class HeOp(Enum):
+    """Accelerator-level HE operation modules (paper Table I)."""
+
+    CC_ADD = "CCadd"
+    PC_ADD = "PCadd"
+    PC_MULT = "PCmult"
+    CC_MULT = "CCmult"
+    RESCALE = "Rescale"
+    KEY_SWITCH = "KeySwitch"
+
+    @property
+    def uses_ntt(self) -> bool:
+        """Whether the module instantiates NTT/INTT cores (Table I: only
+        Rescale and KeySwitch contain NTT pipelines)."""
+        return self in (HeOp.RESCALE, HeOp.KEY_SWITCH)
+
+    @property
+    def table1_label(self) -> str:
+        """Paper Table I row label (PCadd shares the CCadd module, OP1)."""
+        return _TABLE1_LABELS[self]
+
+
+_TABLE1_LABELS = {
+    HeOp.CC_ADD: "OP1",
+    HeOp.PC_ADD: "OP1",
+    HeOp.PC_MULT: "OP2",
+    HeOp.CC_MULT: "OP3",
+    HeOp.RESCALE: "OP4",
+    HeOp.KEY_SWITCH: "OP5",
+}
+
+#: The five distinct hardware modules, in Table I order.
+MODULE_OPS = (HeOp.CC_ADD, HeOp.PC_MULT, HeOp.CC_MULT, HeOp.RESCALE, HeOp.KEY_SWITCH)
+
+
+def module_for(op: HeOp) -> HeOp:
+    """Map a logical op to the hardware module that executes it."""
+    return HeOp.CC_ADD if op == HeOp.PC_ADD else op

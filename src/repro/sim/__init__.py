@@ -1,0 +1,24 @@
+"""Discrete pipeline simulator: an independent check on the analytic model.
+
+Reproduces the paper's pipeline figures (Fig. 2: coarse vs fine
+granularity; Fig. 3: the KS pipeline; Fig. 4: intra-parallelism) and
+validates Eqs. 1-3 end to end.
+"""
+
+from .pipeline import (
+    PipelineStage,
+    simulate_ks_layer,
+    simulate_nks_layer,
+    simulate_pipeline,
+)
+from .simulator import AcceleratorSimulator, SimulatedLayer, SimulationReport
+
+__all__ = [
+    "AcceleratorSimulator",
+    "PipelineStage",
+    "SimulatedLayer",
+    "SimulationReport",
+    "simulate_ks_layer",
+    "simulate_nks_layer",
+    "simulate_pipeline",
+]

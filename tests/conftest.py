@@ -1,0 +1,36 @@
+"""Shared fixtures: small, session-scoped CKKS contexts.
+
+Key generation dominates test runtime, so contexts are created once per
+session and shared.  Tests must not mutate context state other than adding
+keys via the ``ensure_*`` idempotent helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, Evaluator, tiny_test_params
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    return tiny_test_params(poly_degree=512, level=4)
+
+
+@pytest.fixture(scope="session")
+def ctx(small_params) -> CkksContext:
+    context = CkksContext(small_params, seed=2023)
+    context.ensure_relin_keys()
+    context.ensure_galois_keys([1, 2, 4, 8, 16, 32, 64, 128])
+    return context
+
+
+@pytest.fixture()
+def evaluator(ctx) -> Evaluator:
+    return Evaluator(ctx)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

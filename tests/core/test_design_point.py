@@ -1,0 +1,100 @@
+"""Tests for design points, layer evaluation and design solutions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DesignPoint, DesignSolution, OpParallelism, evaluate_layer
+from repro.fpga import dsp_const
+from repro.optypes import HeOp
+
+
+def _point(ks=(1, 1), rs=(1, 1), nc=2) -> DesignPoint:
+    return DesignPoint(
+        nc_ntt=nc,
+        ops={
+            HeOp.KEY_SWITCH: OpParallelism(*ks),
+            HeOp.RESCALE: OpParallelism(*rs),
+        },
+    )
+
+
+def test_op_parallelism_validation():
+    with pytest.raises(ValueError):
+        OpParallelism(0, 1)
+
+
+def test_default_parallelism_is_one():
+    p = DesignPoint()
+    assert p.parallelism(HeOp.KEY_SWITCH) == OpParallelism(1, 1)
+
+
+def test_dsp_usage_shared_pool():
+    """Module reuse: DSP is paid once per op type, not per layer."""
+    p = _point(ks=(2, 2), rs=(1, 1), nc=2)
+    expected = (
+        4 * dsp_const(HeOp.KEY_SWITCH, 2)
+        + dsp_const(HeOp.RESCALE, 2)
+        + dsp_const(HeOp.PC_MULT, 2)
+        + dsp_const(HeOp.CC_MULT, 2)
+        + dsp_const(HeOp.CC_ADD, 2)
+    )
+    assert p.dsp_usage() == expected
+
+
+def test_describe_is_fig10_shaped():
+    d = _point(ks=(3, 2)).describe()
+    assert d["KeySwitch"] == (3, 2)
+    assert set(d) == {"CCadd", "PCmult", "CCmult", "Rescale", "KeySwitch"}
+
+
+def test_evaluate_layer_latency_scales(mnist_trace):
+    fc1 = mnist_trace.layer("Fc1")
+    base = evaluate_layer(fc1, _point(), 8192, 30, bram_budget=10_000)
+    faster = evaluate_layer(
+        fc1, _point(ks=(5, 1)), 8192, 30, bram_budget=10_000
+    )
+    assert faster.latency_cycles < base.latency_cycles
+    # ceil(5/5)=1 vs ceil(5/1)=5 on the dominant KS part: ~5x.
+    assert base.latency_cycles / faster.latency_cycles == pytest.approx(5, rel=0.2)
+
+
+def test_evaluate_layer_starved_budget_slows(mnist_trace):
+    fc1 = mnist_trace.layer("Fc1")
+    rich = evaluate_layer(fc1, _point(), 8192, 30, bram_budget=10_000)
+    poor = evaluate_layer(fc1, _point(), 8192, 30, bram_budget=200)
+    assert poor.latency_cycles > rich.latency_cycles
+    assert poor.on_chip_fraction < rich.on_chip_fraction
+    assert poor.bram_blocks < rich.bram_blocks
+    assert poor.bram_blocks >= poor.bram_mandatory
+
+
+def test_solution_aggregates(mnist_trace, dev9):
+    sol = DesignSolution.evaluate(_point(), mnist_trace, dev9)
+    assert sol.latency_cycles == sum(l.latency_cycles for l in sol.layers)
+    assert sol.bram_peak == max(l.bram_blocks for l in sol.layers)
+    assert sol.bram_aggregate == sum(l.bram_blocks for l in sol.layers)
+    assert sol.bram_aggregate >= sol.bram_peak
+    assert sol.layer("Fc1").kind == "KS"
+    with pytest.raises(KeyError):
+        sol.layer("nope")
+
+
+def test_solution_feasibility(mnist_trace, dev9):
+    ok = DesignSolution.evaluate(_point(), mnist_trace, dev9)
+    assert ok.is_feasible()
+    # A huge KeySwitch pool exceeds the DSP budget.
+    big = DesignSolution.evaluate(_point(ks=(7, 4), nc=8), mnist_trace, dev9)
+    assert big.dsp_usage > dev9.dsp_slices
+    assert not big.is_feasible()
+
+
+def test_bram_budget_uses_uram(mnist_trace, dev9, dev15):
+    s9 = DesignSolution.evaluate(_point(), mnist_trace, dev9)
+    s15 = DesignSolution.evaluate(_point(), mnist_trace, dev15)
+    assert s15.bram_budget > s9.bram_budget
+
+
+def test_layers_capped_by_budget(mnist_trace, dev9):
+    sol = DesignSolution.evaluate(_point(), mnist_trace, dev9)
+    assert all(l.bram_blocks <= sol.bram_budget for l in sol.layers)

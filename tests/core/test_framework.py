@@ -1,0 +1,53 @@
+"""Tests for the FxHENN framework facade and the emitted directives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FxHennFramework
+from repro.hecnn import fxhenn_mnist_model
+
+
+@pytest.fixture(scope="module")
+def design(mnist_trace, dev9):
+    return FxHennFramework().generate(mnist_trace, dev9)
+
+
+def test_generate_accepts_model_or_trace(dev9, mnist_trace):
+    framework = FxHennFramework()
+    from_model = framework.generate(fxhenn_mnist_model(), dev9)
+    from_trace = framework.generate(mnist_trace, dev9)
+    assert from_model.latency_seconds == from_trace.latency_seconds
+
+
+def test_utilization_summary(design, dev9):
+    u = design.utilization()
+    assert 0 < u["dsp"] <= 1.0
+    assert 0 < u["bram_peak"] <= 1.0
+    assert u["bram_aggregate"] > u["bram_peak"]  # reuse across layers
+
+
+def test_energy_uses_tdp(design, dev9):
+    assert design.energy_joules == pytest.approx(
+        dev9.tdp_watts * design.latency_seconds
+    )
+    pr = design.platform_result()
+    assert pr.platform == "ACU9EG"
+    assert pr.latency_seconds == design.latency_seconds
+
+
+def test_hls_directives_content(design):
+    text = design.hls_directives()
+    assert "set_param ntt_cores" in text
+    assert "KeySwitch" in text and "Rescale" in text
+    assert "bind_layer Fc1" in text
+    assert f"{design.device.name}" in text
+    # Every layer appears with its modeled latency.
+    for layer in design.solution.layers:
+        assert f"bind_layer {layer.name}" in text
+
+
+def test_directives_reflect_point(design):
+    ks_intra, ks_inter = design.solution.point.describe()["KeySwitch"]
+    text = design.hls_directives()
+    assert f"set_directive_allocation -limit {ks_inter} " in text

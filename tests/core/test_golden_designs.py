@@ -1,0 +1,66 @@
+"""Golden regression tests: pin the headline design outputs.
+
+These values are *our model's* outputs (not the paper's); they are pinned
+so that future refactors of the packing, calibration or DSE cannot drift
+silently.  If a deliberate model change moves them, update the goldens
+together with EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FxHennFramework
+
+
+# (network fixture name, device fixture name) -> expected latency seconds.
+GOLDEN_LATENCY = {
+    ("FxHENN-MNIST", "ACU9EG"): 0.157,
+    ("FxHENN-MNIST", "ACU15EG"): 0.108,
+    ("FxHENN-CIFAR10", "ACU9EG"): 105.54,
+    ("FxHENN-CIFAR10", "ACU15EG"): 44.68,
+}
+
+GOLDEN_TRACE = {
+    "FxHENN-MNIST": (880, 324),       # (HOPs, KeySwitch)
+    "FxHENN-CIFAR10": (92577, 36575),
+}
+
+
+@pytest.fixture(scope="module")
+def all_designs(mnist_trace, cifar_trace, dev9, dev15):
+    framework = FxHennFramework()
+    return {
+        (trace.name, dev.name): framework.generate(trace, dev)
+        for trace in (mnist_trace, cifar_trace)
+        for dev in (dev9, dev15)
+    }
+
+
+def test_golden_trace_counts(mnist_trace, cifar_trace):
+    for trace in (mnist_trace, cifar_trace):
+        hops, ks = GOLDEN_TRACE[trace.name]
+        assert trace.hop_count == hops, trace.name
+        assert trace.keyswitch_count == ks, trace.name
+
+
+def test_golden_design_latencies(all_designs):
+    for key, expected in GOLDEN_LATENCY.items():
+        assert all_designs[key].latency_seconds == pytest.approx(
+            expected, rel=0.01
+        ), key
+
+
+def test_golden_design_feasibility(all_designs):
+    for key, design in all_designs.items():
+        assert design.solution.is_feasible(), key
+        util = design.utilization()
+        assert util["dsp"] <= 1.0
+        assert util["bram_peak"] <= 1.0
+
+
+def test_golden_dse_statistics(all_designs):
+    """The search space size is structural: 3 * (7*4)^2 = 2352 points."""
+    for design in all_designs.values():
+        assert design.dse.evaluated == 2352
+        assert design.dse.feasible > 100

@@ -1,0 +1,68 @@
+"""Tests for the Pareto-frontier analysis (Fig. 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FxHennFramework,
+    is_dominated,
+    pareto_frontier,
+    solution_scatter,
+)
+from repro.core.pareto import ParetoPoint
+
+
+@pytest.fixture(scope="module")
+def scatter(mnist_trace, dev9):
+    return solution_scatter(mnist_trace, dev9, bram_min=350, bram_max=1500)
+
+
+def test_scatter_within_window(scatter):
+    assert scatter
+    assert all(350 <= p.bram_blocks <= 1500 for p in scatter)
+
+
+def test_frontier_is_subset_and_sorted(scatter):
+    frontier = pareto_frontier(scatter)
+    assert frontier
+    assert all(p in scatter for p in frontier)
+    brams = [p.bram_blocks for p in frontier]
+    lats = [p.latency_seconds for p in frontier]
+    assert brams == sorted(brams)
+    assert lats == sorted(lats, reverse=True)  # more BRAM -> faster
+
+
+def test_frontier_points_not_dominated(scatter):
+    frontier = pareto_frontier(scatter)
+    for p in frontier:
+        assert not is_dominated(p, scatter)
+
+
+def test_non_frontier_points_dominated(scatter):
+    frontier = set(id(p) for p in pareto_frontier(scatter))
+    dominated = [p for p in scatter if id(p) not in frontier]
+    # Every non-frontier point must be dominated by someone.
+    for p in dominated[:50]:
+        assert is_dominated(p, scatter)
+
+
+def test_more_solutions_at_larger_budgets(mnist_trace, dev9):
+    """Fig. 9's observation: with a low BRAM budget there are only a few
+    possible designs; the space opens up as the budget grows."""
+    low = solution_scatter(mnist_trace, dev9, bram_min=0, bram_max=450)
+    high = solution_scatter(mnist_trace, dev9, bram_min=0, bram_max=1500)
+    assert len(high) > len(low)
+
+
+def test_dse_solutions_on_frontier(mnist_trace, dev9):
+    """The DSE-chosen design is not dominated by any scatter point with
+    the same or smaller BRAM budget (Fig. 9's headline claim)."""
+    design = FxHennFramework().generate(mnist_trace, dev9)
+    chosen = ParetoPoint(
+        bram_blocks=design.solution.bram_peak,
+        latency_seconds=design.latency_seconds,
+        solution=design.solution,
+    )
+    scatter = solution_scatter(mnist_trace, dev9, bram_min=0, bram_max=design.solution.bram_budget)
+    assert not is_dominated(chosen, scatter)

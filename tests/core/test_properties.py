@@ -1,0 +1,141 @@
+"""Property-based tests of the DSE model (hypothesis).
+
+Invariants the resource-latency model must satisfy for the exhaustive
+search to be meaningful: monotonicity in resources and parallelism, and
+consistency of the aggregate accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DesignPoint, DesignSolution, OpParallelism, evaluate_layer
+from repro.fpga import acu9eg
+from repro.hecnn import fxhenn_mnist_model
+from repro.optypes import HeOp
+
+_TRACE = fxhenn_mnist_model().trace()
+_DEV = acu9eg()
+
+points = st.builds(
+    DesignPoint,
+    nc_ntt=st.sampled_from([2, 4, 8]),
+    ops=st.fixed_dictionaries(
+        {
+            HeOp.KEY_SWITCH: st.builds(
+                OpParallelism,
+                p_intra=st.integers(1, 7),
+                p_inter=st.integers(1, 4),
+            ),
+            HeOp.RESCALE: st.builds(
+                OpParallelism,
+                p_intra=st.integers(1, 7),
+                p_inter=st.integers(1, 4),
+            ),
+        }
+    ),
+)
+
+
+@given(point=points)
+@settings(max_examples=40, deadline=None)
+def test_solution_accounting_consistency(point):
+    sol = DesignSolution.evaluate(point, _TRACE, _DEV)
+    assert sol.latency_cycles == sum(l.latency_cycles for l in sol.layers)
+    assert sol.bram_peak == max(l.bram_blocks for l in sol.layers)
+    assert sol.bram_aggregate >= sol.bram_peak
+    assert sol.bram_mandatory_peak <= sol.bram_peak
+    assert all(0.0 <= l.on_chip_fraction <= 1.0 for l in sol.layers)
+    # Residency never exceeds the budget; only the (infeasible-by-then)
+    # mandatory floor may.
+    assert all(
+        l.bram_blocks <= max(sol.bram_budget, l.bram_mandatory)
+        for l in sol.layers
+    )
+    if sol.is_feasible():
+        assert all(l.bram_blocks <= sol.bram_budget for l in sol.layers)
+
+
+@given(point=points, budgets=st.tuples(
+    st.integers(100, 2000), st.integers(100, 2000)
+))
+@settings(max_examples=40, deadline=None)
+def test_latency_monotone_in_bram_budget(point, budgets):
+    """More on-chip memory never slows a design down."""
+    lo, hi = sorted(budgets)
+    fc1 = _TRACE.layer("Fc1")
+    e_lo = evaluate_layer(fc1, point, 8192, 30, bram_budget=lo)
+    e_hi = evaluate_layer(fc1, point, 8192, 30, bram_budget=hi)
+    assert e_hi.latency_cycles <= e_lo.latency_cycles
+    assert e_hi.on_chip_fraction >= e_lo.on_chip_fraction
+
+
+@given(
+    intra=st.integers(1, 6),
+    inter=st.integers(1, 3),
+    nc=st.sampled_from([2, 4]),
+)
+@settings(max_examples=30, deadline=None)
+def test_latency_monotone_in_parallelism(intra, inter, nc):
+    """Raising any parallelism knob (with an ample buffer budget) never
+    increases a layer's compute latency."""
+    fc1 = _TRACE.layer("Fc1")
+
+    def lat(ks_intra, ks_inter, nc_ntt):
+        point = DesignPoint(
+            nc_ntt=nc_ntt,
+            ops={HeOp.KEY_SWITCH: OpParallelism(ks_intra, ks_inter)},
+        )
+        return evaluate_layer(
+            fc1, point, 8192, 30, bram_budget=10**6
+        ).latency_cycles
+
+    base = lat(intra, inter, nc)
+    assert lat(intra + 1, inter, nc) <= base
+    assert lat(intra, inter + 1, nc) <= base
+    assert lat(intra, inter, nc * 2) <= base
+
+
+@given(point=points)
+@settings(max_examples=30, deadline=None)
+def test_dsp_is_parallelism_linear(point):
+    """Eq. 7: doubling every op's inter-parallelism doubles the non-free
+    DSP contribution of those ops."""
+    doubled = DesignPoint(
+        nc_ntt=point.nc_ntt,
+        ops={
+            op: OpParallelism(par.p_intra, 2 * par.p_inter)
+            for op, par in point.ops.items()
+        },
+    )
+    from repro.fpga import dsp_const
+
+    fixed = sum(
+        dsp_const(op, point.nc_ntt)
+        for op in (HeOp.CC_ADD, HeOp.PC_MULT, HeOp.CC_MULT)
+    )
+    assert doubled.dsp_usage() - fixed == 2 * (point.dsp_usage() - fixed)
+
+
+def test_feasibility_antitone_in_limits():
+    """Tightening a limit can only shrink the feasible set."""
+    point = DesignPoint(
+        nc_ntt=8, ops={HeOp.KEY_SWITCH: OpParallelism(2, 2)}
+    )
+    sol = DesignSolution.evaluate(point, _TRACE, _DEV)
+    assert sol.is_feasible(dsp_limit=10**6, bram_limit=10**6)
+    if sol.is_feasible(dsp_limit=1000):
+        assert sol.is_feasible(dsp_limit=2000)
+
+
+@given(point=points)
+@settings(max_examples=20, deadline=None)
+def test_spill_never_below_mandatory(point):
+    """Even at budget 0 the mandatory buffers are accounted (the design
+    simply is not feasible there — usage never under-reports)."""
+    sol = DesignSolution.evaluate(point, _TRACE, _DEV, bram_limit=0)
+    for layer in sol.layers:
+        assert layer.bram_blocks == layer.bram_mandatory
+        assert layer.on_chip_fraction == 0.0

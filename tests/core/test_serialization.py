@@ -1,0 +1,64 @@
+"""Tests for design point / accelerator design JSON round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    DesignPoint,
+    FxHennFramework,
+    OpParallelism,
+    design_point_from_dict,
+    design_point_from_json,
+    design_point_to_dict,
+    design_to_dict,
+    design_to_json,
+)
+from repro.optypes import HeOp
+
+
+def test_design_point_roundtrip():
+    point = DesignPoint(
+        nc_ntt=8,
+        ops={
+            HeOp.KEY_SWITCH: OpParallelism(3, 2),
+            HeOp.RESCALE: OpParallelism(1, 4),
+        },
+    )
+    back = design_point_from_dict(design_point_to_dict(point))
+    assert back == point
+
+
+def test_design_point_rejects_unknown_op():
+    with pytest.raises(ValueError, match="unknown HE operation"):
+        design_point_from_dict(
+            {"nc_ntt": 2, "ops": {"Bootstrap": {"p_intra": 1, "p_inter": 1}}}
+        )
+
+
+def test_design_to_dict_contents(mnist_trace, dev9):
+    design = FxHennFramework().generate(mnist_trace, dev9)
+    record = design_to_dict(design)
+    assert record["network"] == "FxHENN-MNIST"
+    assert record["device"] == "ACU9EG"
+    assert record["metrics"]["latency_seconds"] == design.latency_seconds
+    assert record["dse"]["evaluated"] > 1000
+    assert [l["name"] for l in record["layers"]] == [
+        "Cnv1", "Act1", "Fc1", "Act2", "Fc2",
+    ]
+
+
+def test_design_json_roundtrips_point(mnist_trace, dev9):
+    design = FxHennFramework().generate(mnist_trace, dev9)
+    text = design_to_json(design)
+    json.loads(text)  # valid JSON
+    point = design_point_from_json(text)
+    assert point == design.solution.point
+
+
+def test_point_only_json_accepted():
+    point = DesignPoint(nc_ntt=4)
+    text = json.dumps(design_point_to_dict(point))
+    assert design_point_from_json(text) == point

@@ -1,0 +1,74 @@
+"""Tests for the batched-throughput extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FxHennFramework,
+    batch_execution,
+    crossover_batch_size,
+    pipelined_batch,
+    sequential_batch,
+)
+from repro.fpga import FpgaDevice
+
+
+@pytest.fixture(scope="module")
+def mnist_point(mnist_trace, dev9):
+    return FxHennFramework().generate(mnist_trace, dev9).solution.point
+
+
+def _big_device(dev9) -> FpgaDevice:
+    """A hypothetical memory-rich device where all layers fit at once."""
+    return FpgaDevice(
+        name="BigMem", dsp_slices=dev9.dsp_slices, bram_blocks=8192,
+    )
+
+
+def test_sequential_scales_linearly(mnist_trace, dev9, mnist_point):
+    one = sequential_batch(mnist_trace, mnist_point, dev9, 1, dev9.bram_blocks)
+    ten = sequential_batch(mnist_trace, mnist_point, dev9, 10, dev9.bram_blocks)
+    assert ten.total_seconds == pytest.approx(10 * one.total_seconds)
+    assert ten.per_image_seconds == pytest.approx(one.per_image_seconds)
+
+
+def test_pipelined_amortizes_fill(mnist_trace, dev9, mnist_point):
+    dev = _big_device(dev9)
+    one = pipelined_batch(mnist_trace, mnist_point, dev, 1, dev.bram_blocks)
+    many = pipelined_batch(mnist_trace, mnist_point, dev, 100, dev.bram_blocks)
+    assert many.per_image_seconds < one.per_image_seconds
+
+
+def test_reuse_design_wins_on_bram_poor_device(mnist_trace, dev9, mnist_point):
+    """On the real ACU9EG, partitioning BRAM across concurrent layers
+    spills so badly that the paper's sequential-reuse mode wins at every
+    batch size — FxHENN's design choice is also throughput-sound there."""
+    assert crossover_batch_size(mnist_trace, mnist_point, dev9) is None
+    best = batch_execution(mnist_trace, mnist_point, dev9, 64)
+    assert best.mode == "sequential"
+
+
+def test_pipelining_wins_on_memory_rich_device(mnist_trace, dev9, mnist_point):
+    """With enough BRAM for all layers at once, steady-state throughput is
+    set by the slowest layer (< the sum), so pipelining wins for batches."""
+    dev = _big_device(dev9)
+    crossover = crossover_batch_size(mnist_trace, mnist_point, dev)
+    assert crossover is not None
+    best = batch_execution(mnist_trace, mnist_point, dev, max(64, crossover))
+    assert best.mode == "pipelined"
+    seq = sequential_batch(mnist_trace, mnist_point, dev, 256, dev.bram_blocks)
+    pipe = pipelined_batch(mnist_trace, mnist_point, dev, 256, dev.bram_blocks)
+    assert pipe.per_image_seconds < seq.per_image_seconds
+
+
+def test_throughput_property(mnist_trace, dev9, mnist_point):
+    ex = sequential_batch(mnist_trace, mnist_point, dev9, 8, dev9.bram_blocks)
+    assert ex.throughput_per_second == pytest.approx(1 / ex.per_image_seconds)
+
+
+def test_batch_size_validation(mnist_trace, dev9, mnist_point):
+    with pytest.raises(ValueError):
+        sequential_batch(mnist_trace, mnist_point, dev9, 0, 912)
+    with pytest.raises(ValueError):
+        pipelined_batch(mnist_trace, mnist_point, dev9, -1, 912)

@@ -1,0 +1,94 @@
+"""Tests for encryption, decryption and key provisioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, fxhenn_cifar10_params, tiny_test_params
+
+
+def test_encrypt_decrypt_roundtrip(ctx):
+    rng = np.random.default_rng(10)
+    values = rng.uniform(-5, 5, ctx.slot_count)
+    ct = ctx.encrypt_values(values)
+    out = ctx.decrypt_values(ct)
+    assert np.allclose(out, values, atol=1e-3)
+
+
+def test_fresh_ciphertext_shape(ctx):
+    ct = ctx.encrypt_values(np.ones(4))
+    assert ct.size == 2
+    assert ct.level == ctx.params.level
+    assert ct.scale == ctx.scale
+
+
+def test_encrypt_at_lower_level(ctx):
+    values = np.array([1.0, -2.0, 3.0])
+    ct = ctx.encrypt_values(values, level=2)
+    assert ct.level == 2
+    assert np.allclose(ctx.decrypt_values(ct)[:3], values, atol=1e-3)
+
+
+def test_encryption_is_randomized(ctx):
+    pt = ctx.encode(np.ones(4))
+    ct1 = ctx.encrypt(pt)
+    ct2 = ctx.encrypt(pt)
+    assert not np.array_equal(
+        ct1.components[0].residues, ct2.components[0].residues
+    )
+    assert np.allclose(ctx.decrypt_values(ct1), ctx.decrypt_values(ct2), atol=1e-3)
+
+
+def test_decrypt_with_wrong_key_garbles(small_params):
+    a = CkksContext(small_params, seed=1)
+    b = CkksContext(small_params, seed=2)
+    values = np.full(8, 3.0)
+    ct = a.encrypt_values(values)
+    wrong = b.decrypt_values(ct)[:8]
+    assert not np.allclose(wrong, values, atol=1.0)
+
+
+def test_deterministic_under_seed(small_params):
+    a = CkksContext(small_params, seed=99)
+    b = CkksContext(small_params, seed=99)
+    ct_a = a.encrypt_values(np.ones(4))
+    ct_b = b.encrypt_values(np.ones(4))
+    assert np.array_equal(ct_a.components[0].residues, ct_b.components[0].residues)
+
+
+def test_model_only_params_rejected():
+    with pytest.raises(ValueError):
+        CkksContext(fxhenn_cifar10_params())
+
+
+def test_ensure_keys_idempotent(ctx):
+    before = dict(ctx.relin_keys)
+    ctx.ensure_relin_keys()
+    assert {k: id(v) for k, v in ctx.relin_keys.items()} == {
+        k: id(v) for k, v in before.items()
+    }
+    before_galois = dict(ctx.galois_keys.keys)
+    ctx.ensure_galois_keys([1, 2])
+    assert {k: id(v) for k, v in ctx.galois_keys.keys.items()} == {
+        k: id(v) for k, v in before_galois.items()
+    }
+
+
+def test_galois_key_lookup_error(ctx):
+    with pytest.raises(KeyError, match="no Galois key"):
+        ctx.galois_keys.get(3331, 1)
+
+
+def test_ciphertext_byte_size(ctx):
+    ct = ctx.encrypt_values(np.ones(4))
+    n = ctx.params.poly_degree
+    assert ct.byte_size() == 2 * ctx.params.level * n * 8
+
+
+def test_noise_budget_survives_depth(small_params):
+    """A fresh encryption decrypts accurately even at the lowest level."""
+    ctx = CkksContext(small_params, seed=5)
+    values = np.linspace(-1, 1, 16)
+    ct = ctx.encrypt_values(values, level=1)
+    assert np.allclose(ctx.decrypt_values(ct)[:16], values, atol=1e-3)

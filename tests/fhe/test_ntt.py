@@ -1,0 +1,128 @@
+"""Tests for the negacyclic NTT: roundtrips, convolution theorem, batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.modmath import generate_ntt_primes
+from repro.fhe.ntt import (
+    NttContext,
+    bit_reverse_indices,
+    get_ntt_context,
+    negacyclic_convolution_reference,
+)
+
+
+def _context(n: int, bits: int = 24) -> NttContext:
+    q = generate_ntt_primes(bits, 1, n)[0]
+    return NttContext(n, q)
+
+
+# -- bit reversal -------------------------------------------------------------
+
+
+def test_bit_reverse_is_involution():
+    for n in (2, 8, 64, 1024):
+        rev = bit_reverse_indices(n)
+        assert np.array_equal(rev[rev], np.arange(n))
+
+
+def test_bit_reverse_known_order():
+    assert bit_reverse_indices(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_bit_reverse_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        bit_reverse_indices(12)
+
+
+# -- transform roundtrips -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [8, 16, 128, 1024])
+def test_roundtrip(n):
+    ctx = _context(n)
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, ctx.q, n, dtype=np.int64).astype(np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+    assert np.array_equal(ctx.forward(ctx.inverse(a)), a)
+
+
+def test_roundtrip_batched():
+    ctx = _context(64)
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, ctx.q, (3, 5, 64), dtype=np.int64).astype(np.uint64)
+    back = ctx.inverse(ctx.forward(a))
+    assert back.shape == a.shape
+    assert np.array_equal(back, a)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(seed):
+    ctx = get_ntt_context(128, generate_ntt_primes(24, 1, 128)[0])
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, ctx.q, 128, dtype=np.int64).astype(np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+# -- algebraic structure -----------------------------------------------------------
+
+
+def test_forward_is_linear():
+    ctx = _context(64)
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, ctx.q, 64, dtype=np.int64).astype(np.uint64)
+    b = rng.integers(0, ctx.q, 64, dtype=np.int64).astype(np.uint64)
+    lhs = ctx.forward((a + b) % np.uint64(ctx.q))
+    rhs = (ctx.forward(a) + ctx.forward(b)) % np.uint64(ctx.q)
+    assert np.array_equal(lhs, rhs)
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_convolution_theorem(n):
+    """Pointwise NTT product == schoolbook negacyclic convolution."""
+    ctx = _context(n)
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, ctx.q, n, dtype=np.int64).astype(np.uint64)
+    b = rng.integers(0, ctx.q, n, dtype=np.int64).astype(np.uint64)
+    assert np.array_equal(
+        ctx.negacyclic_multiply(a, b), negacyclic_convolution_reference(a, b, ctx.q)
+    )
+
+
+def test_negacyclic_wraparound_sign():
+    """X^(N-1) * X == -1 in Z_q[X]/(X^N + 1)."""
+    n = 16
+    ctx = _context(n)
+    a = np.zeros(n, dtype=np.uint64)
+    b = np.zeros(n, dtype=np.uint64)
+    a[n - 1] = 1
+    b[1] = 1
+    prod = ctx.negacyclic_multiply(a, b)
+    expected = np.zeros(n, dtype=np.uint64)
+    expected[0] = ctx.q - 1
+    assert np.array_equal(prod, expected)
+
+
+def test_constant_polynomial_transform():
+    """NTT of a constant is that constant in every evaluation point."""
+    n = 32
+    ctx = _context(n)
+    a = np.zeros(n, dtype=np.uint64)
+    a[0] = 7
+    assert np.array_equal(ctx.forward(a), np.full(n, 7, dtype=np.uint64))
+
+
+def test_forward_rejects_wrong_length():
+    ctx = _context(16)
+    with pytest.raises(ValueError):
+        ctx.forward(np.zeros(8, dtype=np.uint64))
+
+
+def test_context_cache_returns_same_object():
+    q = generate_ntt_primes(24, 1, 64)[0]
+    assert get_ntt_context(64, q) is get_ntt_context(64, q)

@@ -1,0 +1,88 @@
+"""Tests for the ciphertext/plaintext wire format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import (
+    Evaluator,
+    SerializationError,
+    ciphertext_from_bytes,
+    ciphertext_to_bytes,
+    ciphertext_wire_bytes,
+    plaintext_from_bytes,
+    plaintext_to_bytes,
+)
+
+
+def test_ciphertext_roundtrip(ctx):
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-2, 2, ctx.slot_count)
+    ct = ctx.encrypt_values(values)
+    data = ciphertext_to_bytes(ct)
+    back = ciphertext_from_bytes(data)
+    assert back.scale == ct.scale
+    assert back.level == ct.level
+    for a, b in zip(ct.components, back.components):
+        assert np.array_equal(a.residues, b.residues)
+        assert a.is_ntt == b.is_ntt
+    # Most importantly: it still decrypts correctly.
+    assert np.allclose(ctx.decrypt_values(back), values, atol=1e-3)
+
+
+def test_three_component_roundtrip(ctx, evaluator):
+    ct = evaluator.square(ctx.encrypt_values(np.ones(4)))
+    back = ciphertext_from_bytes(ciphertext_to_bytes(ct))
+    assert back.size == 3
+
+
+def test_reduced_level_roundtrip(ctx, evaluator):
+    ct = evaluator.multiply_values_rescale(
+        ctx.encrypt_values(np.ones(4)), np.ones(ctx.slot_count)
+    )
+    back = ciphertext_from_bytes(ciphertext_to_bytes(ct))
+    assert back.level == ct.level
+    assert back.basis.primes == ct.basis.primes
+
+
+def test_plaintext_roundtrip(ctx):
+    pt = ctx.encode(np.array([1.5, -2.5, 0.25]))
+    back = plaintext_from_bytes(plaintext_to_bytes(pt))
+    assert np.allclose(ctx.decode(back)[:3], [1.5, -2.5, 0.25], atol=1e-5)
+
+
+def test_wire_size_formula(ctx):
+    ct = ctx.encrypt_values(np.ones(4))
+    data = ciphertext_to_bytes(ct)
+    assert len(data) == ciphertext_wire_bytes(
+        ctx.params.poly_degree, ct.level, components=2
+    )
+
+
+def test_kind_mismatch_rejected(ctx):
+    ct = ctx.encrypt_values(np.ones(4))
+    pt = ctx.encode(np.ones(4))
+    with pytest.raises(SerializationError, match="kind"):
+        plaintext_from_bytes(ciphertext_to_bytes(ct))
+    with pytest.raises(SerializationError, match="kind"):
+        ciphertext_from_bytes(plaintext_to_bytes(pt))
+
+
+def test_corruption_detected(ctx):
+    data = ciphertext_to_bytes(ctx.encrypt_values(np.ones(4)))
+    with pytest.raises(SerializationError, match="magic"):
+        ciphertext_from_bytes(b"XXXX" + data[4:])
+    with pytest.raises(SerializationError, match="truncated|length"):
+        ciphertext_from_bytes(data[:-8])
+    with pytest.raises(SerializationError, match="length"):
+        ciphertext_from_bytes(data + b"\0" * 8)
+    with pytest.raises(SerializationError, match="truncated"):
+        ciphertext_from_bytes(data[:10])
+
+
+def test_version_check(ctx):
+    data = bytearray(ciphertext_to_bytes(ctx.encrypt_values(np.ones(4))))
+    data[4] = 99  # version byte
+    with pytest.raises(SerializationError, match="version"):
+        ciphertext_from_bytes(bytes(data))

@@ -1,0 +1,82 @@
+"""Tests for FPGA device specs and URAM conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import FpgaDevice, acu9eg, acu15eg, device_by_name
+
+
+def test_acu9eg_spec_matches_paper():
+    dev = acu9eg()
+    assert dev.dsp_slices == 2520
+    assert dev.bram_blocks == 912
+    assert dev.uram_blocks == 0
+    assert dev.tdp_watts == 10.0
+    # 912 blocks * 36 Kbit = 32.1 Mbit, as the paper states.
+    assert dev.bram_bits / 1e6 == pytest.approx(33.6, rel=0.05)
+
+
+def test_acu15eg_spec_matches_paper():
+    dev = acu15eg()
+    assert dev.dsp_slices == 3528
+    assert dev.uram_blocks > 0
+    # 728 blocks * 36 Kbit ~ 26.2 Mbit; 112 URAM * 288 Kbit ~ 31.5 Mbit.
+    assert dev.bram_bits / 1e6 == pytest.approx(26.8, rel=0.05)
+    assert dev.uram_blocks * 288 * 1024 / 1e6 == pytest.approx(33.0, rel=0.05)
+
+
+def test_device_by_name():
+    assert device_by_name("acu9eg").name == "ACU9EG"
+    assert device_by_name("ACU15EG").dsp_slices == 3528
+    with pytest.raises(ValueError):
+        device_by_name("virtex")
+
+
+def test_uram_conversion_ratios():
+    """Sec. VI-A: ratio 1 below 1K words, num/1K between, 4 above 4K."""
+    dev = acu15eg()
+    assert dev.uram_equivalent_bram(512) == dev.uram_blocks
+    assert dev.uram_equivalent_bram(1024) == dev.uram_blocks
+    assert dev.uram_equivalent_bram(2048) == dev.uram_blocks * 2
+    assert dev.uram_equivalent_bram(4096) == dev.uram_blocks * 4
+    assert dev.uram_equivalent_bram(65536) == dev.uram_blocks * 4
+
+
+def test_uram_conversion_no_uram():
+    assert acu9eg().uram_equivalent_bram(4096) == 0
+    assert acu9eg().effective_bram_blocks(4096) == 912
+
+
+def test_effective_bram_includes_uram():
+    dev = acu15eg()
+    assert dev.effective_bram_blocks(4096) == 728 + 4 * 112
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FpgaDevice(name="bad", dsp_slices=0, bram_blocks=10)
+    with pytest.raises(ValueError):
+        FpgaDevice(name="bad", dsp_slices=10, bram_blocks=10, uram_blocks=-1)
+
+
+def test_extended_device_presets():
+    from repro.fpga import KNOWN_DEVICES, alveo_u250, zcu104
+
+    assert set(KNOWN_DEVICES) == {"ACU9EG", "ACU15EG", "ZCU104", "ALVEO-U250"}
+    small = zcu104()
+    big = alveo_u250()
+    assert small.dsp_slices < 2520 < big.dsp_slices
+    assert big.uram_blocks > 0
+    assert device_by_name("zcu104").name == "ZCU104"
+    assert device_by_name("alveo-u250").clock_mhz == 200.0
+
+
+def test_device_ordering_by_capacity():
+    from repro.fpga import KNOWN_DEVICES
+
+    devices = [make() for make in KNOWN_DEVICES.values()]
+    # Every preset has coherent resources for the DSE to work with.
+    for dev in devices:
+        assert dev.dsp_slices > 100
+        assert dev.effective_bram_blocks(4096) >= dev.bram_blocks

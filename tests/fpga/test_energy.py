@@ -1,0 +1,36 @@
+"""Tests for the energy/efficiency accounting used by Table VII."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import PlatformResult, energy_efficiency, speedup
+
+
+def test_energy_joules():
+    r = PlatformResult(platform="X", tdp_watts=10.0, latency_seconds=0.2)
+    assert r.energy_joules == pytest.approx(2.0)
+
+
+def test_speedup_and_efficiency():
+    fpga = PlatformResult(platform="FPGA", tdp_watts=10.0, latency_seconds=0.24)
+    cpu = PlatformResult(platform="CPU", tdp_watts=880.0, latency_seconds=2.2)
+    assert speedup(fpga, cpu) == pytest.approx(2.2 / 0.24)
+    assert energy_efficiency(fpga, cpu) == pytest.approx(
+        (880 * 2.2) / (10 * 0.24)
+    )
+
+
+def test_paper_headline_mnist_efficiency():
+    """The paper's 806.96x energy-efficiency claim for FxHENN-MNIST on
+    ACU9EG vs LoLa on an 8x110 W Azure VM follows from their numbers."""
+    fx = PlatformResult(platform="ACU9EG", tdp_watts=10, latency_seconds=0.24)
+    lola = PlatformResult(platform="Azure", tdp_watts=8 * 110, latency_seconds=2.2)
+    assert energy_efficiency(fx, lola) == pytest.approx(806.67, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PlatformResult(platform="X", tdp_watts=0, latency_seconds=1)
+    with pytest.raises(ValueError):
+        PlatformResult(platform="X", tdp_watts=1, latency_seconds=0)

@@ -1,0 +1,43 @@
+"""Fixtures for the HE-CNN tests: a tiny functional model + context."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, tiny_test_params
+from repro.hecnn import fxhenn_cifar10_model, fxhenn_mnist_model, tiny_mnist_model
+
+
+@pytest.fixture(scope="session")
+def tiny_params():
+    return tiny_test_params(poly_degree=512, level=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_params):
+    return tiny_mnist_model(seed=3, params=tiny_params)
+
+
+@pytest.fixture(scope="session")
+def tiny_ctx(tiny_params, tiny_model) -> CkksContext:
+    ctx = CkksContext(tiny_params, seed=11)
+    tiny_model.provision_keys(ctx)
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def mnist_model():
+    """Full-size FxHENN-MNIST (trace-only in most tests)."""
+    return fxhenn_mnist_model(seed=0)
+
+
+@pytest.fixture(scope="session")
+def cifar_model():
+    """Full-size FxHENN-CIFAR10 (trace-only)."""
+    return fxhenn_cifar10_model(seed=0)
+
+
+@pytest.fixture()
+def tiny_image() -> np.ndarray:
+    return np.random.default_rng(5).uniform(0, 1, (1, 8, 8))

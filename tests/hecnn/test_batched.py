@@ -1,0 +1,78 @@
+"""Tests for the CryptoNets-style batched packing trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hecnn import (
+    BatchedLayerSpec,
+    ConvSpec,
+    DenseSpec,
+    batched_layer_trace,
+    batched_network_trace,
+    cryptonets_mnist_batched,
+)
+from repro.optypes import HeOp
+
+
+def test_cryptonets_row_of_table7():
+    """Paper Table VII, CryptoNets row: 215K HOPs and exactly 945
+    KeySwitches for the MNIST network under batched packing."""
+    trace = cryptonets_mnist_batched()
+    assert trace.keyswitch_count == 945  # 845 + 100 activations, exact
+    assert trace.hop_count == pytest.approx(215_000, rel=0.02)
+
+
+def test_batched_ks_count_is_activation_count():
+    spec = BatchedLayerSpec.square("Act", 123)
+    trace = batched_layer_trace(spec, level=5)
+    assert trace.keyswitch_count == 123
+    assert trace.kind == "KS"
+
+
+def test_batched_conv_counts():
+    conv = ConvSpec(
+        in_channels=1, out_channels=2, kernel_size=3, stride=1, padding=0,
+        in_size=5,
+    )
+    spec = BatchedLayerSpec.conv("C", conv)
+    trace = batched_layer_trace(spec, level=7)
+    assert trace.kind == "NKS"
+    assert trace.op_counts[HeOp.PC_MULT] == conv.macs
+    assert trace.op_counts[HeOp.CC_ADD] == conv.macs - conv.output_count
+    assert trace.op_counts[HeOp.RESCALE] == conv.output_count
+    assert trace.keyswitch_count == 0  # no rotations, ever
+
+
+def test_batched_dense_counts():
+    dense = DenseSpec(in_features=10, out_features=4)
+    trace = batched_layer_trace(BatchedLayerSpec.dense("D", dense), level=3)
+    assert trace.op_counts[HeOp.PC_MULT] == 40
+    assert trace.op_counts[HeOp.CC_ADD] == 36
+    assert trace.op_counts[HeOp.PC_ADD] == 4
+
+
+def test_batched_network_level_walk():
+    layers = [
+        BatchedLayerSpec.dense("D1", DenseSpec(4, 2)),
+        BatchedLayerSpec.square("A1", 2),
+    ]
+    trace = batched_network_trace("t", layers, 1024, base_level=5)
+    assert [lt.level for lt in trace.layers] == [5, 4]
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        batched_layer_trace(
+            BatchedLayerSpec(name="x", kind="pool"), level=3
+        )
+
+
+def test_batched_vs_lola_hop_blowup():
+    """Sec. II-B: per-image packing reduces HE operations 'by tens to
+    hundreds of times' relative to per-scalar batching."""
+    from repro.hecnn import fxhenn_mnist_model
+
+    lola = fxhenn_mnist_model().trace()
+    batched = cryptonets_mnist_batched()
+    assert 100 < batched.hop_count / lola.hop_count < 1000

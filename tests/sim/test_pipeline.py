@@ -1,0 +1,91 @@
+"""Tests for the discrete pipeline simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    PipelineStage,
+    simulate_ks_layer,
+    simulate_nks_layer,
+    simulate_pipeline,
+)
+
+
+def test_stage_validation():
+    with pytest.raises(ValueError):
+        PipelineStage("x", -1)
+    with pytest.raises(ValueError):
+        PipelineStage("x", 1, copies=0)
+
+
+def test_empty_pipeline():
+    assert simulate_pipeline([PipelineStage("s", 10)], 1, 0) == 0
+
+
+def test_single_unit_single_stage():
+    assert simulate_pipeline([PipelineStage("s", 10)], 1, 1) == 10
+    # 4 jobs on 1 copy serialize; on 2 copies they halve.
+    assert simulate_pipeline([PipelineStage("s", 10, 1)], 4, 1) == 40
+    assert simulate_pipeline([PipelineStage("s", 10, 2)], 4, 1) == 20
+
+
+def test_jobs_per_stage_mismatch():
+    with pytest.raises(ValueError):
+        simulate_pipeline([PipelineStage("s", 10)], [1, 2], 1)
+
+
+def test_steady_state_throughput_matches_bottleneck():
+    """Many units: completion ~ units * bottleneck busy time + fill."""
+    stages = [PipelineStage("a", 5), PipelineStage("b", 10), PipelineStage("c", 5)]
+    units = 50
+    total = simulate_pipeline(stages, 1, units)
+    assert total >= units * 10  # bottleneck bound
+    assert total <= units * 10 + 2 * (5 + 10 + 5)  # plus fill/drain slack
+
+
+def test_pipeline_overlap_beats_serial():
+    stages = [PipelineStage("a", 10), PipelineStage("b", 10)]
+    serial = 20 * 10  # 10 units, no overlap
+    assert simulate_pipeline(stages, 1, 10) < serial
+
+
+def test_fig4_intra_parallelism_halves_interval():
+    """Fig. 4: P_intra=4 halves the L=4 interval of P_intra=2.  P_intra=3
+    sits in between: the lockstep analytic model pays ceil(4/3)=2 intervals
+    (no better than P_intra=2), while the greedy job-level simulation can
+    pack jobs from successive units into the idle copy — so the simulated
+    result is bounded by the two."""
+    base = simulate_nks_layer(40, 4, 100, p_intra=2, p_inter=1)
+    doubled = simulate_nks_layer(40, 4, 100, p_intra=4, p_inter=1)
+    awkward = simulate_nks_layer(40, 4, 100, p_intra=3, p_inter=1)
+    assert doubled < base
+    assert base / doubled == pytest.approx(2.0, rel=0.15)
+    assert doubled < awkward < base
+
+
+def test_fig2_fine_beats_coarse():
+    """Fig. 2: basic-op pipelining beats HE-op pipelining, whose Rescale
+    stage is unbalanced."""
+    fine = simulate_nks_layer(25, 7, 1000, 1, 1, fine_grained=True)
+    coarse = simulate_nks_layer(25, 7, 1000, 1, 1, fine_grained=False)
+    assert fine < coarse
+    assert coarse / fine > 1.5
+
+
+def test_fig3_ks_units_cost_level_intervals():
+    """Fig. 3: a KS op takes ~L times the NKS interval; more inter-parallel
+    pipelines divide the latency."""
+    one = simulate_ks_layer(10, 5, 100, 1, 1)
+    assert one >= 10 * 5 * 5 * 100  # L*L jobs per op, serialized per copy
+    two = simulate_ks_layer(10, 5, 100, 1, 2)
+    assert two < one
+    assert one / two == pytest.approx(2.0, rel=0.1)
+
+
+def test_inter_parallelism_divides_nks():
+    """Throughput scales with P_inter, minus fill/drain overheads that grow
+    relatively as each pipeline's share of units shrinks."""
+    one = simulate_nks_layer(40, 4, 100, 1, 1)
+    four = simulate_nks_layer(40, 4, 100, 1, 4)
+    assert 2.5 < one / four <= 4.0

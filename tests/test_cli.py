@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_devices(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "ACU9EG" in out and "ACU15EG" in out
+    assert "2520" in out and "3528" in out
+
+
+def test_trace_mnist(capsys):
+    assert main(["trace", "--network", "mnist"]) == 0
+    out = capsys.readouterr().out
+    assert "Cnv1" in out and "Fc2" in out and "TOTAL" in out
+    assert "FxHENN-MNIST" in out
+
+
+def test_trace_cifar(capsys):
+    assert main(["trace", "--network", "cifar10"]) == 0
+    out = capsys.readouterr().out
+    assert "Cnv2" in out
+
+
+def test_generate_with_outputs(tmp_path, capsys):
+    json_path = tmp_path / "design.json"
+    tcl_path = tmp_path / "directives.tcl"
+    rc = main([
+        "generate", "--network", "mnist", "--device", "acu9eg",
+        "--json", str(json_path), "--directives", str(tcl_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "latency" in out and "feasible" in out
+    record = json.loads(json_path.read_text())
+    assert record["network"] == "FxHENN-MNIST"
+    assert "set_param ntt_cores" in tcl_path.read_text()
+
+
+def test_explore(capsys):
+    assert main([
+        "explore", "--network", "mnist", "--device", "acu9eg",
+        "--bram-min", "400", "--bram-max", "1000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "KeySwitch" in out
+
+
+def test_infer_tiny(capsys):
+    assert main(["infer", "--network", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "max CKKS error" in out
+    assert "OK" in out
+
+
+def test_unknown_device_errors():
+    with pytest.raises(ValueError, match="unknown device"):
+        main(["generate", "--device", "bogus"])
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_report(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "Table VII" in out
+    assert "Fig. 10" in out
+    assert "Table IX" in out
+    assert "FxHENN-CIFAR10" in out

@@ -1,0 +1,34 @@
+"""Tests for the shared HE operation taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optypes import MODULE_OPS, HeOp, module_for
+
+
+def test_module_ops_order_matches_table1():
+    assert [op.table1_label for op in MODULE_OPS] == [
+        "OP1", "OP2", "OP3", "OP4", "OP5",
+    ]
+
+
+def test_pcadd_maps_to_ccadd_module():
+    assert module_for(HeOp.PC_ADD) == HeOp.CC_ADD
+    assert HeOp.PC_ADD.table1_label == "OP1"
+    for op in MODULE_OPS:
+        assert module_for(op) == op
+
+
+def test_uses_ntt_flags():
+    assert HeOp.RESCALE.uses_ntt
+    assert HeOp.KEY_SWITCH.uses_ntt
+    for op in (HeOp.CC_ADD, HeOp.PC_ADD, HeOp.PC_MULT, HeOp.CC_MULT):
+        assert not op.uses_ntt
+
+
+def test_enum_values_are_paper_names():
+    assert HeOp.KEY_SWITCH.value == "KeySwitch"
+    assert HeOp("Rescale") is HeOp.RESCALE
+    with pytest.raises(ValueError):
+        HeOp("Bootstrap")
