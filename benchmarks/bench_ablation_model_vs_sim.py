@@ -7,7 +7,6 @@ the DSE-chosen design points.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.sim import AcceleratorSimulator

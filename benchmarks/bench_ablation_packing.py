@@ -13,7 +13,6 @@ systems from each other.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import DesignPoint, OpParallelism, evaluate_layer

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import DesignSpace, FxHennFramework, explore

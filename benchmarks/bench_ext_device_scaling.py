@@ -10,7 +10,6 @@ than the compute-bound MNIST.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import FxHennFramework, InfeasibleDesignError

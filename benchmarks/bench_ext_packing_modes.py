@@ -10,10 +10,9 @@ throughput, reproducing the CryptoNets-vs-LoLa positioning of Table VII.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
-from repro.core import FxHennFramework, explore
+from repro.core import FxHennFramework
 from repro.hecnn import cryptonets_mnist_batched, fxhenn_mnist_model
 
 

@@ -9,7 +9,6 @@ throughput is set by the slowest layer instead of the layer sum.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import (

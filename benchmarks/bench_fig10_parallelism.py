@@ -10,7 +10,6 @@ parallelism than CIFAR-10 on ACU9EG (N=2^13 vs 2^14 doubles the buffers);
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.optypes import MODULE_OPS, HeOp

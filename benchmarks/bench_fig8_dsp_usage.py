@@ -8,10 +8,8 @@ shows higher per-layer DSP utilization everywhere.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
-from repro.core import layer_private_dsp
 from repro.fpga import dsp_const
 from repro.optypes import HeOp
 

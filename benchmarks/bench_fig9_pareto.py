@@ -8,7 +8,6 @@ frontier; low budgets admit only a few designs.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import pareto_frontier, solution_scatter

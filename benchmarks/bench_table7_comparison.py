@@ -8,10 +8,8 @@ against LoLa [5] — the paper's primary comparison target — and A*FV [2].
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import (
-    PAPER_HEADLINES,
     TABLE7_FXHENN_PAPER,
     TABLE7_LITERATURE,
     format_table,

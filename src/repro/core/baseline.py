@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from ..fpga.device import FpgaDevice
 from ..fpga.modules import dsp_const
 from ..hecnn.trace import LayerTrace, NetworkTrace
-from ..optypes import HeOp, module_for
+from ..optypes import HeOp
 from .design_point import DesignPoint, LayerEvaluation, OpParallelism, evaluate_layer
 
 

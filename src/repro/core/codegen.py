@@ -11,7 +11,7 @@ begins (see DESIGN.md substitutions).
 
 from __future__ import annotations
 
-from ..optypes import MODULE_OPS, HeOp
+from ..optypes import MODULE_OPS
 from .design_point import DesignSolution
 
 

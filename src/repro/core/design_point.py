@@ -87,6 +87,61 @@ class LayerEvaluation:
         return self.latency_cycles / clock_hz
 
 
+def layer_compute_cycles(
+    trace: LayerTrace, point: DesignPoint, poly_degree: int
+) -> int:
+    """Pre-slowdown pipeline cycles of one layer (Eqs. 1-3).
+
+    This is the pure compute cost before the Table III off-chip access
+    penalty is applied.  Since ``offchip_slowdown >= 1``, summing this over
+    all layers is an exact lower bound on the design's total latency — the
+    bound :func:`repro.core.dse.explore` prunes against.
+    """
+    level = trace.level
+    rescale = point.parallelism(HeOp.RESCALE)
+    nks_pi = pipeline_interval_cycles(
+        poly_degree, level, rescale.p_intra, point.nc_ntt
+    )
+    cycles = math.ceil(trace.nks_units * nks_pi / rescale.p_inter)
+    if trace.ks_units:
+        ks = point.parallelism(HeOp.KEY_SWITCH)
+        ks_pi = pipeline_interval_cycles(
+            poly_degree, level, ks.p_intra, point.nc_ntt
+        )
+        cycles += math.ceil(trace.ks_units * level * ks_pi / ks.p_inter)
+    return cycles
+
+
+def latency_lower_bound(point: DesignPoint, trace: NetworkTrace) -> int:
+    """Cheap exact lower bound on a point's total latency (no buffers)."""
+    return sum(
+        layer_compute_cycles(lt, point, trace.poly_degree)
+        for lt in trace.layers
+    )
+
+
+def mandatory_bram_peak(point: DesignPoint, trace: NetworkTrace) -> int:
+    """Largest per-layer mandatory buffer demand — the BRAM feasibility
+    floor, computed without building full :class:`LayerEvaluation` objects
+    (used by the DSE to keep feasibility counts exact under pruning)."""
+    peak = 0
+    for lt in trace.layers:
+        pipeline = point.parallelism(
+            HeOp.KEY_SWITCH if lt.kind == "KS" else HeOp.RESCALE
+        )
+        mandatory, _ = layer_buffer_demand(
+            kind=lt.kind,
+            level=lt.level,
+            poly_degree=trace.poly_degree,
+            word_bits=trace.prime_bits,
+            p_intra=pipeline.p_intra,
+            p_inter=pipeline.p_inter,
+            nc_ntt=point.nc_ntt,
+        )
+        peak = max(peak, mandatory)
+    return peak
+
+
 def evaluate_layer(
     trace: LayerTrace,
     point: DesignPoint,
@@ -105,17 +160,8 @@ def evaluate_layer(
     residency that does not fit incurs the off-chip access penalty.
     """
     level = trace.level
+    cycles = layer_compute_cycles(trace, point, poly_degree)
     rescale = point.parallelism(HeOp.RESCALE)
-    nks_pi = pipeline_interval_cycles(
-        poly_degree, level, rescale.p_intra, point.nc_ntt
-    )
-    cycles = math.ceil(trace.nks_units * nks_pi / rescale.p_inter)
-    if trace.ks_units:
-        ks = point.parallelism(HeOp.KEY_SWITCH)
-        ks_pi = pipeline_interval_cycles(
-            poly_degree, level, ks.p_intra, point.nc_ntt
-        )
-        cycles += math.ceil(trace.ks_units * level * ks_pi / ks.p_inter)
 
     pipeline = (
         point.parallelism(HeOp.KEY_SWITCH) if trace.kind == "KS" else rescale

@@ -1,4 +1,4 @@
-"""Exhaustive design space exploration (paper Sec. VI-B).
+"""Design space exploration (paper Sec. VI-B) with pruning and parallelism.
 
 Objective::
 
@@ -8,16 +8,40 @@ Objective::
 
 The problem is non-linear (ceil divisions, the dual-port BRAM step, the
 KeySwitch DSP table), so — like the paper — we search the whole space
-exhaustively; at a few thousand points this takes well under a second.
+exhaustively.  Two *exact* accelerations keep the result identical to the
+naive scan:
+
+* **DSP pre-check**: ``point.dsp_usage()`` depends only on the point, so a
+  point over the DSP limit is infeasible regardless of the trace and is
+  skipped before any per-layer evaluation (on the default space most
+  points fall here).
+* **Latency lower bound**: the pre-slowdown compute cycles
+  (:func:`~repro.core.design_point.latency_lower_bound`) never exceed the
+  final latency because ``offchip_slowdown >= 1``.  Once an incumbent is
+  known, a point whose bound is *strictly* worse cannot win (ties are
+  still evaluated fully so resource tie-breaks match the naive scan); its
+  feasibility is then established with the cheap mandatory-buffer check
+  so ``DseResult.feasible`` stays exact.
+
+``workers > 1`` splits the enumeration into contiguous chunks scanned by a
+``multiprocessing`` pool; a shared best-latency bound lets chunks prune
+against each other's incumbents, and the chunk-ordered reduction makes the
+returned solution identical to the serial scan.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 
 from ..fpga.device import FpgaDevice
 from ..hecnn.trace import NetworkTrace
-from .design_point import DesignPoint, DesignSolution
+from .design_point import (
+    DesignPoint,
+    DesignSolution,
+    latency_lower_bound,
+    mandatory_bram_peak,
+)
 from .space import DesignSpace
 
 
@@ -34,32 +58,143 @@ class InfeasibleDesignError(RuntimeError):
     """No design point satisfies the device's resource constraints."""
 
 
+def _bram_budget(
+    point: DesignPoint,
+    trace: NetworkTrace,
+    device: FpgaDevice,
+    bram_limit: int | None,
+) -> int:
+    if bram_limit is not None:
+        return bram_limit
+    from ..fpga.buffers import buffer_tile_words
+
+    return device.effective_bram_blocks(
+        buffer_tile_words(trace.poly_degree, point.nc_ntt)
+    )
+
+
+def _scan(
+    points,
+    trace: NetworkTrace,
+    device: FpgaDevice,
+    dsp_limit: int | None,
+    bram_limit: int | None,
+    prune: bool,
+    shared_bound=None,
+) -> tuple[DesignSolution | None, int, int]:
+    """Scan an iterable of points; returns (best, evaluated, feasible).
+
+    Exact under pruning: the returned best and the feasible count match
+    the unpruned scan over the same points (given that ``shared_bound``,
+    when present, only ever holds latencies achieved by real solutions).
+    """
+    effective_dsp = dsp_limit if dsp_limit is not None else device.dsp_slices
+    best: DesignSolution | None = None
+    evaluated = 0
+    feasible = 0
+    for point in points:
+        evaluated += 1
+        if prune and point.dsp_usage() > effective_dsp:
+            continue  # infeasible for any trace; never counted feasible
+        bound = best.latency_cycles if best is not None else None
+        if shared_bound is not None:
+            with shared_bound.get_lock():
+                remote = shared_bound.value
+            if remote >= 0 and (bound is None or remote < bound):
+                bound = remote
+        if prune and bound is not None:
+            if latency_lower_bound(point, trace) > bound:
+                # Strictly worse than the incumbent — cannot win, but must
+                # still be counted if feasible.
+                budget = _bram_budget(point, trace, device, bram_limit)
+                if (
+                    point.dsp_usage() <= effective_dsp
+                    and mandatory_bram_peak(point, trace) <= budget
+                ):
+                    feasible += 1
+                continue
+        solution = DesignSolution.evaluate(
+            point, trace, device, bram_limit=bram_limit
+        )
+        if not solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
+            continue
+        feasible += 1
+        if best is None or _better(solution, best):
+            best = solution
+            if shared_bound is not None:
+                with shared_bound.get_lock():
+                    cur = shared_bound.value
+                    if cur < 0 or best.latency_cycles < cur:
+                        shared_bound.value = best.latency_cycles
+    return best, evaluated, feasible
+
+
+_WORKER_BOUND = None
+
+
+def _init_worker(bound) -> None:
+    global _WORKER_BOUND
+    _WORKER_BOUND = bound
+
+
+def _scan_chunk(payload):
+    points, trace, device, dsp_limit, bram_limit, prune = payload
+    return _scan(
+        points, trace, device, dsp_limit, bram_limit, prune,
+        shared_bound=_WORKER_BOUND,
+    )
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    size = -(-len(items) // n)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 def explore(
     trace: NetworkTrace,
     device: FpgaDevice,
     space: DesignSpace | None = None,
     dsp_limit: int | None = None,
     bram_limit: int | None = None,
+    prune: bool = True,
+    workers: int | None = None,
 ) -> DseResult:
-    """Exhaustively search the design space for the latency-optimal point.
+    """Search the design space for the latency-optimal point.
 
     ``dsp_limit`` / ``bram_limit`` override the device capacities — used by
     the Pareto sweep of Fig. 9, which constrains the BRAM budget directly.
+    ``prune=False`` forces the naive exhaustive scan (the correctness
+    oracle); ``workers`` > 1 splits the scan across processes with a shared
+    best-latency bound.  All variants return the identical best solution,
+    and ``evaluated`` always equals the space size.
     """
     space = space or DesignSpace()
-    best: DesignSolution | None = None
-    evaluated = 0
-    feasible = 0
-    for point in space.points():
-        solution = DesignSolution.evaluate(
-            point, trace, device, bram_limit=bram_limit
+    if workers is not None and workers > 1:
+        points = list(space.points())
+        bound = multiprocessing.Value("q", -1)
+        payloads = [
+            (chunk, trace, device, dsp_limit, bram_limit, prune)
+            for chunk in _chunks(points, workers)
+        ]
+        with multiprocessing.Pool(
+            processes=workers, initializer=_init_worker, initargs=(bound,)
+        ) as pool:
+            partials = pool.map(_scan_chunk, payloads)
+        best: DesignSolution | None = None
+        evaluated = 0
+        feasible = 0
+        # Chunk-ordered reduction reproduces the serial first-minimum.
+        for chunk_best, chunk_eval, chunk_feasible in partials:
+            evaluated += chunk_eval
+            feasible += chunk_feasible
+            if chunk_best is not None and (
+                best is None or _better(chunk_best, best)
+            ):
+                best = chunk_best
+    else:
+        best, evaluated, feasible = _scan(
+            space.points(), trace, device, dsp_limit, bram_limit, prune
         )
-        evaluated += 1
-        if not solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
-            continue
-        feasible += 1
-        if best is None or _better(solution, best):
-            best = solution
     if best is None:
         raise InfeasibleDesignError(
             f"no feasible design for {trace.name} on {device.name} "
@@ -69,23 +204,60 @@ def explore(
     return DseResult(best=best, evaluated=evaluated, feasible=feasible)
 
 
-def enumerate_feasible(
+def _feasible_chunk(payload):
+    points, trace, device, dsp_limit, bram_limit, prune = payload
+    return _enumerate(points, trace, device, dsp_limit, bram_limit, prune)
+
+
+def _enumerate(
+    points,
     trace: NetworkTrace,
     device: FpgaDevice,
-    space: DesignSpace | None = None,
-    dsp_limit: int | None = None,
-    bram_limit: int | None = None,
+    dsp_limit: int | None,
+    bram_limit: int | None,
+    prune: bool,
 ) -> list[DesignSolution]:
-    """All feasible solutions — the scatter behind Fig. 9."""
-    space = space or DesignSpace()
+    effective_dsp = dsp_limit if dsp_limit is not None else device.dsp_slices
     out = []
-    for point in space.points():
+    for point in points:
+        if prune and point.dsp_usage() > effective_dsp:
+            continue
         solution = DesignSolution.evaluate(
             point, trace, device, bram_limit=bram_limit
         )
         if solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
             out.append(solution)
     return out
+
+
+def enumerate_feasible(
+    trace: NetworkTrace,
+    device: FpgaDevice,
+    space: DesignSpace | None = None,
+    dsp_limit: int | None = None,
+    bram_limit: int | None = None,
+    prune: bool = True,
+    workers: int | None = None,
+) -> list[DesignSolution]:
+    """All feasible solutions — the scatter behind Fig. 9.
+
+    Only the exact DSP pre-check applies here (every feasible point must be
+    returned, so there is no latency bound to prune against); ``workers``
+    splits the scan across processes with order-preserving concatenation.
+    """
+    space = space or DesignSpace()
+    if workers is not None and workers > 1:
+        points = list(space.points())
+        payloads = [
+            (chunk, trace, device, dsp_limit, bram_limit, prune)
+            for chunk in _chunks(points, workers)
+        ]
+        with multiprocessing.Pool(processes=workers) as pool:
+            partials = pool.map(_feasible_chunk, payloads)
+        return [s for part in partials for s in part]
+    return _enumerate(
+        space.points(), trace, device, dsp_limit, bram_limit, prune
+    )
 
 
 def _better(a: DesignSolution, b: DesignSolution) -> bool:

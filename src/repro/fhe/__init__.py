@@ -7,13 +7,21 @@ polynomials, canonical-embedding batching, key generation and all seven HE
 operations (PCadd, PCmult, CCadd, CCmult, Rescale, Relinearize, Rotate).
 """
 
+from . import fastpath
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .encoder import CkksEncoder
+from .fastpath import FastPathConfig
 from .keys import GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, SecretKey
 from .modmath import (
     BarrettConstant,
+    BatchedBarrett,
     barrett_reduce,
+    batched_barrett_reduce,
+    batched_mod_add,
+    batched_mod_mul,
+    batched_mod_neg,
+    batched_mod_sub,
     find_primitive_root,
     find_root_of_unity,
     generate_ntt_primes,
@@ -25,7 +33,16 @@ from .modmath import (
     mod_sub,
 )
 from .noise import NoiseBound, NoiseEstimator, depth_capacity, measured_noise_bits
-from .ntt import NttContext, get_ntt_context
+from .ntt import (
+    TRANSFORM_STATS,
+    BatchedNttContext,
+    NttContext,
+    TransformStats,
+    clear_caches,
+    get_batched_ntt_context,
+    get_ntt_context,
+    registry_info,
+)
 from .ops import Evaluator, OperationRecorder
 from .params import (
     CkksParameters,
@@ -48,11 +65,14 @@ from .serialization import (
 
 __all__ = [
     "BarrettConstant",
+    "BatchedBarrett",
+    "BatchedNttContext",
     "Ciphertext",
     "CkksContext",
     "CkksEncoder",
     "CkksParameters",
     "Evaluator",
+    "FastPathConfig",
     "GaloisKeys",
     "KeyGenerator",
     "KeySwitchKey",
@@ -60,6 +80,8 @@ __all__ = [
     "NoiseEstimator",
     "NttContext",
     "OperationRecorder",
+    "TRANSFORM_STATS",
+    "TransformStats",
     "Plaintext",
     "PublicKey",
     "RnsBasis",
@@ -72,7 +94,16 @@ __all__ = [
     "plaintext_from_bytes",
     "plaintext_to_bytes",
     "barrett_reduce",
+    "batched_barrett_reduce",
+    "batched_mod_add",
+    "batched_mod_mul",
+    "batched_mod_neg",
+    "batched_mod_sub",
     "build_prime_chain",
+    "clear_caches",
+    "fastpath",
+    "get_batched_ntt_context",
+    "registry_info",
     "depth_capacity",
     "measured_noise_bits",
     "find_primitive_root",

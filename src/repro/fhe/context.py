@@ -51,6 +51,14 @@ class CkksContext:
         self.public_key: PublicKey = self.keygen.generate_public_key()
         self.relin_keys: dict[int, KeySwitchKey] = {}
         self.galois_keys: GaloisKeys = GaloisKeys()
+        #: NTT-resident plaintexts keyed ``(cache_key, level, scale)`` —
+        #: populated by :meth:`repro.fhe.ops.Evaluator.encode_cached` so each
+        #: weight/bias/mask is encoded + transformed once per network.
+        self.plaintext_cache: dict = {}
+
+    def clear_plaintext_cache(self) -> None:
+        """Drop all cached NTT-resident plaintexts."""
+        self.plaintext_cache.clear()
 
     # -- key provisioning ---------------------------------------------------------
 

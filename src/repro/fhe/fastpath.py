@@ -1,0 +1,81 @@
+"""Global switches for the FHE kernel fast paths.
+
+The substrate carries two functionally identical implementations of its hot
+kernels: the original per-prime reference paths (kept as correctness
+oracles and as the "seed" baseline for before/after benchmarking) and the
+fast paths introduced for performance:
+
+* ``batched_ntt`` — transform all L RNS rows in one stacked numpy call with
+  Shoup twiddle quotients and lazy reduction (:class:`repro.fhe.ntt
+  .BatchedNttContext`) instead of looping per-prime butterflies.
+* ``ntt_galois`` — apply the Galois automorphism ``X -> X^g`` as a pure
+  permutation of NTT-domain evaluation points instead of an
+  inverse-NTT / permute / forward-NTT round trip.
+* ``plaintext_cache`` — encode + forward-transform each weight/bias/mask
+  plaintext once per network (cached on the :class:`~repro.fhe.context
+  .CkksContext`) instead of once per window per inference.
+* ``vectorized_keyswitch`` — lift all decomposition digits into the
+  extended basis and transform them in a single batched NTT call.
+
+Every fast path is bit-identical to its reference path (property-tested in
+``tests/fhe/test_fastpath.py``); toggling changes performance only.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Which kernel fast paths are active."""
+
+    batched_ntt: bool = True
+    ntt_galois: bool = True
+    plaintext_cache: bool = True
+    vectorized_keyswitch: bool = True
+
+    @classmethod
+    def all_disabled(cls) -> "FastPathConfig":
+        return cls(**{f.name: False for f in fields(cls)})
+
+
+_config = FastPathConfig()
+
+
+def get_config() -> FastPathConfig:
+    """The currently active fast-path configuration."""
+    return _config
+
+
+def configure(**flags: bool) -> FastPathConfig:
+    """Set fast-path flags globally; returns the new configuration."""
+    global _config
+    _config = replace(_config, **flags)
+    return _config
+
+
+@contextmanager
+def overridden(**flags: bool) -> Iterator[FastPathConfig]:
+    """Temporarily override fast-path flags (restores on exit)."""
+    global _config
+    previous = _config
+    _config = replace(_config, **flags)
+    try:
+        yield _config
+    finally:
+        _config = previous
+
+
+@contextmanager
+def disabled() -> Iterator[FastPathConfig]:
+    """Temporarily run with every fast path off (the seed baseline)."""
+    global _config
+    previous = _config
+    _config = FastPathConfig.all_disabled()
+    try:
+        yield _config
+    finally:
+        _config = previous

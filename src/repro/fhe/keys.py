@@ -17,6 +17,7 @@ are also stored in off-chip memory").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -65,6 +66,17 @@ class KeySwitchKey:
     basis: RnsBasis  # extended basis including the special prime (last)
     b: tuple[RnsPolynomial, ...]
     a: tuple[RnsPolynomial, ...]
+
+    @cached_property
+    def stacked_b(self) -> np.ndarray:
+        """All ``b[i]`` residues stacked to ``(level, ext_level, N)`` for the
+        vectorized KeySwitch inner product."""
+        return np.stack([p.residues for p in self.b])
+
+    @cached_property
+    def stacked_a(self) -> np.ndarray:
+        """All ``a[i]`` residues stacked to ``(level, ext_level, N)``."""
+        return np.stack([p.residues for p in self.a])
 
 
 #: Sentinel step used to index complex-conjugation keys (element 2N - 1).

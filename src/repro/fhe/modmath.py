@@ -72,7 +72,11 @@ def barrett_reduce(x: np.ndarray | int, bc: BarrettConstant) -> np.ndarray | int
         q1 = xi >> (bc.k - 1)
         q3 = (q1 * bc.mu) >> (bc.k + 1)
         r = xi - q3 * bc.q
-        while r >= bc.q:
+        # Barrett guarantees r < 3q after one pass; two conditional
+        # subtracts, matching the vectorized path's bounded correction.
+        if r >= bc.q:
+            r -= bc.q
+        if r >= bc.q:
             r -= bc.q
         return r
 
@@ -119,6 +123,76 @@ def mod_mul(a: np.ndarray, b: np.ndarray, bc: BarrettConstant) -> np.ndarray:
     """
     prod = np.asarray(a, dtype=_U64) * np.asarray(b, dtype=_U64)
     return barrett_reduce(prod, bc)
+
+
+# ---------------------------------------------------------------------------
+# Batched (stacked-prime) kernels
+# ---------------------------------------------------------------------------
+#
+# RNS residue matrices have shape (..., L, N) with one row per prime; these
+# kernels apply the per-prime operation to all L rows in a single numpy call
+# by broadcasting the per-prime constants over a trailing axis of length 1.
+
+
+@dataclass(frozen=True)
+class BatchedBarrett:
+    """Stacked Barrett constants for a chain of primes.
+
+    ``qs``, ``ks`` and ``mus`` have shape ``(L, 1)`` so they broadcast over
+    residue matrices of shape ``(..., L, N)``.
+    """
+
+    qs: np.ndarray
+    ks: np.ndarray
+    mus: np.ndarray
+
+    @classmethod
+    def for_primes(cls, primes: tuple[int, ...]) -> "BatchedBarrett":
+        for q in primes:
+            _check_modulus(q)
+        qs = np.array(primes, dtype=_U64).reshape(-1, 1)
+        ks = np.array([q.bit_length() for q in primes], dtype=_U64).reshape(-1, 1)
+        mus = np.array(
+            [(1 << (2 * q.bit_length())) // q for q in primes], dtype=_U64
+        ).reshape(-1, 1)
+        return cls(qs=qs, ks=ks, mus=mus)
+
+
+def batched_barrett_reduce(x: np.ndarray, bb: BatchedBarrett) -> np.ndarray:
+    """Row-wise Barrett reduction of ``(..., L, N)`` against ``L`` primes."""
+    arr = np.asarray(x, dtype=_U64)
+    one = _U64(1)
+    q1 = arr >> (bb.ks - one)
+    q3 = (q1 * bb.mus) >> (bb.ks + one)
+    r = arr - q3 * bb.qs
+    r = np.where(r >= bb.qs, r - bb.qs, r)
+    r = np.where(r >= bb.qs, r - bb.qs, r)
+    return r
+
+
+def batched_mod_add(a: np.ndarray, b: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Row-wise ``(a + b) mod q_i`` with ``qs`` shaped ``(L, 1)``."""
+    s = np.asarray(a, dtype=_U64) + np.asarray(b, dtype=_U64)
+    return np.where(s >= qs, s - qs, s)
+
+
+def batched_mod_sub(a: np.ndarray, b: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Row-wise ``(a - b) mod q_i`` with ``qs`` shaped ``(L, 1)``."""
+    a64 = np.asarray(a, dtype=_U64)
+    b64 = np.asarray(b, dtype=_U64)
+    return np.where(a64 >= b64, a64 - b64, a64 + qs - b64)
+
+
+def batched_mod_neg(a: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Row-wise ``(-a) mod q_i`` with ``qs`` shaped ``(L, 1)``."""
+    a64 = np.asarray(a, dtype=_U64)
+    return np.where(a64 == 0, a64, qs - a64)
+
+
+def batched_mod_mul(a: np.ndarray, b: np.ndarray, bb: BatchedBarrett) -> np.ndarray:
+    """Row-wise ``(a * b) mod q_i`` via batched Barrett reduction."""
+    prod = np.asarray(a, dtype=_U64) * np.asarray(b, dtype=_U64)
+    return batched_barrett_reduce(prod, bb)
 
 
 def mod_pow(base: int, exp: int, q: int) -> int:

@@ -6,21 +6,35 @@ whole accelerator.  This module implements the functional transform used by
 the FHE substrate; its hardware cost model (``LAT_NTT = log2(N) * N /
 (2 * nc_NTT)``, Eq. 4) lives in ``repro.fpga.modules``.
 
-The transform is the standard in-place iterative form used by SEAL/HEAX:
-Cooley-Tukey butterflies with the 2N-th root ``psi`` merged into the twiddle
-factors (forward), and Gentleman-Sande with ``psi**-1`` (inverse), so that
-pointwise multiplication in the NTT domain realizes *negacyclic* convolution
-in ``Z_q[X]/(X^N + 1)``.
+Two implementations coexist:
+
+* :class:`NttContext` — the per-prime reference transform: standard
+  iterative Cooley-Tukey butterflies with the 2N-th root ``psi`` merged
+  into the twiddle factors (forward), and Gentleman-Sande with ``psi**-1``
+  (inverse), fully reducing after every stage.  Kept as the correctness
+  oracle and the "seed" baseline.
+* :class:`BatchedNttContext` — the fast path: all L RNS rows transformed
+  in one stacked numpy call, with Shoup-style precomputed twiddle
+  quotients and Harvey lazy reduction (butterfly values live in ``[0, 4q)``
+  forward / ``[0, 2q)`` inverse; the final correction is folded into one
+  pass after the last stage).  Bit-identical to the reference.
+
+Contexts are cached in an explicit, inspectable registry
+(:func:`get_ntt_context` / :func:`get_batched_ntt_context`,
+:func:`clear_caches`, :func:`registry_info`), and every transform counts
+its per-row invocations in :data:`TRANSFORM_STATS` so NTT-pressure
+reductions are measurable.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from dataclasses import dataclass
 
 import numpy as np
 
 from .modmath import (
     BarrettConstant,
+    BatchedBarrett,
     find_root_of_unity,
     mod_add,
     mod_inverse,
@@ -29,6 +43,9 @@ from .modmath import (
 )
 
 _U64 = np.uint64
+#: Shoup quotients use beta = 32: with q < 2**30 every butterfly value
+#: stays below 4q <= 2**32 and all intermediate products fit in uint64.
+_SHOUP_SHIFT = _U64(32)
 
 
 def bit_reverse_indices(n: int) -> np.ndarray:
@@ -41,6 +58,49 @@ def bit_reverse_indices(n: int) -> np.ndarray:
     for b in range(bits):
         rev |= ((idx >> b) & 1) << (bits - 1 - b)
     return rev
+
+
+# ---------------------------------------------------------------------------
+# Transform accounting
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransformStats:
+    """Counts NTT invocations: one *row* is one length-N transform.
+
+    A batched call over an ``(L, N)`` residue matrix counts as one call and
+    ``L`` rows, so ``forward_rows + inverse_rows`` measures total NTT
+    pressure independently of batching.
+    """
+
+    forward_calls: int = 0
+    inverse_calls: int = 0
+    forward_rows: int = 0
+    inverse_rows: int = 0
+
+    @property
+    def total_rows(self) -> int:
+        return self.forward_rows + self.inverse_rows
+
+    def reset(self) -> None:
+        self.forward_calls = 0
+        self.inverse_calls = 0
+        self.forward_rows = 0
+        self.inverse_rows = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "forward_calls": self.forward_calls,
+            "inverse_calls": self.inverse_calls,
+            "forward_rows": self.forward_rows,
+            "inverse_rows": self.inverse_rows,
+            "total_rows": self.total_rows,
+        }
+
+
+#: Process-global transform counter (reset via ``TRANSFORM_STATS.reset()``).
+TRANSFORM_STATS = TransformStats()
 
 
 class NttContext:
@@ -92,6 +152,8 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
+        TRANSFORM_STATS.forward_calls += 1
+        TRANSFORM_STATS.forward_rows += a.shape[0]
         q, bc = self.q, self.barrett
         t = self.n
         m = 1
@@ -114,6 +176,8 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
+        TRANSFORM_STATS.inverse_calls += 1
+        TRANSFORM_STATS.inverse_rows += a.shape[0]
         q, bc = self.q, self.barrett
         t = 1
         m = self.n
@@ -138,10 +202,272 @@ class NttContext:
         return self.inverse(mod_mul(fa, fb, self.barrett))
 
 
-@lru_cache(maxsize=None)
+class BatchedNttContext:
+    """Stacked lazy-reduction NTT over every prime of an RNS chain.
+
+    Transforms residue matrices of shape ``(..., L, N)`` — all ``L`` RNS
+    rows in one numpy call per butterfly stage, with the per-prime modulus
+    and twiddle tables broadcast over the leading prime axis.
+
+    The butterflies use Harvey's lazy form with Shoup twiddle quotients
+    ``w' = floor(w * 2**32 / q)``:
+
+    * forward (Cooley-Tukey): values live in ``[0, 4q)``; each butterfly
+      conditionally reduces its upper operand to ``[0, 2q)`` and the Shoup
+      product lands in ``[0, 2q)``, so no per-stage ``np.where`` reductions
+      are needed.  One final correction pass maps ``[0, 4q) -> [0, q)``.
+    * inverse (Gentleman-Sande): values live in ``[0, 2q)``; the final
+      ``1/N`` scaling is a Shoup multiply whose output bound folds the last
+      correction into a single conditional subtract.
+
+    Since q < 2**30, every intermediate (``v * w'`` with ``v < 4q <= 2**32``
+    and ``w' < 2**32``) fits in uint64.  Outputs are bit-identical to
+    :class:`NttContext` applied row by row.
+    """
+
+    def __init__(self, n: int, primes: tuple[int, ...]) -> None:
+        if not primes:
+            raise ValueError("need at least one prime")
+        self.n = n
+        self.primes = tuple(int(q) for q in primes)
+        contexts = [get_ntt_context(n, q) for q in self.primes]
+        level = len(self.primes)
+        self.qs = np.array(self.primes, dtype=_U64).reshape(level, 1)
+        self.two_qs = self.qs * _U64(2)
+        self.psi_bitrev = np.stack([c.psi_bitrev for c in contexts])
+        self.psi_inv_bitrev = np.stack([c.psi_inv_bitrev for c in contexts])
+        self.psi_shoup = (self.psi_bitrev << _SHOUP_SHIFT) // self.qs
+        self.psi_inv_shoup = (self.psi_inv_bitrev << _SHOUP_SHIFT) // self.qs
+        self.n_inv = np.array(
+            [c.n_inv for c in contexts], dtype=_U64
+        ).reshape(level, 1)
+        self.n_inv_shoup = (self.n_inv << _SHOUP_SHIFT) // self.qs
+        self.barrett = BatchedBarrett.for_primes(self.primes)
+        self._galois_perms: dict[int, np.ndarray] = {}
+        self._index_exponents: np.ndarray | None = None
+        self._rescale_inverses: np.ndarray | None = None
+
+    @property
+    def level(self) -> int:
+        return len(self.primes)
+
+    # -- lazy butterflies ----------------------------------------------------
+
+    def _check(self, values: np.ndarray) -> np.ndarray:
+        if (
+            values.ndim < 2
+            or values.shape[-1] != self.n
+            or values.shape[-2] != self.level
+        ):
+            raise ValueError(
+                f"expected trailing shape {(self.level, self.n)}, "
+                f"got {values.shape}"
+            )
+        # Exactly one working copy; all butterfly stages mutate it in place.
+        return np.array(values, dtype=_U64, order="C", copy=True)
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Batched negacyclic forward NTT of ``(..., L, N)`` residues.
+
+        Input rows must be reduced modulo their primes; output rows are
+        reduced (``[0, q)``) and bit-identical to the per-prime reference.
+        """
+        a = self._check(values)
+        shape = a.shape
+        flat = a.reshape(-1, self.level, self.n)
+        TRANSFORM_STATS.forward_calls += 1
+        TRANSFORM_STATS.forward_rows += flat.shape[0] * self.level
+        n, level = self.n, self.level
+        rows = flat.shape[0]
+        qs4 = self.qs.reshape(1, level, 1, 1)
+        two_qs4 = self.two_qs.reshape(1, level, 1, 1)
+        # Scratch for the half-size butterfly operands; reshaped per stage.
+        half = flat.size // 2
+        s_hi = np.empty(half, dtype=_U64)
+        s_tv = np.empty(half, dtype=_U64)
+        s_mask = np.empty(half, dtype=bool)
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            w = self.psi_bitrev[None, :, m : 2 * m, None]
+            ws = self.psi_shoup[None, :, m : 2 * m, None]
+            blocks = flat.reshape(rows, level, m, 2 * t)
+            u = blocks[..., :t]
+            v = blocks[..., t:]
+            hi = s_hi.reshape(rows, level, m, t)
+            tv = s_tv.reshape(rows, level, m, t)
+            mask = s_mask.reshape(rows, level, m, t)
+            # Shoup multiply: t_v = v*w - floor(v*w'/2**32)*q  in [0, 2q);
+            # v is left unreduced (< 4q <= 2**32).
+            np.multiply(v, ws, out=hi)
+            hi >>= _SHOUP_SHIFT
+            hi *= qs4
+            np.multiply(v, w, out=tv)
+            tv -= hi
+            # Lazy reduce u into [0, 2q): u -= 2q * [u >= 2q].
+            np.greater_equal(u, two_qs4, out=mask)
+            np.multiply(mask, two_qs4, out=hi)
+            u -= hi
+            # Old v is dead: write the difference leg there first, then the
+            # sum leg over u (both legs need the reduced u).
+            np.subtract(u, tv, out=v)
+            v += two_qs4  # uint64 wrap-safe
+            u += tv
+            m *= 2
+        # Deferred final correction: [0, 4q) -> [0, q).
+        flat = np.where(flat >= self.two_qs, flat - self.two_qs, flat)
+        flat = np.where(flat >= self.qs, flat - self.qs, flat)
+        return flat.reshape(shape)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Batched negacyclic inverse NTT of ``(..., L, N)`` residues."""
+        a = self._check(values)
+        shape = a.shape
+        flat = a.reshape(-1, self.level, self.n)
+        TRANSFORM_STATS.inverse_calls += 1
+        TRANSFORM_STATS.inverse_rows += flat.shape[0] * self.level
+        n, level = self.n, self.level
+        rows = flat.shape[0]
+        qs4 = self.qs.reshape(1, level, 1, 1)
+        two_qs4 = self.two_qs.reshape(1, level, 1, 1)
+        half = flat.size // 2
+        s_sum = np.empty(half, dtype=_U64)
+        s_hi = np.empty(half, dtype=_U64)
+        s_mask = np.empty(half, dtype=bool)
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            w = self.psi_inv_bitrev[None, :, h : 2 * h, None]
+            ws = self.psi_inv_shoup[None, :, h : 2 * h, None]
+            blocks = flat.reshape(rows, level, h, 2 * t)
+            u = blocks[..., :t]
+            v = blocks[..., t:]
+            s = s_sum.reshape(rows, level, h, t)
+            hi = s_hi.reshape(rows, level, h, t)
+            mask = s_mask.reshape(rows, level, h, t)
+            np.add(u, v, out=s)  # [0, 4q)
+            np.greater_equal(s, two_qs4, out=mask)
+            np.multiply(mask, two_qs4, out=hi)
+            s -= hi  # [0, 2q)
+            # Difference leg d = u - v + 2q in place of u (old u is only
+            # needed for s, already computed).
+            u -= v
+            u += two_qs4  # d in [0, 4q), uint64 wrap-safe
+            np.multiply(u, ws, out=hi)
+            hi >>= _SHOUP_SHIFT
+            hi *= qs4
+            np.multiply(u, w, out=v)
+            v -= hi  # [0, 2q)
+            u[...] = s
+            t *= 2
+            m = h
+        # 1/N scaling folded together with the final [0, 2q) -> [0, q) pass.
+        hi = (flat * self.n_inv_shoup) >> _SHOUP_SHIFT
+        flat = flat * self.n_inv - hi * self.qs
+        flat = np.where(flat >= self.qs, flat - self.qs, flat)
+        return flat.reshape(shape)
+
+    # -- NTT-domain Galois ---------------------------------------------------
+
+    def _exponent_map(self) -> np.ndarray:
+        """``e[i]``: forward output index ``i`` evaluates ``a(psi**e[i])``.
+
+        The map depends only on the butterfly wiring (identical for every
+        prime), so it is computed once against the first prime by
+        transforming the monomial ``X`` and taking discrete logs over the
+        precomputed odd powers of ``psi``.
+        """
+        if self._index_exponents is None:
+            ctx = get_ntt_context(self.n, self.primes[0])
+            mono = np.zeros(self.n, dtype=_U64)
+            mono[1] = 1
+            points = ctx.forward(mono)
+            pow_to_exp = {}
+            acc = ctx.psi
+            for k in range(1, 2 * self.n, 2):
+                pow_to_exp[acc] = k
+                acc = acc * ctx.psi * ctx.psi % ctx.q
+            self._index_exponents = np.array(
+                [pow_to_exp[int(v)] for v in points], dtype=np.int64
+            )
+        return self._index_exponents
+
+    def galois_permutation(self, galois_element: int) -> np.ndarray:
+        """Index permutation realizing ``a(X) -> a(X**g)`` in the NTT domain.
+
+        ``out[..., i] = in[..., perm[i]]`` — evaluation points are permuted,
+        no arithmetic (and in particular no inverse/forward round trip) is
+        required.  The permutation is shared by every prime of the chain.
+        """
+        g = int(galois_element) % (2 * self.n)
+        if g % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        perm = self._galois_perms.get(g)
+        if perm is None:
+            exps = self._exponent_map()
+            index_of_exp = np.full(2 * self.n, -1, dtype=np.int64)
+            index_of_exp[exps] = np.arange(self.n)
+            perm = index_of_exp[(exps * g) % (2 * self.n)]
+            self._galois_perms[g] = perm
+        return perm
+
+    def rescale_inverses(self) -> np.ndarray:
+        """``q_last^{-1} mod q_i`` for the leading primes, shaped ``(L-1, 1)``.
+
+        Precomputed constants for the vectorized RNS Rescale (divide by the
+        final chain prime and drop it).
+        """
+        if self.level < 2:
+            raise ValueError("rescale needs at least two primes")
+        if self._rescale_inverses is None:
+            q_last = self.primes[-1]
+            self._rescale_inverses = np.array(
+                [mod_inverse(q_last, q) for q in self.primes[:-1]], dtype=_U64
+            ).reshape(-1, 1)
+        return self._rescale_inverses
+
+
+# ---------------------------------------------------------------------------
+# Context registry
+# ---------------------------------------------------------------------------
+
+#: Explicit, inspectable context caches (previously an unbounded lru_cache).
+_NTT_REGISTRY: dict[tuple[int, int], NttContext] = {}
+_BATCHED_REGISTRY: dict[tuple[int, tuple[int, ...]], BatchedNttContext] = {}
+
+
 def get_ntt_context(n: int, q: int) -> NttContext:
     """Cached NTT context lookup — table setup costs O(N) per (n, q) pair."""
-    return NttContext(n, q)
+    key = (n, q)
+    ctx = _NTT_REGISTRY.get(key)
+    if ctx is None:
+        ctx = _NTT_REGISTRY[key] = NttContext(n, q)
+    return ctx
+
+
+def get_batched_ntt_context(n: int, primes: tuple[int, ...]) -> BatchedNttContext:
+    """Cached batched-context lookup for one RNS prime chain."""
+    key = (n, tuple(primes))
+    ctx = _BATCHED_REGISTRY.get(key)
+    if ctx is None:
+        ctx = _BATCHED_REGISTRY[key] = BatchedNttContext(n, key[1])
+    return ctx
+
+
+def clear_caches() -> None:
+    """Drop every cached NTT context (reference and batched) — test helper."""
+    _NTT_REGISTRY.clear()
+    _BATCHED_REGISTRY.clear()
+
+
+def registry_info() -> dict[str, list[tuple]]:
+    """Keys currently held by the context registries (for inspection)."""
+    return {
+        "ntt": sorted(_NTT_REGISTRY),
+        "batched": sorted(_BATCHED_REGISTRY),
+    }
 
 
 def negacyclic_convolution_reference(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:

@@ -19,8 +19,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..optypes import HeOp
+from . import fastpath
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
+from .modmath import batched_barrett_reduce, batched_mod_mul
+from .ntt import get_batched_ntt_context
 from .poly import RnsPolynomial
 
 _RELATIVE_SCALE_TOLERANCE = 1e-9
@@ -249,14 +252,52 @@ class Evaluator:
         """PCmult followed by Rescale — the NKS-layer inner step."""
         return self.rescale(self.multiply_plain(ct, pt))
 
-    def multiply_values_rescale(self, ct: Ciphertext, values) -> Ciphertext:
+    def multiply_values_rescale(
+        self, ct: Ciphertext, values, cache_key=None
+    ) -> Ciphertext:
         """Scale-stationary PCmult: encode ``values`` at exactly the prime
         that the following Rescale divides out, so the result keeps
         ``ct.scale`` unchanged (the standard LoLa/SEAL weight-encoding
-        trick, which keeps every NKS layer's output scale equal to Δ)."""
+        trick, which keeps every NKS layer's output scale equal to Δ).
+
+        ``values`` may be a callable producing the slot vector, deferred
+        until an actual encode is required.  With ``cache_key`` set the
+        encoded (and forward-transformed) plaintext is memoized on the
+        context, so repeated inferences pay the encode + NTT exactly once.
+        """
         q_last = ct.basis.primes[-1]
-        pt = self.context.encode(values, level=ct.level, scale=float(q_last))
+        pt = self.encode_cached(
+            values, level=ct.level, scale=float(q_last), cache_key=cache_key
+        )
         return self.rescale(self.multiply_plain(ct, pt))
+
+    def encode_cached(
+        self, values, level: int, scale: float, cache_key=None
+    ) -> Plaintext:
+        """Encode a slot vector, memoizing the NTT-domain plaintext.
+
+        ``values`` may be an array or a zero-argument callable (evaluated
+        only on a cache miss).  Without ``cache_key`` — or with the
+        ``plaintext_cache`` fast path disabled — this is a plain encode.
+        """
+        cache = self.context.plaintext_cache
+        use_cache = (
+            cache_key is not None and fastpath.get_config().plaintext_cache
+        )
+        if use_cache:
+            full_key = (cache_key, level, scale)
+            hit = cache.get(full_key)
+            if hit is not None:
+                return hit
+        if callable(values):
+            values = values()
+        pt = self.context.encode(values, level=level, scale=scale)
+        # Store NTT-resident so every later PCmult/PCadd skips the forward
+        # transform as well as the encode.
+        pt = Plaintext(poly=pt.poly.to_ntt(), scale=pt.scale)
+        if use_cache:
+            cache[full_key] = pt
+        return pt
 
     def square_relinearize_rescale(self, ct: Ciphertext) -> Ciphertext:
         """CCmult + Relinearize + Rescale — the activation-layer step."""
@@ -295,16 +336,43 @@ def _key_switch(
         )
     ext = key.basis
     d = component.to_coefficient()
-    acc0 = RnsPolynomial.zero(ext, is_ntt=True)
-    acc1 = RnsPolynomial.zero(ext, is_ntt=True)
-    for i, q_i in enumerate(basis.primes):
-        row = d.residues[i].astype(np.int64)
-        signed = np.where(row > q_i // 2, row - q_i, row)
-        rows = np.empty((ext.level, ext.n), dtype=np.uint64)
-        for j, q_j in enumerate(ext.primes):
-            rows[j] = np.mod(signed, np.int64(q_j)).astype(np.uint64)
-        lifted = RnsPolynomial(ext, rows, is_ntt=False).to_ntt()
-        acc0 = acc0 + lifted * key.b[i]
-        acc1 = acc1 + lifted * key.a[i]
+    if fastpath.get_config().vectorized_keyswitch:
+        # Lift every decomposition digit into the extended basis at once
+        # ((L, ext_L, N) signed mod) and run all L forward NTTs in a single
+        # batched call; the inner product with the stacked key follows as
+        # one multiply + one lazy sum + one Barrett pass per key half.
+        qs = np.array(basis.primes, dtype=np.int64).reshape(-1, 1)
+        rows = d.residues.astype(np.int64)
+        signed = np.where(rows > qs // 2, rows - qs, rows)  # (L, N)
+        ext_qs = np.array(ext.primes, dtype=np.int64).reshape(1, -1, 1)
+        lifted = np.mod(signed[:, None, :], ext_qs).astype(np.uint64)
+        ext_ctx = get_batched_ntt_context(ext.n, ext.primes)
+        lifted_ntt = ext_ctx.forward(lifted)  # (L, ext_L, N)
+        # Products are < q < 2**30; summing L <= 8 of them stays far below
+        # the Barrett input bound, so one deferred reduction suffices.
+        prod0 = batched_mod_mul(lifted_ntt, key.stacked_b, ext_ctx.barrett)
+        prod1 = batched_mod_mul(lifted_ntt, key.stacked_a, ext_ctx.barrett)
+        acc0 = RnsPolynomial(
+            ext,
+            batched_barrett_reduce(prod0.sum(axis=0), ext_ctx.barrett),
+            is_ntt=True,
+        )
+        acc1 = RnsPolynomial(
+            ext,
+            batched_barrett_reduce(prod1.sum(axis=0), ext_ctx.barrett),
+            is_ntt=True,
+        )
+    else:
+        acc0 = RnsPolynomial.zero(ext, is_ntt=True)
+        acc1 = RnsPolynomial.zero(ext, is_ntt=True)
+        for i, q_i in enumerate(basis.primes):
+            row = d.residues[i].astype(np.int64)
+            signed = np.where(row > q_i // 2, row - q_i, row)
+            rows = np.empty((ext.level, ext.n), dtype=np.uint64)
+            for j, q_j in enumerate(ext.primes):
+                rows[j] = np.mod(signed, np.int64(q_j)).astype(np.uint64)
+            lifted = RnsPolynomial(ext, rows, is_ntt=False).to_ntt()
+            acc0 = acc0 + lifted * key.b[i]
+            acc1 = acc1 + lifted * key.a[i]
     # Divide by the special prime (last in the extended basis).
     return acc0.rescale(), acc1.rescale()

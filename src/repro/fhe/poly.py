@@ -18,8 +18,16 @@ from typing import Sequence
 
 import numpy as np
 
-from .modmath import BarrettConstant, mod_add, mod_inverse, mod_mul, mod_neg, mod_sub
-from .ntt import get_ntt_context
+from . import fastpath
+from .modmath import (
+    BarrettConstant,
+    batched_mod_add,
+    batched_mod_mul,
+    batched_mod_neg,
+    batched_mod_sub,
+    mod_inverse,
+)
+from .ntt import get_batched_ntt_context, get_ntt_context
 
 _U64 = np.uint64
 
@@ -70,6 +78,14 @@ class RnsBasis:
     def barrett(self, i: int) -> BarrettConstant:
         return BarrettConstant.for_modulus(self.primes[i])
 
+    def ntt(self):
+        """The (cached) batched NTT context for this chain.
+
+        Also carries the stacked elementwise kernel constants (``qs``,
+        ``barrett``) used by the vectorized polynomial arithmetic.
+        """
+        return get_batched_ntt_context(self.n, self.primes)
+
 
 class RnsPolynomial:
     """A polynomial in ``R_Q`` stored as per-prime residue rows.
@@ -115,9 +131,17 @@ class RnsPolynomial:
         coeffs = np.asarray(coefficients, dtype=object)
         if coeffs.shape != (basis.n,):
             raise ValueError(f"expected {basis.n} coefficients, got {coeffs.shape}")
-        rows = np.empty((basis.level, basis.n), dtype=_U64)
-        for i, q in enumerate(basis.primes):
-            rows[i] = np.array([int(c) % q for c in coeffs], dtype=_U64)
+        try:
+            # Word-sized coefficients (the common case: every valid CKKS
+            # encoding fits int64): reduce all rows in one vectorized call.
+            small = np.array([int(c) for c in coeffs], dtype=np.int64)
+        except OverflowError:
+            rows = np.empty((basis.level, basis.n), dtype=_U64)
+            for i, q in enumerate(basis.primes):
+                rows[i] = np.array([int(c) % q for c in coeffs], dtype=_U64)
+        else:
+            qs = np.array(basis.primes, dtype=np.int64).reshape(-1, 1)
+            rows = np.mod(small[None, :], qs).astype(_U64)
         return cls(basis, rows, is_ntt=False)
 
     # -- domain conversions ---------------------------------------------------
@@ -125,19 +149,25 @@ class RnsPolynomial:
     def to_ntt(self) -> "RnsPolynomial":
         if self.is_ntt:
             return self
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            ctx = get_ntt_context(self.basis.n, q)
-            rows[i] = ctx.forward(self.residues[i])
+        if fastpath.get_config().batched_ntt:
+            rows = self.basis.ntt().forward(self.residues)
+        else:
+            rows = np.empty_like(self.residues)
+            for i, q in enumerate(self.basis.primes):
+                ctx = get_ntt_context(self.basis.n, q)
+                rows[i] = ctx.forward(self.residues[i])
         return RnsPolynomial(self.basis, rows, is_ntt=True)
 
     def to_coefficient(self) -> "RnsPolynomial":
         if not self.is_ntt:
             return self
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            ctx = get_ntt_context(self.basis.n, q)
-            rows[i] = ctx.inverse(self.residues[i])
+        if fastpath.get_config().batched_ntt:
+            rows = self.basis.ntt().inverse(self.residues)
+        else:
+            rows = np.empty_like(self.residues)
+            for i, q in enumerate(self.basis.primes):
+                ctx = get_ntt_context(self.basis.n, q)
+                rows[i] = ctx.inverse(self.residues[i])
         return RnsPolynomial(self.basis, rows, is_ntt=False)
 
     # -- arithmetic -----------------------------------------------------------
@@ -150,22 +180,18 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._require_same_form(other)
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            rows[i] = mod_add(self.residues[i], other.residues[i], q)
+        ctx = self.basis.ntt()
+        rows = batched_mod_add(self.residues, other.residues, ctx.qs)
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._require_same_form(other)
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            rows[i] = mod_sub(self.residues[i], other.residues[i], q)
+        ctx = self.basis.ntt()
+        rows = batched_mod_sub(self.residues, other.residues, ctx.qs)
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            rows[i] = mod_neg(self.residues[i], q)
+        rows = batched_mod_neg(self.residues, self.basis.ntt().qs)
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -173,17 +199,17 @@ class RnsPolynomial:
         self._require_same_form(other)
         if not self.is_ntt:
             raise ValueError("polynomial multiplication requires NTT domain")
-        rows = np.empty_like(self.residues)
-        for i in range(self.basis.level):
-            rows[i] = mod_mul(self.residues[i], other.residues[i], self.basis.barrett(i))
+        ctx = self.basis.ntt()
+        rows = batched_mod_mul(self.residues, other.residues, ctx.barrett)
         return RnsPolynomial(self.basis, rows, is_ntt=True)
 
     def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
         """Multiply every coefficient by an integer scalar."""
-        rows = np.empty_like(self.residues)
-        for i, q in enumerate(self.basis.primes):
-            s = np.full(1, int(scalar) % q, dtype=_U64)
-            rows[i] = mod_mul(self.residues[i], s, self.basis.barrett(i))
+        ctx = self.basis.ntt()
+        s = np.array(
+            [int(scalar) % q for q in self.basis.primes], dtype=_U64
+        ).reshape(-1, 1)
+        rows = batched_mod_mul(self.residues, s, ctx.barrett)
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     # -- level management -----------------------------------------------------
@@ -204,25 +230,43 @@ class RnsPolynomial:
         """
         if self.basis.level <= 1:
             raise ValueError("cannot rescale a level-1 polynomial")
-        was_ntt = self.is_ntt
-        coeff = self.to_coefficient()
         new_basis = self.basis.drop_last()
         q_last = self.basis.primes[-1]
-        last_row = coeff.residues[-1]
-        # Centered lift of the last row so the rounding error stays small.
-        half = q_last // 2
-        rows = np.empty((new_basis.level, new_basis.n), dtype=_U64)
-        for i, q in enumerate(new_basis.primes):
-            bc = new_basis.barrett(i)
-            lifted = np.where(
-                last_row > half,
-                # negative lift: (c_last - q_last) mod q_i
-                (last_row.astype(np.int64) - np.int64(q_last)) % np.int64(q),
-                last_row.astype(np.int64) % np.int64(q),
+        new_ctx = new_basis.ntt()
+        if self.is_ntt and fastpath.get_config().batched_ntt:
+            # NTT-resident rescale: only the dropped row ever leaves the
+            # evaluation domain.  Inverse-transform that single row, lift its
+            # centered form into the remaining primes, forward-transform the
+            # lift (L-1 rows), and finish with pure NTT-domain arithmetic —
+            # instead of a full L-row inverse + (L-1)-row forward round trip.
+            last_row = get_ntt_context(self.basis.n, q_last).inverse(
+                self.residues[-1]
+            )
+            half = q_last // 2
+            signed = last_row.astype(np.int64)
+            signed = np.where(last_row > half, signed - np.int64(q_last), signed)
+            lifted = np.mod(
+                signed[None, :], new_ctx.qs.astype(np.int64)
             ).astype(_U64)
-            diff = mod_sub(coeff.residues[i], lifted, q)
-            inv = np.full(1, mod_inverse(q_last, q), dtype=_U64)
-            rows[i] = mod_mul(diff, inv, bc)
+            lifted = new_ctx.forward(lifted)
+            diff = batched_mod_sub(self.residues[:-1], lifted, new_ctx.qs)
+            inv = self.basis.ntt().rescale_inverses()
+            rows = batched_mod_mul(diff, inv, new_ctx.barrett)
+            return RnsPolynomial(new_basis, rows, is_ntt=True)
+        was_ntt = self.is_ntt
+        coeff = self.to_coefficient()
+        last_row = coeff.residues[-1]
+        # Centered lift of the last row so the rounding error stays small;
+        # all remaining primes are handled in one stacked call.
+        half = q_last // 2
+        signed = last_row.astype(np.int64)
+        signed = np.where(last_row > half, signed - np.int64(q_last), signed)
+        lifted = np.mod(
+            signed[None, :], new_ctx.qs.astype(np.int64)
+        ).astype(_U64)
+        diff = batched_mod_sub(coeff.residues[:-1], lifted, new_ctx.qs)
+        inv = self.basis.ntt().rescale_inverses()
+        rows = batched_mod_mul(diff, inv, new_ctx.barrett)
         out = RnsPolynomial(new_basis, rows, is_ntt=False)
         return out.to_ntt() if was_ntt else out
 
@@ -235,22 +279,24 @@ class RnsPolynomial:
         contents around requires mapping ``a(X)`` to ``a(X^g)`` for
         ``g = 5^k mod 2N``, then key-switching back to the original key.
         """
-        was_ntt = self.is_ntt
-        coeff = self.to_coefficient()
         n = self.basis.n
         g = galois_element % (2 * n)
         if g % 2 == 0:
             raise ValueError("Galois element must be odd")
+        if self.is_ntt and fastpath.get_config().ntt_galois:
+            # In the NTT domain the automorphism is a pure permutation of
+            # evaluation points — no inverse/forward round trip needed.
+            perm = self.basis.ntt().galois_permutation(g)
+            return RnsPolynomial(self.basis, self.residues[:, perm], is_ntt=True)
+        was_ntt = self.is_ntt
+        coeff = self.to_coefficient()
         idx = (np.arange(n, dtype=np.int64) * g) % (2 * n)
         target = np.where(idx < n, idx, idx - n)
         negate = idx >= n
-        rows = np.empty_like(coeff.residues)
-        for i, q in enumerate(self.basis.primes):
-            out = np.zeros(n, dtype=_U64)
-            vals = coeff.residues[i]
-            negated = mod_neg(vals, q)
-            out[target] = np.where(negate, negated, vals)
-            rows[i] = out
+        vals = coeff.residues
+        negated = batched_mod_neg(vals, self.basis.ntt().qs)
+        rows = np.empty_like(vals)
+        rows[:, target] = np.where(negate[None, :], negated, vals)
         out_poly = RnsPolynomial(self.basis, rows, is_ntt=False)
         return out_poly.to_ntt() if was_ntt else out_poly
 

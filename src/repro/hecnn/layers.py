@@ -14,7 +14,8 @@ attached to :meth:`forward` reproduces :meth:`trace` op-for-op.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,8 +23,13 @@ from ..fhe.ciphertext import Ciphertext
 from ..fhe.ops import Evaluator
 from ..optypes import HeOp
 from .packing import ConvPacking, DensePacking, SlotLayout
-from .reference import ConvSpec, DenseSpec, PoolSpec
+from .reference import PoolSpec
 from .trace import LayerTrace
+
+#: Monotone ids distinguishing layer instances in the context-level
+#: plaintext cache (:meth:`~repro.fhe.ops.Evaluator.encode_cached`), so
+#: weight plaintexts survive across the fresh Evaluator each inference uses.
+_cache_tokens = itertools.count()
 
 
 class PackedLayer:
@@ -61,6 +67,7 @@ class PackedConv(PackedLayer):
     packing: ConvPacking
     weights: np.ndarray
     bias: np.ndarray
+    _cache_token: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         s = self.packing.spec
@@ -69,6 +76,7 @@ class PackedConv(PackedLayer):
             raise ValueError(f"weights must have shape {expected}")
         if self.bias.shape != (s.out_channels,):
             raise ValueError(f"bias must have shape ({s.out_channels},)")
+        self._cache_token = next(_cache_tokens)
 
     @property
     def output_layout(self) -> SlotLayout:
@@ -78,18 +86,23 @@ class PackedConv(PackedLayer):
         k = self.packing.spec.kernel_offsets
         if len(cts) != k:
             raise ValueError(f"expected {k} per-offset ciphertexts, got {len(cts)}")
-        ctx = evaluator.context
         outputs: list[Ciphertext] = []
         for g in range(self.packing.num_groups):
             acc: Ciphertext | None = None
             for offset in range(k):
-                w = self.packing.weight_vector(g, offset, self.weights)
-                term = evaluator.multiply_values_rescale(cts[offset], w)
+                term = evaluator.multiply_values_rescale(
+                    cts[offset],
+                    lambda g=g, o=offset: self.packing.weight_vector(
+                        g, o, self.weights
+                    ),
+                    cache_key=(self._cache_token, "w", g, offset),
+                )
                 acc = term if acc is None else evaluator.add(acc, term)
-            bias_pt = ctx.encode(
-                self.packing.bias_vector(g, self.bias),
+            bias_pt = evaluator.encode_cached(
+                lambda g=g: self.packing.bias_vector(g, self.bias),
                 level=acc.level,
                 scale=acc.scale,
+                cache_key=(self._cache_token, "b", g),
             )
             outputs.append(evaluator.add_plain(acc, bias_pt))
         return outputs
@@ -162,6 +175,7 @@ class PackedDense(PackedLayer):
     packing: DensePacking
     weights: np.ndarray
     bias: np.ndarray
+    _cache_token: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         spec = self.packing.spec
@@ -171,6 +185,7 @@ class PackedDense(PackedLayer):
             )
         if self.bias.shape != (spec.out_features,):
             raise ValueError(f"bias must have shape ({spec.out_features},)")
+        self._cache_token = next(_cache_tokens)
 
     @property
     def output_layout(self) -> SlotLayout:
@@ -196,7 +211,6 @@ class PackedDense(PackedLayer):
             raise ValueError(
                 f"expected {pk.input_layout.num_cts} ciphertexts, got {len(cts)}"
             )
-        ctx = evaluator.context
         inputs = list(cts)
         if pk.replicated and pk.copies > 1:
             base = inputs[0]
@@ -208,25 +222,31 @@ class PackedDense(PackedLayer):
         for chunk in range(pk.num_chunks):
             partial: Ciphertext | None = None
             for g, ct in enumerate(inputs):
-                w = pk.weight_vector(chunk, g, self.weights)
-                term = evaluator.multiply_values_rescale(ct, w)
+                term = evaluator.multiply_values_rescale(
+                    ct,
+                    lambda c=chunk, g=g: pk.weight_vector(c, g, self.weights),
+                    cache_key=(self._cache_token, "w", chunk, g),
+                )
                 partial = term if partial is None else evaluator.add(partial, term)
             reduced = self._rotate_sum(evaluator, partial)
             if pk.needs_mask:
                 # Isolate this chunk's output slots so merging cannot
                 # pollute other chunks' results (see DensePacking.needs_mask).
                 reduced = evaluator.multiply_values_rescale(
-                    reduced, pk.mask_vector(chunk)
+                    reduced,
+                    lambda c=chunk: pk.mask_vector(c),
+                    cache_key=(self._cache_token, "m", chunk),
                 )
             chunk_results.append(reduced)
 
         if not pk.merge_output:
             outputs = []
             for chunk, result in enumerate(chunk_results):
-                bias_pt = ctx.encode(
-                    pk.chunk_bias_vector(chunk, self.bias),
+                bias_pt = evaluator.encode_cached(
+                    lambda c=chunk: pk.chunk_bias_vector(c, self.bias),
                     level=result.level,
                     scale=result.scale,
+                    cache_key=(self._cache_token, "b", chunk),
                 )
                 outputs.append(evaluator.add_plain(result, bias_pt))
             return outputs
@@ -242,8 +262,11 @@ class PackedDense(PackedLayer):
                 merged = evaluator.rotate(merged, pk.slot_count - 1)
                 merged = evaluator.add(merged, result)
 
-        bias_pt = ctx.encode(
-            pk.bias_vector(self.bias), level=merged.level, scale=merged.scale
+        bias_pt = evaluator.encode_cached(
+            lambda: pk.bias_vector(self.bias),
+            level=merged.level,
+            scale=merged.scale,
+            cache_key=(self._cache_token, "b"),
         )
         return [evaluator.add_plain(merged, bias_pt)]
 
@@ -300,6 +323,7 @@ class PackedAveragePool(PackedLayer):
     name: str
     spec: PoolSpec
     input_layout: SlotLayout
+    _cache_token: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         expected = self.spec.channels * self.spec.in_positions
@@ -308,6 +332,7 @@ class PackedAveragePool(PackedLayer):
                 f"layout carries {self.input_layout.value_count} values, "
                 f"pool expects {expected}"
             )
+        self._cache_token = next(_cache_tokens)
 
     @property
     def levels_consumed(self) -> int:
@@ -376,7 +401,11 @@ class PackedAveragePool(PackedLayer):
             for dy in range(1, k):
                 rows = evaluator.add(rows, evaluator.rotate(acc, dy * s))
             outputs.append(
-                evaluator.multiply_values_rescale(rows, self.mask_vector(i))
+                evaluator.multiply_values_rescale(
+                    rows,
+                    lambda i=i: self.mask_vector(i),
+                    cache_key=(self._cache_token, "m", i),
+                )
             )
         return outputs
 

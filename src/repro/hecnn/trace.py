@@ -18,7 +18,7 @@ subtract) and one elementwise lane as 1 op per coefficient.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..optypes import HeOp
 

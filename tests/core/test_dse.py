@@ -87,3 +87,39 @@ def test_enumerate_feasible_consistency(mnist_trace, dev9):
     sols = enumerate_feasible(mnist_trace, dev9, bram_limit=700)
     assert sols
     assert all(s.is_feasible(bram_limit=700) for s in sols)
+
+
+def test_pruned_explore_identical_to_naive(mnist_trace, dev9):
+    """DSP pre-check + latency lower-bound pruning are exact: same best
+    solution, same evaluated/feasible counts as the unpruned scan."""
+    naive = explore(mnist_trace, dev9, prune=False)
+    pruned = explore(mnist_trace, dev9, prune=True)
+    assert pruned.best == naive.best
+    assert pruned.evaluated == naive.evaluated
+    assert pruned.feasible == naive.feasible
+
+
+def test_pruned_explore_identical_under_limits(mnist_trace, dev9):
+    naive = explore(mnist_trace, dev9, prune=False, bram_limit=700)
+    pruned = explore(mnist_trace, dev9, prune=True, bram_limit=700)
+    assert pruned == naive
+
+
+def test_parallel_explore_identical_to_serial(mnist_trace, dev9):
+    serial = explore(mnist_trace, dev9)
+    parallel = explore(mnist_trace, dev9, workers=2)
+    assert parallel.best == serial.best
+    assert parallel.evaluated == serial.evaluated
+    assert parallel.feasible == serial.feasible
+
+
+def test_parallel_enumerate_identical_to_serial(mnist_trace, dev9):
+    serial = enumerate_feasible(mnist_trace, dev9, bram_limit=700)
+    parallel = enumerate_feasible(mnist_trace, dev9, bram_limit=700, workers=2)
+    assert parallel == serial
+
+
+def test_enumerate_prune_flag_is_exact(mnist_trace, dev9):
+    assert enumerate_feasible(mnist_trace, dev9, prune=True) == (
+        enumerate_feasible(mnist_trace, dev9, prune=False)
+    )

@@ -7,7 +7,6 @@ consistency of the aggregate accounting.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

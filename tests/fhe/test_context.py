@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.fhe import CkksContext, fxhenn_cifar10_params, tiny_test_params
+from repro.fhe import CkksContext, fxhenn_cifar10_params
 
 
 def test_encrypt_decrypt_roundtrip(ctx):

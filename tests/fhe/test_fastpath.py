@@ -1,0 +1,266 @@
+"""Property tests: every kernel fast path is bit-identical to its oracle.
+
+The fast paths (batched lazy-reduction NTT, NTT-domain Galois, plaintext
+caching, vectorized KeySwitch) are pure performance work — these tests pin
+them, bit for bit, to the per-prime reference implementations and to the
+schoolbook negacyclic convolution.  No tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import CkksContext, Evaluator, fastpath, tiny_test_params
+from repro.fhe.modmath import generate_ntt_primes
+from repro.fhe.ntt import (
+    get_batched_ntt_context,
+    get_ntt_context,
+    negacyclic_convolution_reference,
+)
+from repro.fhe.poly import RnsBasis, RnsPolynomial
+
+
+def _primes(n: int, count: int = 3, bits: int = 24) -> tuple[int, ...]:
+    return tuple(generate_ntt_primes(bits, count, n))
+
+
+# -- batched NTT vs per-row reference ----------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_batched_forward_matches_per_row(seed):
+    n = 64
+    primes = _primes(n)
+    batched = get_batched_ntt_context(n, primes)
+    rng = np.random.default_rng(seed)
+    rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    got = batched.forward(rows)
+    expected = np.stack(
+        [get_ntt_context(n, q).forward(rows[i]) for i, q in enumerate(primes)]
+    )
+    assert np.array_equal(got, expected)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_batched_inverse_matches_per_row(seed):
+    n = 64
+    primes = _primes(n)
+    batched = get_batched_ntt_context(n, primes)
+    rng = np.random.default_rng(seed)
+    rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    got = batched.inverse(rows)
+    expected = np.stack(
+        [get_ntt_context(n, q).inverse(rows[i]) for i, q in enumerate(primes)]
+    )
+    assert np.array_equal(got, expected)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_batched_roundtrip_3d(seed):
+    """(B, L, N) stacks transform per matrix exactly like (L, N) slices."""
+    n = 32
+    primes = _primes(n)
+    batched = get_batched_ntt_context(n, primes)
+    rng = np.random.default_rng(seed)
+    stack = np.stack(
+        [
+            np.stack(
+                [
+                    rng.integers(0, q, n, dtype=np.int64).astype(np.uint64)
+                    for q in primes
+                ]
+            )
+            for _ in range(4)
+        ]
+    )
+    fwd = batched.forward(stack)
+    for b in range(4):
+        assert np.array_equal(fwd[b], batched.forward(stack[b]))
+    assert np.array_equal(batched.inverse(fwd), stack)
+
+
+@pytest.mark.parametrize("n", [16, 256, 2048])
+def test_batched_matches_per_row_across_sizes(n):
+    primes = _primes(n, count=4, bits=28)
+    batched = get_batched_ntt_context(n, primes)
+    rng = np.random.default_rng(n)
+    rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    got = batched.forward(rows)
+    expected = np.stack(
+        [get_ntt_context(n, q).forward(rows[i]) for i, q in enumerate(primes)]
+    )
+    assert np.array_equal(got, expected)
+    assert np.array_equal(batched.inverse(got), rows)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_batched_product_matches_convolution_reference(seed):
+    """Forward -> pointwise -> inverse equals the schoolbook negacyclic
+    convolution on every RNS row."""
+    n = 16
+    primes = _primes(n)
+    basis = RnsBasis(n, primes)
+    rng = np.random.default_rng(seed)
+    a_rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    b_rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    a = RnsPolynomial(basis, a_rows, is_ntt=False)
+    b = RnsPolynomial(basis, b_rows, is_ntt=False)
+    prod = (a.to_ntt() * b.to_ntt()).to_coefficient()
+    for i, q in enumerate(primes):
+        ref = negacyclic_convolution_reference(a_rows[i], b_rows[i], q)
+        assert np.array_equal(prod.residues[i], ref.astype(np.uint64))
+
+
+# -- NTT-domain Galois vs coefficient-domain automorphism -------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    step=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=20, deadline=None)
+def test_ntt_galois_matches_coefficient_path(seed, step):
+    n = 64
+    primes = _primes(n)
+    basis = RnsBasis(n, primes)
+    rng = np.random.default_rng(seed)
+    rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    poly = RnsPolynomial(basis, rows, is_ntt=False).to_ntt()
+    g = pow(5, step, 2 * n)
+    with fastpath.overridden(ntt_galois=True):
+        fast = poly.galois_transform(g)
+    with fastpath.overridden(ntt_galois=False):
+        slow = poly.galois_transform(g)
+    assert fast.is_ntt and slow.is_ntt
+    assert np.array_equal(fast.residues, slow.residues)
+
+
+def test_conjugation_galois_matches():
+    n = 32
+    primes = _primes(n)
+    basis = RnsBasis(n, primes)
+    rng = np.random.default_rng(9)
+    rows = np.stack(
+        [rng.integers(0, q, n, dtype=np.int64).astype(np.uint64) for q in primes]
+    )
+    poly = RnsPolynomial(basis, rows, is_ntt=False).to_ntt()
+    g = 2 * n - 1
+    with fastpath.overridden(ntt_galois=True):
+        fast = poly.galois_transform(g)
+    with fastpath.overridden(ntt_galois=False):
+        slow = poly.galois_transform(g)
+    assert np.array_equal(fast.residues, slow.residues)
+
+
+# -- evaluator-level fast paths ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = CkksContext(tiny_test_params(poly_degree=256, level=5), seed=7)
+    context.ensure_relin_keys()
+    context.ensure_galois_keys([1, 2])
+    return context
+
+
+@pytest.fixture(scope="module")
+def ct(ctx):
+    rng = np.random.default_rng(11)
+    return ctx.encrypt_values(rng.uniform(-1, 1, ctx.slot_count))
+
+
+def _residues(ciphertext):
+    return [c.to_ntt().residues.copy() for c in ciphertext.components]
+
+
+@pytest.mark.parametrize("step", [1, 2])
+def test_vectorized_keyswitch_matches_legacy(ctx, ct, step):
+    ev = Evaluator(ctx)
+    with fastpath.overridden(vectorized_keyswitch=True):
+        fast = ev.rotate(ct, step)
+    with fastpath.overridden(vectorized_keyswitch=False):
+        slow = ev.rotate(ct, step)
+    for f, s in zip(_residues(fast), _residues(slow)):
+        assert np.array_equal(f, s)
+
+
+def test_relinearize_matches_legacy(ctx, ct):
+    ev = Evaluator(ctx)
+    sq = ev.square(ct)
+    with fastpath.overridden(vectorized_keyswitch=True):
+        fast = ev.relinearize(sq)
+    with fastpath.overridden(vectorized_keyswitch=False):
+        slow = ev.relinearize(sq)
+    for f, s in zip(_residues(fast), _residues(slow)):
+        assert np.array_equal(f, s)
+
+
+def test_fastpath_rescale_matches_coefficient_rescale(ctx, ct):
+    ev = Evaluator(ctx)
+    prod = ev.multiply_plain(ct, ctx.encode(np.ones(ctx.slot_count)))
+    with fastpath.overridden(batched_ntt=True):
+        fast = ev.rescale(prod)
+    with fastpath.overridden(batched_ntt=False):
+        slow = ev.rescale(prod)
+    for f, s in zip(_residues(fast), _residues(slow)):
+        assert np.array_equal(f, s)
+
+
+def test_encode_cached_returns_identical_plaintext(ctx):
+    ev = Evaluator(ctx)
+    values = np.linspace(-1, 1, ctx.slot_count)
+    ctx.clear_plaintext_cache()
+    calls = []
+
+    def supplier():
+        calls.append(1)
+        return values
+
+    first = ev.encode_cached(supplier, level=3, scale=ctx.scale, cache_key="k")
+    second = ev.encode_cached(supplier, level=3, scale=ctx.scale, cache_key="k")
+    assert second is first  # memoized on the context
+    assert len(calls) == 1  # supplier only evaluated on the miss
+    plain = ctx.encode(values, level=3, scale=ctx.scale)
+    assert np.array_equal(first.poly.residues, plain.poly.to_ntt().residues)
+    ctx.clear_plaintext_cache()
+    assert ctx.plaintext_cache == {}
+
+
+def test_encode_cached_respects_disabled_flag(ctx):
+    ev = Evaluator(ctx)
+    values = np.ones(ctx.slot_count)
+    ctx.clear_plaintext_cache()
+    with fastpath.overridden(plaintext_cache=False):
+        ev.encode_cached(values, level=3, scale=ctx.scale, cache_key="k2")
+    assert ctx.plaintext_cache == {}
+
+
+def test_fastpath_config_toggles():
+    assert fastpath.get_config().batched_ntt
+    with fastpath.disabled() as cfg:
+        assert not any(
+            (cfg.batched_ntt, cfg.ntt_galois, cfg.plaintext_cache,
+             cfg.vectorized_keyswitch)
+        )
+    with fastpath.overridden(ntt_galois=False) as cfg:
+        assert cfg.batched_ntt and not cfg.ntt_galois
+    assert fastpath.get_config().ntt_galois

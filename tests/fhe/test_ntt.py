@@ -126,3 +126,25 @@ def test_forward_rejects_wrong_length():
 def test_context_cache_returns_same_object():
     q = generate_ntt_primes(24, 1, 64)[0]
     assert get_ntt_context(64, q) is get_ntt_context(64, q)
+
+
+def test_registry_is_inspectable_and_clearable():
+    from repro.fhe.ntt import (
+        clear_caches,
+        get_batched_ntt_context,
+        registry_info,
+    )
+
+    q = generate_ntt_primes(24, 1, 64)[0]
+    primes = tuple(generate_ntt_primes(24, 2, 64))
+    get_ntt_context(64, q)
+    batched = get_batched_ntt_context(64, primes)
+    info = registry_info()
+    assert (64, q) in info["ntt"]
+    assert (64, primes) in info["batched"]
+    assert get_batched_ntt_context(64, primes) is batched
+    clear_caches()
+    info = registry_info()
+    assert info["ntt"] == [] and info["batched"] == []
+    # Repopulates transparently after a clear.
+    assert get_ntt_context(64, q) is get_ntt_context(64, q)

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.fhe import (
-    Evaluator,
     SerializationError,
     ciphertext_from_bytes,
     ciphertext_to_bytes,

@@ -1,0 +1,69 @@
+"""End-to-end regression: the fast paths leave encrypted inference bit-exact.
+
+Encrypts once, then runs the same ciphertexts through the network with all
+fast paths enabled and all disabled: the output ciphertexts must match bit
+for bit (the server side is deterministic), both must decrypt to the
+plaintext reference, and the transform counter must show the fast path
+performing strictly fewer NTT row-transforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe import Evaluator, fastpath
+from repro.fhe import ntt
+
+
+def _component_residues(cts):
+    return [
+        comp.to_ntt().residues.copy()
+        for ct in cts
+        for comp in ct.components
+    ]
+
+
+def test_fastpath_forward_bit_identical_and_fewer_transforms(
+    tiny_model, tiny_ctx, tiny_image
+):
+    encrypted = tiny_model.encrypt_input(tiny_ctx, tiny_image)
+
+    with fastpath.disabled():
+        ntt.TRANSFORM_STATS.reset()
+        slow_out = tiny_model.forward_encrypted(Evaluator(tiny_ctx), encrypted)
+        slow_rows = ntt.TRANSFORM_STATS.total_rows
+
+    # Warm the plaintext cache, then count the steady-state fast path.
+    tiny_ctx.clear_plaintext_cache()
+    tiny_model.forward_encrypted(Evaluator(tiny_ctx), encrypted)
+    ntt.TRANSFORM_STATS.reset()
+    fast_out = tiny_model.forward_encrypted(Evaluator(tiny_ctx), encrypted)
+    fast_rows = ntt.TRANSFORM_STATS.total_rows
+
+    # Bit-identical ciphertexts out of the whole network.
+    assert len(fast_out) == len(slow_out)
+    for f, s in zip(
+        _component_residues(fast_out), _component_residues(slow_out)
+    ):
+        assert np.array_equal(f, s)
+
+    # Strictly fewer NTT row-transforms on the fast path.
+    assert fast_rows < slow_rows
+
+    # And the encrypted result still decrypts to the plaintext reference.
+    layout = tiny_model.layers[-1].output_layout
+    decrypted = layout.extract(
+        [tiny_ctx.decrypt_values(ct) for ct in fast_out]
+    )
+    reference = tiny_model.infer_plain(tiny_image)
+    assert np.max(np.abs(decrypted - reference)) < 0.05
+
+
+def test_cold_cache_forward_matches_warm(tiny_model, tiny_ctx, tiny_image):
+    """First inference (cache misses) and later ones agree exactly."""
+    encrypted = tiny_model.encrypt_input(tiny_ctx, tiny_image)
+    tiny_ctx.clear_plaintext_cache()
+    cold = tiny_model.forward_encrypted(Evaluator(tiny_ctx), encrypted)
+    warm = tiny_model.forward_encrypted(Evaluator(tiny_ctx), encrypted)
+    for f, s in zip(_component_residues(cold), _component_residues(warm)):
+        assert np.array_equal(f, s)

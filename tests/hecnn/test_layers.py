@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.fhe import CkksContext, Evaluator, OperationRecorder, tiny_test_params
+from repro.fhe import CkksContext, Evaluator, tiny_test_params
 from repro.hecnn import (
     ConvPacking,
     ConvSpec,
