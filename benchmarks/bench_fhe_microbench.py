@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.fhe import CkksContext, Evaluator, get_ntt_context, tiny_test_params
 from repro.fhe import fastpath, ntt
 from repro.fhe.modmath import BarrettConstant, barrett_reduce, generate_ntt_primes
@@ -148,6 +149,28 @@ def test_bench_fastpath_end_to_end(save_report):
     fast_seconds = time.perf_counter() - start
     fast_stats = ntt.TRANSFORM_STATS.snapshot()
 
+    # One extra observed inference (outside both timed regions) yields the
+    # per-op latency distribution for the benchmark record.
+    with obs.observed():
+        obs.reset()
+        net.infer(ctx, image)
+        op_latency = {}
+        for h in obs.get_registry().collect(
+            kind="histogram", name="span_seconds"
+        ):
+            labels = dict(h.labels)
+            if labels.get("category") != "he_op":
+                continue
+            s = h.summary()
+            op_latency[labels["name"]] = {
+                "count": s["count"],
+                "mean_ms": round(s["mean"] * 1e3, 4),
+                "p50_ms": round(s["p50"] * 1e3, 4),
+                "p95_ms": round(s["p95"] * 1e3, 4),
+                "p99_ms": round(s["p99"] * 1e3, 4),
+            }
+    obs.reset()
+
     speedup = baseline_seconds / fast_seconds
     payload = {
         "benchmark": "encrypted FxHENN-MNIST forward (N=2048, L=7)",
@@ -163,6 +186,7 @@ def test_bench_fastpath_end_to_end(save_report):
                       "+ vectorized_keyswitch (warm cache)",
         },
         "speedup": speedup,
+        "op_latency_ms": op_latency,
         "baseline_max_err": float(np.max(np.abs(baseline_out - reference))),
         "fastpath_max_err": float(np.max(np.abs(fast_out - reference))),
     }
@@ -189,3 +213,35 @@ def test_bench_fastpath_end_to_end(save_report):
     assert fast_stats["forward_calls"] < baseline_stats["forward_calls"]
     # ... and the paper-level speedup target.
     assert speedup >= 3.0
+    # The observed pass produced a per-op latency distribution.
+    assert "Rescale" in op_latency and "Rotate" in op_latency
+    for stats in op_latency.values():
+        assert stats["count"] > 0
+        assert stats["p50_ms"] <= stats["p95_ms"] <= stats["p99_ms"]
+
+
+def test_bench_obs_overhead_disabled(bench_ctx, bench_ct):
+    """With observability off, the ``_probed`` wrapper must cost < 2 %.
+
+    Interleaved min-of-N timing of the decorated CCadd against its
+    undecorated original (``__wrapped__``) on the N=2048 ring; min-of-N
+    discards scheduler noise, interleaving discards thermal drift.
+    """
+    assert not obs.enabled()
+    ev = Evaluator(bench_ctx)
+    raw_add = Evaluator.add.__wrapped__
+    reps, rounds = 200, 7
+    best_probed = best_raw = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            ev.add(bench_ct, bench_ct)
+        best_probed = min(best_probed, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(reps):
+            raw_add(ev, bench_ct, bench_ct)
+        best_raw = min(best_raw, time.perf_counter() - start)
+    overhead = best_probed / best_raw - 1.0
+    print(f"disabled-obs overhead on CCadd: {overhead:+.3%} "
+          f"({best_raw * 1e6 / reps:.1f} us/op raw)")
+    assert overhead < 0.02

@@ -8,7 +8,13 @@ Subcommands mirror the framework's workflow:
   saving JSON and HLS directives);
 * ``explore`` — print the Pareto frontier over a BRAM budget window;
 * ``infer``   — run a real encrypted inference and verify it against the
-  plaintext reference.
+  plaintext reference;
+* ``profile`` — run an encrypted inference under the observability layer
+  and print per-layer / per-op latency and noise-budget breakdowns,
+  optionally exporting a Chrome-trace / Perfetto JSON.
+
+Unknown networks and devices exit with a message and a nonzero status —
+never a raw traceback.
 """
 
 from __future__ import annotations
@@ -38,6 +44,13 @@ def _network(name: str):
         raise SystemExit(
             f"unknown network {name!r}; choose from {sorted(_NETWORKS)}"
         ) from None
+
+
+def _device(name: str):
+    try:
+        return device_by_name(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def cmd_devices(_args: argparse.Namespace) -> int:
@@ -76,7 +89,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     model = _network(args.network)
-    device = device_by_name(args.device)
+    device = _device(args.device)
     design = FxHennFramework().generate(model, device)
     util = design.utilization()
     print(f"{design.network.name} on {device.name}:")
@@ -101,7 +114,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     trace = _network(args.network).trace()
-    device = device_by_name(args.device)
+    device = _device(args.device)
     points = solution_scatter(
         trace, device, bram_min=args.bram_min, bram_max=args.bram_max
     )
@@ -154,6 +167,94 @@ def cmd_infer(args: argparse.Namespace) -> int:
     agree = int(np.argmax(encrypted)) == int(np.argmax(plain))
     print(f"argmax agreement: {'OK' if agree else 'MISMATCH'}")
     return 0 if agree else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Encrypted inference under the observability layer (``repro.obs``).
+
+    Prints (a) a per-layer wall-time / op-count / noise-budget table and
+    (b) a per-op latency histogram (count, p50, p95) — the software twin
+    of the paper's Fig. 7 layer breakdown — and optionally exports the
+    span tree as Chrome-trace JSON loadable in chrome://tracing or
+    https://ui.perfetto.dev.
+    """
+    import time
+
+    from . import obs
+    from .fhe import CkksContext, CkksParameters
+    from .fhe.ops import OperationRecorder
+    from .hecnn import synthetic_mnist_image
+
+    if args.network == "tiny":
+        from .fhe import tiny_test_params
+
+        params = tiny_test_params(poly_degree=512, level=7)
+        model = tiny_mnist_model(seed=0, params=params)
+        image = np.random.default_rng(args.seed).uniform(0, 1, (1, 8, 8))
+    elif args.network == "mnist":
+        if args.full:
+            from .fhe import fxhenn_mnist_params
+
+            params = fxhenn_mnist_params()
+        else:
+            params = CkksParameters(
+                poly_degree=2048, prime_bits=28, level=7, scale_bits=26
+            )
+        model = fxhenn_mnist_model(seed=0, params=params)
+        image = synthetic_mnist_image(seed=args.seed)
+    else:
+        raise SystemExit(
+            f"profile supports networks: tiny, mnist (got {args.network!r})"
+        )
+
+    context = CkksContext(params, seed=1)
+    model.provision_keys(context)
+    recorder = OperationRecorder()
+    with obs.observed():
+        obs.reset()
+        start = time.perf_counter()
+        encrypted = model.infer(context, image, recorder=recorder)
+        wall = time.perf_counter() - start
+        noise_rows = model.noise_profile(context)
+    plain = model.infer_plain(image)
+    err = float(np.max(np.abs(encrypted - plain)))
+
+    tracer = obs.get_tracer()
+    layer_stats = {r["name"]: r for r in tracer.summary(category="layer")}
+    rows = []
+    for (name, bound), layer in zip(noise_rows, model.layers):
+        stats = layer_stats.get(name, {})
+        op_count = sum(recorder.by_phase.get(name, {}).values())
+        rows.append((
+            name,
+            type(layer).__name__.removeprefix("Packed"),
+            f"{stats.get('total_ms', 0.0):.1f}",
+            op_count,
+            bound.level,
+            f"{bound.error_bits:.1f}",
+        ))
+    print(format_table(
+        ["layer", "kind", "wall ms", "HE ops", "level out", "noise bits"],
+        rows,
+        title=f"{model.name} encrypted inference profile "
+              f"(N={params.poly_degree}, wall {wall:.2f} s)",
+    ))
+    print()
+    op_rows = [
+        (r["name"], r["count"], f"{r['total_ms']:.1f}",
+         f"{r['p50_ms']:.2f}", f"{r['p95_ms']:.2f}")
+        for r in tracer.summary(category="he_op")
+    ]
+    print(format_table(
+        ["op", "count", "total ms", "p50 ms", "p95 ms"], op_rows,
+        title="per-op latency breakdown",
+    ))
+    print(f"\nmax CKKS error vs plaintext reference: {err:.2e}")
+    if args.trace_out:
+        tracer.export_chrome_trace(args.trace_out)
+        print(f"Chrome trace written to {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
 
 
 def cmd_report(_args: argparse.Namespace) -> int:
@@ -216,25 +317,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="list built-in FPGA targets")
 
     p_trace = sub.add_parser("trace", help="print a network's HE op trace")
-    p_trace.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+    p_trace.add_argument("--network", default="mnist")
 
     p_gen = sub.add_parser("generate", help="run the DSE for a network/device")
-    p_gen.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+    p_gen.add_argument("--network", default="mnist")
     p_gen.add_argument("--device", default="acu9eg")
     p_gen.add_argument("--json", help="write the design record to this file")
     p_gen.add_argument("--directives", help="write HLS directives to this file")
 
     p_exp = sub.add_parser("explore", help="print the Pareto frontier")
-    p_exp.add_argument("--network", default="mnist", choices=sorted(_NETWORKS))
+    p_exp.add_argument("--network", default="mnist")
     p_exp.add_argument("--device", default="acu9eg")
     p_exp.add_argument("--bram-min", type=int, default=350)
     p_exp.add_argument("--bram-max", type=int, default=1500)
 
     p_inf = sub.add_parser("infer", help="run a real encrypted inference")
-    p_inf.add_argument("--network", default="tiny", choices=["tiny", "mnist"])
+    p_inf.add_argument("--network", default="tiny")
     p_inf.add_argument("--fast", action="store_true",
                        help="mnist only: reduced N=2048 parameters")
     p_inf.add_argument("--seed", type=int, default=4)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="profile an encrypted inference (latency + noise breakdown)",
+    )
+    p_prof.add_argument("--network", default="mnist")
+    p_prof.add_argument("--full", action="store_true",
+                        help="mnist only: full paper parameters (slow)")
+    p_prof.add_argument("--seed", type=int, default=4)
+    p_prof.add_argument("--trace-out",
+                        help="write Chrome-trace JSON to this file")
 
     sub.add_parser(
         "report", help="regenerate the headline evaluation tables"
@@ -249,6 +361,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "explore": cmd_explore,
     "infer": cmd_infer,
+    "profile": cmd_profile,
     "report": cmd_report,
 }
 

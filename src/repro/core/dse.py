@@ -32,10 +32,12 @@ returned solution identical to the serial scan.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..fpga.device import FpgaDevice
 from ..hecnn.trace import NetworkTrace
+from ..obs.probes import DseProgress, ProgressCallback
+from ..obs.tracing import trace_span
 from .design_point import (
     DesignPoint,
     DesignSolution,
@@ -47,11 +49,24 @@ from .space import DesignSpace
 
 @dataclass(frozen=True)
 class DseResult:
-    """Outcome of one exploration run."""
+    """Outcome of one exploration run.
+
+    ``evaluated`` is always the full space size; ``dsp_pruned`` /
+    ``bound_pruned`` count how many of those points were dispatched by the
+    exact DSP pre-check and the latency lower bound respectively (both
+    zero with ``prune=False``), and ``improvements`` counts incumbent
+    replacements during the scan — together the observability record of
+    how effective the pruning was.  These telemetry fields are excluded
+    from equality: pruned and naive scans of the same space return equal
+    results even though their prune counts differ.
+    """
 
     best: DesignSolution
     evaluated: int
     feasible: int
+    dsp_pruned: int = field(default=0, compare=False)
+    bound_pruned: int = field(default=0, compare=False)
+    improvements: int = field(default=0, compare=False)
 
 
 class InfeasibleDesignError(RuntimeError):
@@ -81,21 +96,25 @@ def _scan(
     bram_limit: int | None,
     prune: bool,
     shared_bound=None,
-) -> tuple[DesignSolution | None, int, int]:
-    """Scan an iterable of points; returns (best, evaluated, feasible).
+    progress: ProgressCallback | None = None,
+) -> tuple[DesignSolution | None, DseProgress]:
+    """Scan an iterable of points; returns (best, scan statistics).
 
     Exact under pruning: the returned best and the feasible count match
     the unpruned scan over the same points (given that ``shared_bound``,
     when present, only ever holds latencies achieved by real solutions).
+    ``progress``, if given, is invoked with an event dict on every
+    incumbent improvement.
     """
     effective_dsp = dsp_limit if dsp_limit is not None else device.dsp_slices
     best: DesignSolution | None = None
-    evaluated = 0
-    feasible = 0
+    stats = DseProgress(callback=progress)
     for point in points:
-        evaluated += 1
+        stats.note_scanned()
         if prune and point.dsp_usage() > effective_dsp:
-            continue  # infeasible for any trace; never counted feasible
+            # Infeasible for any trace; never counted feasible.
+            stats.note_dsp_pruned()
+            continue
         bound = best.latency_cycles if best is not None else None
         if shared_bound is not None:
             with shared_bound.get_lock():
@@ -106,27 +125,29 @@ def _scan(
             if latency_lower_bound(point, trace) > bound:
                 # Strictly worse than the incumbent — cannot win, but must
                 # still be counted if feasible.
+                stats.note_bound_pruned()
                 budget = _bram_budget(point, trace, device, bram_limit)
                 if (
                     point.dsp_usage() <= effective_dsp
                     and mandatory_bram_peak(point, trace) <= budget
                 ):
-                    feasible += 1
+                    stats.note_feasible()
                 continue
         solution = DesignSolution.evaluate(
             point, trace, device, bram_limit=bram_limit
         )
         if not solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
             continue
-        feasible += 1
+        stats.note_feasible()
         if best is None or _better(solution, best):
             best = solution
+            stats.note_incumbent(best.latency_cycles)
             if shared_bound is not None:
                 with shared_bound.get_lock():
                     cur = shared_bound.value
                     if cur < 0 or best.latency_cycles < cur:
                         shared_bound.value = best.latency_cycles
-    return best, evaluated, feasible
+    return best, stats
 
 
 _WORKER_BOUND = None
@@ -158,6 +179,7 @@ def explore(
     bram_limit: int | None = None,
     prune: bool = True,
     workers: int | None = None,
+    progress: ProgressCallback | None = None,
 ) -> DseResult:
     """Search the design space for the latency-optimal point.
 
@@ -167,41 +189,60 @@ def explore(
     oracle); ``workers`` > 1 splits the scan across processes with a shared
     best-latency bound.  All variants return the identical best solution,
     and ``evaluated`` always equals the space size.
+
+    ``progress``, if given, receives an event dict per incumbent
+    improvement (serial path: live during the scan; parallel path: during
+    the parent's chunk-ordered reduction, since workers cannot call back
+    across process boundaries).  Scan statistics land in the returned
+    :class:`DseResult` and — when observability is enabled — in the
+    ``dse_points_*`` registry counters.
     """
     space = space or DesignSpace()
-    if workers is not None and workers > 1:
-        points = list(space.points())
-        bound = multiprocessing.Value("q", -1)
-        payloads = [
-            (chunk, trace, device, dsp_limit, bram_limit, prune)
-            for chunk in _chunks(points, workers)
-        ]
-        with multiprocessing.Pool(
-            processes=workers, initializer=_init_worker, initargs=(bound,)
-        ) as pool:
-            partials = pool.map(_scan_chunk, payloads)
-        best: DesignSolution | None = None
-        evaluated = 0
-        feasible = 0
-        # Chunk-ordered reduction reproduces the serial first-minimum.
-        for chunk_best, chunk_eval, chunk_feasible in partials:
-            evaluated += chunk_eval
-            feasible += chunk_feasible
-            if chunk_best is not None and (
-                best is None or _better(chunk_best, best)
-            ):
-                best = chunk_best
-    else:
-        best, evaluated, feasible = _scan(
-            space.points(), trace, device, dsp_limit, bram_limit, prune
-        )
+    with trace_span(
+        "dse.explore", category="dse", network=trace.name, device=device.name
+    ) as span:
+        if workers is not None and workers > 1:
+            points = list(space.points())
+            bound = multiprocessing.Value("q", -1)
+            payloads = [
+                (chunk, trace, device, dsp_limit, bram_limit, prune)
+                for chunk in _chunks(points, workers)
+            ]
+            with multiprocessing.Pool(
+                processes=workers, initializer=_init_worker, initargs=(bound,)
+            ) as pool:
+                partials = pool.map(_scan_chunk, payloads)
+            best: DesignSolution | None = None
+            stats = DseProgress(callback=progress)
+            # Chunk-ordered reduction reproduces the serial first-minimum.
+            for chunk_best, chunk_stats in partials:
+                stats.merge(chunk_stats)
+                if chunk_best is not None and (
+                    best is None or _better(chunk_best, best)
+                ):
+                    best = chunk_best
+                    stats.note_incumbent(best.latency_cycles)
+        else:
+            best, stats = _scan(
+                space.points(), trace, device, dsp_limit, bram_limit, prune,
+                progress=progress,
+            )
+        stats.publish()
+        span.set(**stats.as_dict())
     if best is None:
         raise InfeasibleDesignError(
             f"no feasible design for {trace.name} on {device.name} "
             f"(DSP<= {dsp_limit or device.dsp_slices}, "
             f"BRAM<= {bram_limit if bram_limit is not None else 'device'})"
         )
-    return DseResult(best=best, evaluated=evaluated, feasible=feasible)
+    return DseResult(
+        best=best,
+        evaluated=stats.scanned,
+        feasible=stats.feasible,
+        dsp_pruned=stats.dsp_pruned,
+        bound_pruned=stats.bound_pruned,
+        improvements=stats.improvements,
+    )
 
 
 def _feasible_chunk(payload):

@@ -32,7 +32,13 @@ from .modmath import (
     mod_pow,
     mod_sub,
 )
-from .noise import NoiseBound, NoiseEstimator, depth_capacity, measured_noise_bits
+from .noise import (
+    NoiseBound,
+    NoiseEstimator,
+    depth_capacity,
+    measured_noise_bits,
+    publish_noise_budget,
+)
 from .ntt import (
     TRANSFORM_STATS,
     BatchedNttContext,
@@ -106,6 +112,7 @@ __all__ = [
     "registry_info",
     "depth_capacity",
     "measured_noise_bits",
+    "publish_noise_budget",
     "find_primitive_root",
     "find_root_of_unity",
     "fxhenn_cifar10_params",

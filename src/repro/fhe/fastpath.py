@@ -23,6 +23,7 @@ Every fast path is bit-identical to its reference path (property-tested in
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import Iterator
@@ -42,6 +43,13 @@ class FastPathConfig:
         return cls(**{f.name: False for f in fields(cls)})
 
 
+#: Serializes every swap of the module-global config.  The parallel DSE
+#: forks worker processes off the current process state, and benchmark
+#: harnesses toggle from helper threads — the read-modify-write in
+#: ``configure``/``overridden`` must not interleave.  Reads stay unlocked:
+#: ``_config`` is an immutable dataclass, so a reader sees either the old
+#: or the new object, never a torn one.
+_lock = threading.Lock()
 _config = FastPathConfig()
 
 
@@ -53,29 +61,36 @@ def get_config() -> FastPathConfig:
 def configure(**flags: bool) -> FastPathConfig:
     """Set fast-path flags globally; returns the new configuration."""
     global _config
-    _config = replace(_config, **flags)
-    return _config
+    with _lock:
+        _config = replace(_config, **flags)
+        return _config
 
 
 @contextmanager
 def overridden(**flags: bool) -> Iterator[FastPathConfig]:
     """Temporarily override fast-path flags (restores on exit)."""
     global _config
-    previous = _config
-    _config = replace(_config, **flags)
+    with _lock:
+        previous = _config
+        _config = replace(_config, **flags)
+        current = _config
     try:
-        yield _config
+        yield current
     finally:
-        _config = previous
+        with _lock:
+            _config = previous
 
 
 @contextmanager
 def disabled() -> Iterator[FastPathConfig]:
     """Temporarily run with every fast path off (the seed baseline)."""
     global _config
-    previous = _config
-    _config = FastPathConfig.all_disabled()
+    with _lock:
+        previous = _config
+        _config = FastPathConfig.all_disabled()
+        current = _config
     try:
-        yield _config
+        yield current
     finally:
-        _config = previous
+        with _lock:
+            _config = previous

@@ -24,9 +24,22 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..obs import probes
 from .ciphertext import Ciphertext
 from .context import CkksContext
 from .params import CkksParameters
+
+
+def publish_noise_budget(bound: "NoiseBound | float", **labels) -> None:
+    """Expose a noise-budget gauge (``noise_budget_bits``) for a ciphertext.
+
+    Accepts either a :class:`NoiseBound` (uses its :attr:`~NoiseBound
+    .error_bits`) or a raw bit count.  A no-op unless observability is
+    enabled (``repro.obs``); labels distinguish per-layer / per-source
+    gauges, e.g. ``publish_noise_budget(bound, layer="Cnv1")``.
+    """
+    bits = bound.error_bits if isinstance(bound, NoiseBound) else float(bound)
+    probes.record_noise_budget(bits, **labels)
 
 
 @dataclass(frozen=True)
@@ -193,9 +206,9 @@ def measured_noise_bits(
     """
     decrypted = context.decrypt_values(ciphertext)[: len(expected)]
     err = float(np.max(np.abs(decrypted - np.asarray(expected, dtype=float))))
-    if err == 0:
-        return float("inf")
-    return -math.log2(err)
+    bits = float("inf") if err == 0 else -math.log2(err)
+    publish_noise_budget(bits, source="measured", level=ciphertext.level)
+    return bits
 
 
 def depth_capacity(

@@ -28,10 +28,9 @@ reductions are measurable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..obs.registry import REGISTRY as _OBS_REGISTRY
 from .modmath import (
     BarrettConstant,
     BatchedBarrett,
@@ -64,30 +63,54 @@ def bit_reverse_indices(n: int) -> np.ndarray:
 # Transform accounting
 # ---------------------------------------------------------------------------
 
+#: The transform counters live in the obs metrics registry (``repro.obs``),
+#: shared with the rest of the instrumentation stack; the handles are cached
+#: here so the per-transform cost stays two integer adds.  Counters are
+#: always live (not gated by the obs enable flag) — they pre-date the obs
+#: subsystem and the fast-path tests rely on them unconditionally.
+_FWD_CALLS = _OBS_REGISTRY.counter("ntt_transform_calls", direction="forward")
+_INV_CALLS = _OBS_REGISTRY.counter("ntt_transform_calls", direction="inverse")
+_FWD_ROWS = _OBS_REGISTRY.counter("ntt_transform_rows", direction="forward")
+_INV_ROWS = _OBS_REGISTRY.counter("ntt_transform_rows", direction="inverse")
 
-@dataclass
+
 class TransformStats:
     """Counts NTT invocations: one *row* is one length-N transform.
 
     A batched call over an ``(L, N)`` residue matrix counts as one call and
     ``L`` rows, so ``forward_rows + inverse_rows`` measures total NTT
     pressure independently of batching.
+
+    Compat shim: since the obs subsystem landed, the four counts are views
+    over the shared metrics registry (``ntt_transform_calls`` /
+    ``ntt_transform_rows``), so ``repro.obs.reset()`` and
+    :meth:`reset` zero the same state.  The ``snapshot()`` /
+    ``total_rows`` API is unchanged.
     """
 
-    forward_calls: int = 0
-    inverse_calls: int = 0
-    forward_rows: int = 0
-    inverse_rows: int = 0
+    @property
+    def forward_calls(self) -> int:
+        return _FWD_CALLS.value
+
+    @property
+    def inverse_calls(self) -> int:
+        return _INV_CALLS.value
+
+    @property
+    def forward_rows(self) -> int:
+        return _FWD_ROWS.value
+
+    @property
+    def inverse_rows(self) -> int:
+        return _INV_ROWS.value
 
     @property
     def total_rows(self) -> int:
         return self.forward_rows + self.inverse_rows
 
     def reset(self) -> None:
-        self.forward_calls = 0
-        self.inverse_calls = 0
-        self.forward_rows = 0
-        self.inverse_rows = 0
+        for counter in (_FWD_CALLS, _INV_CALLS, _FWD_ROWS, _INV_ROWS):
+            counter.reset()
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -99,7 +122,8 @@ class TransformStats:
         }
 
 
-#: Process-global transform counter (reset via ``TRANSFORM_STATS.reset()``).
+#: Process-global transform counter (reset via ``TRANSFORM_STATS.reset()``
+#: or ``repro.obs.reset()`` — same underlying registry counters).
 TRANSFORM_STATS = TransformStats()
 
 
@@ -152,8 +176,8 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
-        TRANSFORM_STATS.forward_calls += 1
-        TRANSFORM_STATS.forward_rows += a.shape[0]
+        _FWD_CALLS.inc()
+        _FWD_ROWS.inc(a.shape[0])
         q, bc = self.q, self.barrett
         t = self.n
         m = 1
@@ -176,8 +200,8 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
-        TRANSFORM_STATS.inverse_calls += 1
-        TRANSFORM_STATS.inverse_rows += a.shape[0]
+        _INV_CALLS.inc()
+        _INV_ROWS.inc(a.shape[0])
         q, bc = self.q, self.barrett
         t = 1
         m = self.n
@@ -275,8 +299,8 @@ class BatchedNttContext:
         a = self._check(values)
         shape = a.shape
         flat = a.reshape(-1, self.level, self.n)
-        TRANSFORM_STATS.forward_calls += 1
-        TRANSFORM_STATS.forward_rows += flat.shape[0] * self.level
+        _FWD_CALLS.inc()
+        _FWD_ROWS.inc(flat.shape[0] * self.level)
         n, level = self.n, self.level
         rows = flat.shape[0]
         qs4 = self.qs.reshape(1, level, 1, 1)
@@ -325,8 +349,8 @@ class BatchedNttContext:
         a = self._check(values)
         shape = a.shape
         flat = a.reshape(-1, self.level, self.n)
-        TRANSFORM_STATS.inverse_calls += 1
-        TRANSFORM_STATS.inverse_rows += flat.shape[0] * self.level
+        _INV_CALLS.inc()
+        _INV_ROWS.inc(flat.shape[0] * self.level)
         n, level = self.n, self.level
         rows = flat.shape[0]
         qs4 = self.qs.reshape(1, level, 1, 1)

@@ -13,11 +13,15 @@ operations actually performed on ciphertexts.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import config as obs_config
+from ..obs import probes
+from ..obs.tracing import trace_span
 from ..optypes import HeOp
 from . import fastpath
 from .ciphertext import Ciphertext, Plaintext
@@ -27,6 +31,36 @@ from .ntt import get_batched_ntt_context
 from .poly import RnsPolynomial
 
 _RELATIVE_SCALE_TOLERANCE = 1e-9
+
+
+def _probed(op_name: str):
+    """Wrap an evaluator op in an obs span + post-op ciphertext probes.
+
+    With observability disabled the wrapper is a single flag check and a
+    tail call — the < 2 % overhead budget of ``docs/observability.md``.
+    Enabled, each call becomes one ``he_op`` span (nested inside whatever
+    layer/inference span is open) and records the result ciphertext's
+    level and scale so precision evolution is visible per op.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not obs_config.enabled():
+                return fn(self, *args, **kwargs)
+            with trace_span(op_name, category="he_op") as span:
+                out = fn(self, *args, **kwargs)
+                if isinstance(out, Ciphertext):
+                    span.set(level=out.level, scale=out.scale)
+                    probes.record_he_op(op_name, level=out.level,
+                                        scale=out.scale)
+                else:
+                    probes.record_he_op(op_name)
+            return out
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass
@@ -88,6 +122,7 @@ class Evaluator:
 
     # -- additions -------------------------------------------------------------------
 
+    @_probed("CCadd")
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """CCadd: elementwise slot addition of two ciphertexts."""
         self._check_scales(a.scale, b.scale)
@@ -102,6 +137,7 @@ class Evaluator:
         self._note(HeOp.CC_ADD)
         return Ciphertext(components=comps, scale=a.scale)
 
+    @_probed("CCadd")
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Ciphertext subtraction (counted as CCadd — same hardware module)."""
         self._check_scales(a.scale, b.scale)
@@ -114,6 +150,7 @@ class Evaluator:
         self._note(HeOp.CC_ADD)
         return Ciphertext(components=comps, scale=a.scale)
 
+    @_probed("PCadd")
     def add_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """PCadd: add an encoded plaintext to a ciphertext."""
         self._check_scales(ct.scale, pt.scale)
@@ -130,6 +167,7 @@ class Evaluator:
 
     # -- multiplications ---------------------------------------------------------------
 
+    @_probed("PCmult")
     def multiply_plain(self, ct: Ciphertext, pt: Plaintext) -> Ciphertext:
         """PCmult: multiply a ciphertext by an encoded plaintext.
 
@@ -147,6 +185,7 @@ class Evaluator:
         self._note(HeOp.PC_MULT)
         return Ciphertext(components=comps, scale=ct.scale * pt.scale)
 
+    @_probed("CCmult")
     def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """CCmult: tensor product; yields a 3-component ciphertext.
 
@@ -166,6 +205,7 @@ class Evaluator:
         self._note(HeOp.CC_MULT)
         return Ciphertext(components=(c0, c1, c2), scale=a.scale * b.scale)
 
+    @_probed("CCmult")
     def square(self, ct: Ciphertext) -> Ciphertext:
         """Homomorphic squaring — the activation of CryptoNets-style CNNs."""
         if not ct.is_linear:
@@ -180,6 +220,7 @@ class Evaluator:
 
     # -- maintenance ops ----------------------------------------------------------------
 
+    @_probed("Rescale")
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Rescale: divide by the last chain prime, dropping one level."""
         q_last = ct.basis.primes[-1]
@@ -187,6 +228,7 @@ class Evaluator:
         self._note(HeOp.RESCALE)
         return Ciphertext(components=comps, scale=ct.scale / q_last)
 
+    @_probed("Relinearize")
     def relinearize(self, ct: Ciphertext) -> Ciphertext:
         """Relinearize a 3-component ciphertext back to 2 components."""
         if ct.is_linear:
@@ -203,6 +245,7 @@ class Evaluator:
         self._note(HeOp.KEY_SWITCH)
         return Ciphertext(components=(c0, c1), scale=ct.scale)
 
+    @_probed("Rotate")
     def rotate(self, ct: Ciphertext, step: int) -> Ciphertext:
         """Rotate slot contents left by ``step`` positions (Galois + KeySwitch)."""
         if not ct.is_linear:
@@ -227,6 +270,7 @@ class Evaluator:
             components=tuple(-c for c in ct.components), scale=ct.scale
         )
 
+    @_probed("Conjugate")
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
         """Complex-conjugate every slot (Galois element ``2N - 1``).
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..fhe.ciphertext import Ciphertext
+from ..fhe.noise import NoiseBound, NoiseEstimator
 from ..fhe.ops import Evaluator
 from ..optypes import HeOp
 from .packing import ConvPacking, DensePacking, SlotLayout
@@ -56,6 +57,18 @@ class PackedLayer:
 
     def rotation_steps(self) -> list[int]:
         return []
+
+    def propagate_noise(
+        self, est: NoiseEstimator, bound: NoiseBound
+    ) -> NoiseBound:
+        """Push an analytic noise bound through this layer's op structure.
+
+        Mirrors :meth:`forward` with the estimator's op set, so per-layer
+        noise budgets are observable without the secret key (the gauges
+        behind ``repro profile``).  Conservative: worst-case operand
+        magnitudes at every step.
+        """
+        raise NotImplementedError
 
 
 @dataclass
@@ -107,6 +120,17 @@ class PackedConv(PackedLayer):
             outputs.append(evaluator.add_plain(acc, bias_pt))
         return outputs
 
+    def propagate_noise(
+        self, est: NoiseEstimator, bound: NoiseBound
+    ) -> NoiseBound:
+        k = self.packing.spec.kernel_offsets
+        w_bound = max(float(np.max(np.abs(self.weights))), 1e-12)
+        term = est.multiply_values_rescale(bound, w_bound)
+        acc = term
+        for _ in range(k - 1):
+            acc = est.add(acc, term)
+        return est.add_plain(acc, float(np.max(np.abs(self.bias))))
+
     def trace(self, level: int) -> LayerTrace:
         k = self.packing.spec.kernel_offsets
         g = self.packing.num_groups
@@ -144,6 +168,11 @@ class PackedSquare(PackedLayer):
 
     def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
         return [evaluator.square_relinearize_rescale(ct) for ct in cts]
+
+    def propagate_noise(
+        self, est: NoiseEstimator, bound: NoiseBound
+    ) -> NoiseBound:
+        return est.square_relinearize_rescale(bound)
 
     def trace(self, level: int) -> LayerTrace:
         n = self.layout.num_cts
@@ -269,6 +298,34 @@ class PackedDense(PackedLayer):
             cache_key=(self._cache_token, "b"),
         )
         return [evaluator.add_plain(merged, bias_pt)]
+
+    def propagate_noise(
+        self, est: NoiseEstimator, bound: NoiseBound
+    ) -> NoiseBound:
+        pk = self.packing
+        w_bound = max(float(np.max(np.abs(self.weights))), 1e-12)
+        if pk.replicated and pk.copies > 1:
+            for _ in pk.replication_steps():
+                bound = est.add(bound, est.rotate(bound))
+        term = est.multiply_values_rescale(bound, w_bound)
+        g = 1 if pk.replicated else pk.input_layout.num_cts
+        partial = term
+        for _ in range(g - 1):
+            partial = est.add(partial, term)
+        for phase in pk.rotation_phases():
+            for _ in phase.steps:
+                partial = est.add(partial, est.rotate(partial))
+        if pk.needs_mask:
+            partial = est.multiply_values_rescale(partial, 1.0)
+        if pk.merge_output and pk.num_chunks > 1:
+            # Every chunk carries the same worst-case bound; merging adds
+            # them (merge rotations only add key-switch noise).
+            merged = partial
+            for _ in range(pk.num_chunks - 1):
+                other = partial if pk.replicated else est.rotate(partial)
+                merged = est.add(merged, other)
+            partial = merged
+        return est.add_plain(partial, float(np.max(np.abs(self.bias))))
 
     def trace(self, level: int) -> LayerTrace:
         pk = self.packing
@@ -408,6 +465,15 @@ class PackedAveragePool(PackedLayer):
                 )
             )
         return outputs
+
+    def propagate_noise(
+        self, est: NoiseEstimator, bound: NoiseBound
+    ) -> NoiseBound:
+        k = self.spec.k
+        acc = bound
+        for _ in range(2 * (k - 1)):
+            acc = est.add(acc, est.rotate(acc))
+        return est.multiply_values_rescale(acc, 1.0 / (k * k))
 
     def trace(self, level: int) -> LayerTrace:
         k = self.spec.k

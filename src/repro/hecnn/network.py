@@ -16,7 +16,10 @@ import numpy as np
 
 from ..fhe.ciphertext import Ciphertext
 from ..fhe.context import CkksContext
+from ..fhe.noise import NoiseBound, NoiseEstimator, publish_noise_budget
 from ..fhe.ops import Evaluator, OperationRecorder
+from ..obs import probes
+from ..obs.tracing import trace_span
 from .layers import PackedConv, PackedLayer
 from .packing import ConvPacking
 from .reference import PlainNetwork
@@ -93,6 +96,26 @@ class HeCnn:
             prime_bits=self.prime_bits,
         )
 
+    def noise_profile(
+        self, context: CkksContext, message_bound: float = 1.0
+    ) -> list[tuple[str, NoiseBound]]:
+        """Analytic per-layer noise budget for an inference on ``context``.
+
+        Propagates a conservative :class:`~repro.fhe.noise.NoiseBound`
+        through every layer (no secret key required) and publishes one
+        ``noise_budget_bits`` gauge per layer when observability is
+        enabled.  Returns ``[(layer_name, bound_after_layer), ...]``.
+        """
+        self._check_context(context)
+        est = NoiseEstimator.for_context(context)
+        bound = est.fresh(message_bound, level=self.base_level)
+        profile: list[tuple[str, NoiseBound]] = []
+        for layer in self.layers:
+            bound = layer.propagate_noise(est, bound)
+            publish_noise_budget(bound, layer=layer.name)
+            profile.append((layer.name, bound))
+        return profile
+
     # -- key provisioning --------------------------------------------------------------
 
     def provision_keys(self, context: CkksContext) -> None:
@@ -132,10 +155,20 @@ class HeCnn:
     ) -> list[Ciphertext]:
         """Server side: run every layer on ciphertexts."""
         state = cts
-        for layer in self.layers:
-            if recorder is not None:
-                recorder.set_phase(layer.name)
-            state = layer.forward(evaluator, state)
+        with trace_span("inference", category="network", network=self.name):
+            for layer in self.layers:
+                if recorder is not None:
+                    recorder.set_phase(layer.name)
+                with trace_span(
+                    layer.name, category="layer",
+                    layer_type=type(layer).__name__,
+                ) as span:
+                    state = layer.forward(evaluator, state)
+                    span.set(output_cts=len(state), level=state[0].level)
+                probes.record_layer(
+                    layer.name, type(layer).__name__, len(state),
+                    state[0].level,
+                )
         if recorder is not None:
             recorder.set_phase(None)
         return state

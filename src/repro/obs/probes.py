@@ -1,0 +1,135 @@
+"""Domain probes: the bridge between the framework and the obs substrate.
+
+Thin, import-cheap helpers that the FHE evaluator, the HE-CNN network, the
+noise estimator, the accelerator simulator and the DSE call at their
+interesting moments.  Every helper is a no-op (single flag check) while
+observability is disabled, except :class:`DseProgress`, which is a plain
+local accumulator handed back to the caller (the parallel DSE forks worker
+processes, whose registries are invisible to the parent — so DSE stats are
+counted locally and merged into the registry by the coordinating process).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import config
+from .registry import REGISTRY
+
+
+def record_he_op(op: str, level: int | None = None,
+                 scale: float | None = None) -> None:
+    """Count one evaluator operation and publish post-op ciphertext state."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("he_ops_total", op=op).inc()
+    if level is not None:
+        REGISTRY.gauge("ciphertext_level", op=op).set(level)
+    if scale is not None and scale > 0:
+        REGISTRY.gauge("ciphertext_scale_log2", op=op).set(math.log2(scale))
+
+
+def record_noise_budget(bits: float, **labels: Any) -> None:
+    """Publish a noise-budget gauge (bits of guaranteed precision)."""
+    if not config.enabled():
+        return
+    REGISTRY.gauge("noise_budget_bits", **labels).set(bits)
+
+
+def record_layer(name: str, kind: str, num_cts: int, level: int) -> None:
+    """Per-layer stream facts, published as the layer finishes."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("layers_total", kind=kind).inc()
+    REGISTRY.gauge("layer_output_cts", layer=name).set(num_cts)
+    REGISTRY.gauge("layer_output_level", layer=name).set(level)
+
+
+def record_sim_layer(name: str, simulated_cycles: int,
+                     analytic_cycles: int) -> None:
+    """Simulated-vs-analytic agreement for one layer."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("sim_layers_total").inc()
+    if analytic_cycles:
+        rel = (simulated_cycles - analytic_cycles) / analytic_cycles
+        REGISTRY.histogram("sim_relative_error").observe(rel)
+
+
+# ---------------------------------------------------------------------------
+# DSE progress
+# ---------------------------------------------------------------------------
+
+#: Signature of the optional DSE progress callback: called with an event
+#: dict such as ``{"event": "incumbent", "latency_cycles": ..., ...}``.
+ProgressCallback = Callable[[dict[str, Any]], None]
+
+
+@dataclass
+class DseProgress:
+    """Local accumulator for one design-space scan.
+
+    Picklable (plain ints), so worker processes return one per chunk and
+    the parent merges them with :meth:`merge` before publishing to the
+    registry via :meth:`publish`.
+    """
+
+    scanned: int = 0
+    dsp_pruned: int = 0
+    bound_pruned: int = 0
+    feasible: int = 0
+    improvements: int = 0
+    callback: ProgressCallback | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def note_scanned(self, n: int = 1) -> None:
+        self.scanned += n
+
+    def note_dsp_pruned(self) -> None:
+        self.dsp_pruned += 1
+
+    def note_bound_pruned(self) -> None:
+        self.bound_pruned += 1
+
+    def note_feasible(self) -> None:
+        self.feasible += 1
+
+    def note_incumbent(self, latency_cycles: int) -> None:
+        """A new best-so-far solution was found."""
+        self.improvements += 1
+        if self.callback is not None:
+            self.callback({
+                "event": "incumbent",
+                "latency_cycles": latency_cycles,
+                "scanned": self.scanned,
+                "feasible": self.feasible,
+            })
+
+    def merge(self, other: "DseProgress") -> None:
+        self.scanned += other.scanned
+        self.dsp_pruned += other.dsp_pruned
+        self.bound_pruned += other.bound_pruned
+        self.feasible += other.feasible
+        self.improvements += other.improvements
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "scanned": self.scanned,
+            "dsp_pruned": self.dsp_pruned,
+            "bound_pruned": self.bound_pruned,
+            "feasible": self.feasible,
+            "improvements": self.improvements,
+        }
+
+    def publish(self) -> None:
+        """Merge this scan's totals into the global registry counters."""
+        if not config.enabled():
+            return
+        REGISTRY.counter("dse_points_scanned").inc(self.scanned)
+        REGISTRY.counter("dse_points_dsp_pruned").inc(self.dsp_pruned)
+        REGISTRY.counter("dse_points_bound_pruned").inc(self.bound_pruned)
+        REGISTRY.counter("dse_points_feasible").inc(self.feasible)
+        REGISTRY.counter("dse_incumbent_improvements").inc(self.improvements)

@@ -1,0 +1,196 @@
+"""Labeled metrics: counters, gauges and timing histograms.
+
+A :class:`MetricsRegistry` is a flat, process-local store of named metric
+instruments, each keyed by ``(name, labels)`` — the usual Prometheus-style
+data model, minus any wire format (this repo is zero-dependency).  Three
+instrument kinds exist:
+
+* :class:`Counter` — monotone accumulator (op counts, NTT rows, DSE
+  points pruned).  Counters are *always* live: incrementing one is a
+  couple of integer adds, so they are not gated behind the
+  :mod:`repro.obs.config` switch.  The legacy
+  :data:`repro.fhe.ntt.TRANSFORM_STATS` is a compat shim over four of
+  them.
+* :class:`Gauge` — last-written value (ciphertext level/scale after an
+  op, per-layer noise budget in bits).
+* :class:`Histogram` — full-sample distribution with exact percentiles
+  (p50/p95/p99) over the recorded values; used for per-op wall times.
+
+Handles returned by :meth:`MetricsRegistry.counter` (etc.) stay valid
+across :meth:`MetricsRegistry.reset` — reset zeroes instruments in place
+rather than dropping them, so modules may cache handles at import time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing accumulator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down; remembers the last write."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Exact-sample distribution with interpolated percentiles.
+
+    Keeps every observation (these are per-HE-op timings — thousands per
+    inference, not millions), so percentiles are exact: the same linear
+    interpolation as ``numpy.percentile``'s default.
+    """
+
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def reset(self) -> None:
+        self.values.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linearly interpolated."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = (len(ordered) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0, "total": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric instruments, safe for concurrent use."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, str, LabelKey], Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any]):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = _KINDS[kind](name, key[2])
+                    self._metrics[key] = metric
+        return metric
+
+    # ``name`` is positional-only so a label may itself be called "name"
+    # (e.g. ``span_seconds{category=..., name=...}``).
+    def counter(self, name: str, /, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, /, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, /, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def collect(self, kind: str | None = None, name: str | None = None) -> Iterator:
+        """Iterate instruments, optionally filtered by kind and/or name."""
+        for (k, n, _), metric in sorted(
+            self._metrics.items(), key=lambda item: item[0][:2] + (str(item[0][2]),)
+        ):
+            if kind is not None and k != kind:
+                continue
+            if name is not None and n != name:
+                continue
+            yield metric
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* (cached handles stay valid)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All current values, JSON-ready, keyed ``name{label=value,...}``."""
+        out: dict[str, dict[str, Any]] = {}
+        for (kind, name, labels), metric in sorted(
+            self._metrics.items(), key=lambda item: item[0][:2] + (str(item[0][2]),)
+        ):
+            label_str = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{name}{{{label_str}}}" if label_str else name
+            if kind == "histogram":
+                out[key] = {"kind": kind, **metric.summary()}
+            else:
+                out[key] = {"kind": kind, "value": metric.value}
+        return out
+
+
+#: The process-global registry every probe records into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

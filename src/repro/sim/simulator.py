@@ -18,6 +18,8 @@ from ..fpga.buffers import layer_buffer_demand, offchip_slowdown
 from ..fpga.device import FpgaDevice
 from ..fpga.modules import lat_ntt_cycles
 from ..hecnn.trace import LayerTrace, NetworkTrace
+from ..obs import probes
+from ..obs.tracing import trace_span
 from ..optypes import HeOp
 from .pipeline import simulate_ks_layer, simulate_nks_layer
 
@@ -122,19 +124,33 @@ class AcceleratorSimulator:
         """Simulate every layer of ``trace`` under ``solution``'s point."""
         layers = []
         budget = solution.bram_budget
-        for lt, analytic in zip(trace.layers, solution.layers):
-            cycles = self.simulate_layer(
-                lt, solution.point, trace.poly_degree, trace.prime_bits,
-                bram_budget=budget,
-            )
-            layers.append(
-                SimulatedLayer(
-                    name=lt.name,
-                    kind=lt.kind,
-                    simulated_cycles=cycles,
-                    analytic_cycles=analytic.latency_cycles,
+        with trace_span(
+            "simulate", category="sim", network=trace.name,
+            device=self.device.name,
+        ):
+            for lt, analytic in zip(trace.layers, solution.layers):
+                with trace_span(
+                    lt.name, category="sim_layer", kind=lt.kind
+                ) as span:
+                    cycles = self.simulate_layer(
+                        lt, solution.point, trace.poly_degree,
+                        trace.prime_bits, bram_budget=budget,
+                    )
+                    span.set(
+                        simulated_cycles=cycles,
+                        analytic_cycles=analytic.latency_cycles,
+                    )
+                probes.record_sim_layer(
+                    lt.name, cycles, analytic.latency_cycles
                 )
-            )
+                layers.append(
+                    SimulatedLayer(
+                        name=lt.name,
+                        kind=lt.kind,
+                        simulated_cycles=cycles,
+                        analytic_cycles=analytic.latency_cycles,
+                    )
+                )
         return SimulationReport(
             network=trace.name, device=self.device.name, layers=tuple(layers)
         )

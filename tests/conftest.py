@@ -10,7 +10,23 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.fhe import CkksContext, Evaluator, tiny_test_params
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Zero metrics/traces around every test so counts never leak across.
+
+    Also restores the master switch: a test that enables observability
+    (or fails inside ``obs.observed()``) must not leave it on for the
+    rest of the session.
+    """
+    obs.set_enabled(False)
+    obs.reset()
+    yield
+    obs.set_enabled(False)
+    obs.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, labels, percentiles, reset semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+
+
+def test_counter_get_or_create_by_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("ops", op="add")
+    b = reg.counter("ops", op="mult")
+    assert a is not b
+    a.inc()
+    a.inc(3)
+    b.inc()
+    assert a.value == 4
+    assert b.value == 1
+    # Same (name, labels) -> the same instrument, label order irrelevant.
+    assert reg.counter("ops", op="add") is a
+
+
+def test_name_may_also_be_a_label():
+    reg = MetricsRegistry()
+    h = reg.histogram("span_seconds", category="he_op", name="Rescale")
+    h.observe(1.0)
+    assert reg.histogram("span_seconds", category="he_op", name="Rescale") is h
+
+
+def test_gauge_remembers_last_write():
+    reg = MetricsRegistry()
+    g = reg.gauge("level", layer="Cnv1")
+    g.set(7)
+    g.set(5)
+    assert g.value == 5.0
+
+
+@pytest.mark.parametrize("p", [0, 10, 25, 50, 75, 90, 95, 99, 100])
+def test_histogram_percentiles_match_numpy(p):
+    values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0]
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in values:
+        h.observe(v)
+    assert h.percentile(p) == pytest.approx(np.percentile(values, p))
+
+
+def test_histogram_percentile_known_values():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in (10.0, 20.0, 30.0, 40.0):
+        h.observe(v)
+    assert h.percentile(50) == pytest.approx(25.0)
+    assert h.percentile(0) == 10.0
+    assert h.percentile(100) == 40.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    assert h.summary() == {"count": 0, "total": 0.0}
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["total"] == pytest.approx(6.0)
+    assert s["mean"] == pytest.approx(2.0)
+    assert s["min"] == 1.0 and s["max"] == 3.0
+    assert s["p50"] == pytest.approx(2.0)
+
+
+def test_reset_zeroes_in_place_and_keeps_handles_valid():
+    reg = MetricsRegistry()
+    c = reg.counter("n")
+    g = reg.gauge("v")
+    h = reg.histogram("t")
+    c.inc(5)
+    g.set(3.0)
+    h.observe(1.0)
+    reg.reset()
+    assert c.value == 0
+    assert g.value == 0.0
+    assert h.count == 0
+    # The cached handle is the live instrument, not a stale copy.
+    c.inc()
+    assert reg.counter("n").value == 1
+    assert reg.counter("n") is c
+
+
+def test_collect_and_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("ops", op="add").inc(2)
+    reg.histogram("lat", op="add").observe(0.5)
+    counters = list(reg.collect(kind="counter"))
+    assert [c.value for c in counters] == [2]
+    snap = reg.snapshot()
+    assert snap["ops{op=add}"] == {"kind": "counter", "value": 2}
+    assert snap["lat{op=add}"]["count"] == 1
+
+
+def test_concurrent_get_or_create_returns_one_instrument():
+    reg = MetricsRegistry()
+    results = []
+
+    def worker():
+        c = reg.counter("shared")
+        results.append(c)
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(c is results[0] for c in results)

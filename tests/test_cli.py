@@ -61,9 +61,44 @@ def test_infer_tiny(capsys):
     assert "OK" in out
 
 
-def test_unknown_device_errors():
-    with pytest.raises(ValueError, match="unknown device"):
+def test_profile_tiny(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    rc = main([
+        "profile", "--network", "tiny", "--trace-out", str(trace_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "inference profile" in out
+    assert "noise bits" in out
+    assert "per-op latency breakdown" in out
+    assert "p95 ms" in out
+    data = json.loads(trace_path.read_text())
+    assert data["displayTimeUnit"] == "ms"
+    events = data["traceEvents"]
+    assert events and all(e["ph"] == "X" for e in events)
+    assert {"network", "layer", "he_op"} <= {e["cat"] for e in events}
+
+
+def test_unknown_device_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
         main(["generate", "--device", "bogus"])
+    assert excinfo.value.code != 0
+    assert "unknown device" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("command", ["trace", "generate", "explore"])
+def test_unknown_network_exits_nonzero(command):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--network", "bogus"])
+    assert excinfo.value.code != 0
+    assert "unknown network" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("command", ["infer", "profile"])
+def test_unknown_network_exits_nonzero_fhe_commands(command):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--network", "cifar10"])
+    assert excinfo.value.code != 0
 
 
 def test_missing_command_errors():
