@@ -1,0 +1,167 @@
+"""A bounded, thread-safe LRU cache with observability hooks.
+
+The serving layer (``repro.serve``) keeps accelerator designs, CKKS
+contexts and rotation-key material alive across requests so repeated
+inference skips design space exploration and key generation; the FHE
+context uses the same structure to bound its NTT-resident plaintext
+cache.  Both need the identical semantics:
+
+* **bounded**: memory is capped by entry count; the least-recently-used
+  entry is evicted when a put would exceed capacity;
+* **thread-safe**: the serving worker pool hits one shared cache from
+  many threads, so every operation takes the cache's lock;
+* **observable**: hits, misses and evictions publish to the
+  ``repro.obs`` registry (``cache_events_total{cache=..., event=...}``)
+  when observability is enabled, and :meth:`LruCache.stats` is always
+  available for reports.
+
+Kept dependency-free (only ``repro.obs``, itself zero-dependency) so the
+FHE layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+from .obs import config as obs_config
+from .obs.registry import REGISTRY
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one cache's lifetime activity (JSON-ready)."""
+
+    name: str
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LruCache:
+    """An ordered-dict LRU with dict-compatible accessors.
+
+    ``get``/``__getitem__`` refresh recency; ``put``/``__setitem__``
+    insert and evict the oldest entry once ``capacity`` is exceeded.
+    ``get_or_create`` runs ``factory`` on a miss — note the factory is
+    invoked *outside* the lock, so two racing threads may both build the
+    value; the first store wins and the loser's value is returned to it
+    without being cached (builds are pure in this codebase, so this only
+    costs duplicate work, never correctness).
+    """
+
+    def __init__(self, capacity: int, name: str = "lru") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core operations ------------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits += 1
+                self._publish("hit")
+                return self._data[key]
+            self._misses += 1
+            self._publish("miss")
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+                self._publish("eviction")
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    # -- dict compatibility ---------------------------------------------------
+
+    def __getitem__(self, key: Hashable) -> Any:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._data.keys()))
+
+    # -- observability --------------------------------------------------------
+
+    def _publish(self, event: str) -> None:
+        # Called with the lock held; registry counters take their own lock
+        # only on first creation, so this stays cheap.
+        if obs_config.enabled():
+            REGISTRY.counter(
+                "cache_events_total", cache=self.name, event=event
+            ).inc()
+            REGISTRY.gauge("cache_size", cache=self.name).set(len(self._data))
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                capacity=self.capacity,
+                size=len(self._data),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

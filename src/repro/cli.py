@@ -257,6 +257,98 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Simulate a slot-batched serving session and print the outcome."""
+    from . import obs
+    from .serve import SchedulerConfig, ServingCostModel, SlotBatchScheduler
+    from .serve.traffic import poisson_arrivals
+
+    device = _device(args.device)
+    cost_model = ServingCostModel.cryptonets_mnist(device)
+    scheduler = SlotBatchScheduler(
+        cost_model,
+        SchedulerConfig(
+            batch_window_s=args.window,
+            max_lanes=args.max_lanes,
+            queue_capacity=args.queue_capacity,
+        ),
+    )
+    requests = poisson_arrivals(
+        args.requests, args.rate, seed=args.seed,
+        deadline_s=args.deadline,
+    )
+    with obs.observed():
+        obs.reset()
+        report = scheduler.run(requests)
+    latency = report.latency_percentiles()
+    batch_rows = [
+        (b.batch_id, b.mode, b.lanes, f"{b.fill_ratio:.3f}",
+         f"{b.start_s:.3f}", f"{b.finish_s:.3f}")
+        for b in report.batches
+    ]
+    print(format_table(
+        ["batch", "mode", "lanes", "fill", "start s", "finish s"],
+        batch_rows,
+        title=f"slot-batched serving on {device.name} "
+              f"(window={args.window}s, {args.requests} requests "
+              f"@ {args.rate:.0f}/s)",
+    ))
+    print(f"completed: {report.completed}  rejected: {report.rejected}  "
+          f"expired: {report.expired}")
+    print(f"throughput: {report.throughput_images_per_s:.1f} img/s "
+          f"amortized over {report.makespan_s:.2f} s")
+    print(f"latency: p50 {latency['p50']:.2f} s, p95 {latency['p95']:.2f} s, "
+          f"p99 {latency['p99']:.2f} s")
+    single = cost_model.single_request_seconds()
+    if report.throughput_images_per_s > 0:
+        print(f"vs single-request LoLa ({1 / single:.1f} img/s): "
+              f"{report.throughput_images_per_s * single:.1f}x amortized")
+    return 0
+
+
+def cmd_bench_throughput(args: argparse.Namespace) -> int:
+    """Sweep batch windows; print the latency-vs-throughput curve."""
+    import json
+
+    from .serve.bench import throughput_sweep
+
+    device = _device(args.device)
+    try:
+        windows = sorted({float(w) for w in args.windows.split(",") if w})
+    except ValueError:
+        raise SystemExit(
+            f"--windows must be comma-separated seconds, got "
+            f"{args.windows!r}"
+        ) from None
+    if not windows:
+        raise SystemExit("--windows must name at least one window")
+    payload = throughput_sweep(
+        device, windows=windows, request_count=args.requests,
+        rate_per_s=args.rate, seed=args.seed, max_lanes=args.max_lanes,
+    )
+    rows = [
+        (row["batch_window_s"], row["batches"],
+         f"{row['mean_fill_ratio']:.3f}",
+         f"{row['throughput_images_per_s']:.1f}",
+         f"{row['latency_p50_s']:.2f}", f"{row['latency_p95_s']:.2f}")
+        for row in payload["curve"]
+    ]
+    baseline = payload["baseline"]["throughput_images_per_s"]
+    print(format_table(
+        ["window s", "batches", "fill", "img/s", "p50 s", "p95 s"],
+        rows,
+        title=f"throughput sweep on {device.name} "
+              f"(LoLa baseline {baseline:.1f} img/s)",
+    ))
+    print(f"best window: {payload['best_window_s']} s -> "
+          f"{payload['amortized_speedup']:.1f}x amortized speedup "
+          f"over single-request LoLa")
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"curve written to {args.json}")
+    return 0
+
+
 def cmd_report(_args: argparse.Namespace) -> int:
     """Regenerate the headline evaluation (Table VII + Fig. 10 + Table IX)."""
     from .analysis import TABLE7_FXHENN_PAPER, TABLE7_LITERATURE
@@ -348,6 +440,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--trace-out",
                         help="write Chrome-trace JSON to this file")
 
+    p_serve = sub.add_parser(
+        "serve", help="simulate a slot-batched serving session"
+    )
+    p_serve.add_argument("--device", default="acu9eg")
+    p_serve.add_argument("--window", type=float, default=0.5,
+                         help="batch window in seconds")
+    p_serve.add_argument("--requests", type=int, default=2000)
+    p_serve.add_argument("--rate", type=float, default=5000.0,
+                         help="mean arrival rate, requests/s")
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--max-lanes", type=int, default=None,
+                         help="cap batch size below N/2")
+    p_serve.add_argument("--queue-capacity", type=int, default=1_000_000)
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+
+    p_bt = sub.add_parser(
+        "bench-throughput",
+        help="sweep batch windows: latency vs amortized throughput",
+    )
+    p_bt.add_argument("--device", default="acu9eg")
+    p_bt.add_argument("--windows", default="0.02,0.1,0.5,2.0",
+                      help="comma-separated batch windows in seconds")
+    p_bt.add_argument("--requests", type=int, default=2000)
+    p_bt.add_argument("--rate", type=float, default=5000.0)
+    p_bt.add_argument("--seed", type=int, default=7)
+    p_bt.add_argument("--max-lanes", type=int, default=None)
+    p_bt.add_argument("--json", help="write the full curve to this file")
+
     sub.add_parser(
         "report", help="regenerate the headline evaluation tables"
     )
@@ -362,6 +483,8 @@ _COMMANDS = {
     "explore": cmd_explore,
     "infer": cmd_infer,
     "profile": cmd_profile,
+    "serve": cmd_serve,
+    "bench-throughput": cmd_bench_throughput,
     "report": cmd_report,
 }
 

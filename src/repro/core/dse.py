@@ -215,13 +215,16 @@ def explore(
             best: DesignSolution | None = None
             stats = DseProgress(callback=progress)
             # Chunk-ordered reduction reproduces the serial first-minimum.
+            # Workers already counted their incumbent improvements (merged
+            # below), so the reduction only *replays* the callback — using
+            # note_incumbent here would double-count ``improvements``.
             for chunk_best, chunk_stats in partials:
                 stats.merge(chunk_stats)
                 if chunk_best is not None and (
                     best is None or _better(chunk_best, best)
                 ):
                     best = chunk_best
-                    stats.note_incumbent(best.latency_cycles)
+                    stats.replay_incumbent(best.latency_cycles)
         else:
             best, stats = _scan(
                 space.points(), trace, device, dsp_limit, bram_limit, prune,
@@ -257,18 +260,22 @@ def _enumerate(
     dsp_limit: int | None,
     bram_limit: int | None,
     prune: bool,
-) -> list[DesignSolution]:
+) -> tuple[list[DesignSolution], DseProgress]:
     effective_dsp = dsp_limit if dsp_limit is not None else device.dsp_slices
     out = []
+    stats = DseProgress()
     for point in points:
+        stats.note_scanned()
         if prune and point.dsp_usage() > effective_dsp:
+            stats.note_dsp_pruned()
             continue
         solution = DesignSolution.evaluate(
             point, trace, device, bram_limit=bram_limit
         )
         if solution.is_feasible(dsp_limit=dsp_limit, bram_limit=bram_limit):
+            stats.note_feasible()
             out.append(solution)
-    return out
+    return out, stats
 
 
 def enumerate_feasible(
@@ -285,6 +292,8 @@ def enumerate_feasible(
     Only the exact DSP pre-check applies here (every feasible point must be
     returned, so there is no latency bound to prune against); ``workers``
     splits the scan across processes with order-preserving concatenation.
+    Worker scan statistics are merged in the parent and published to the
+    ``dse_points_*`` registry counters, exactly as :func:`explore` does.
     """
     space = space or DesignSpace()
     if workers is not None and workers > 1:
@@ -295,10 +304,16 @@ def enumerate_feasible(
         ]
         with multiprocessing.Pool(processes=workers) as pool:
             partials = pool.map(_feasible_chunk, payloads)
-        return [s for part in partials for s in part]
-    return _enumerate(
+        stats = DseProgress()
+        for _, chunk_stats in partials:
+            stats.merge(chunk_stats)
+        stats.publish()
+        return [s for part, _ in partials for s in part]
+    solutions, stats = _enumerate(
         space.points(), trace, device, dsp_limit, bram_limit, prune
     )
+    stats.publish()
+    return solutions
 
 
 def _better(a: DesignSolution, b: DesignSolution) -> bool:

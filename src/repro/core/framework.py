@@ -50,13 +50,26 @@ class AcceleratorDesign:
         return emit_hls_directives(self.solution)
 
     def utilization(self) -> dict[str, float]:
+        """Resource utilization ratios in ``[0, ...)``.
+
+        Degenerate custom devices (zero DSP slices or a zero BRAM budget,
+        e.g. hand-rolled or deserialized records bypassing the
+        :class:`~repro.fpga.device.FpgaDevice` validation) report 0.0
+        rather than raising ``ZeroDivisionError``.
+        """
         return {
-            "dsp": self.solution.dsp_usage / self.device.dsp_slices,
-            "bram_peak": self.solution.bram_peak / self.solution.bram_budget,
-            "bram_aggregate": (
-                self.solution.bram_aggregate / self.solution.bram_budget
+            "dsp": _ratio(self.solution.dsp_usage, self.device.dsp_slices),
+            "bram_peak": _ratio(
+                self.solution.bram_peak, self.solution.bram_budget
+            ),
+            "bram_aggregate": _ratio(
+                self.solution.bram_aggregate, self.solution.bram_budget
             ),
         }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator > 0 else 0.0
 
 
 class FxHennFramework:
@@ -73,11 +86,22 @@ class FxHennFramework:
         self.space = space or DesignSpace()
 
     def generate(
-        self, model: HeCnn | NetworkTrace, device: FpgaDevice
+        self,
+        model: HeCnn | NetworkTrace,
+        device: FpgaDevice,
+        dsp_limit: int | None = None,
+        bram_limit: int | None = None,
     ) -> AcceleratorDesign:
-        """Run the full flow: trace -> DSE -> accelerator design."""
+        """Run the full flow: trace -> DSE -> accelerator design.
+
+        ``dsp_limit`` / ``bram_limit`` constrain the exploration below
+        the device capacities (see :func:`repro.core.dse.explore`).
+        """
         trace = model.trace() if isinstance(model, HeCnn) else model
-        dse = explore(trace, device, space=self.space)
+        dse = explore(
+            trace, device, space=self.space,
+            dsp_limit=dsp_limit, bram_limit=bram_limit,
+        )
         return AcceleratorDesign(
             network=trace, device=device, solution=dse.best, dse=dse
         )

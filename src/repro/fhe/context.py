@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..caching import LruCache
 from .ciphertext import Ciphertext, Plaintext
 from .encoder import CkksEncoder
 from .keys import GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey
@@ -34,7 +35,12 @@ class CkksContext:
         Seed for all key/encryption randomness (reproducible by design).
     """
 
-    def __init__(self, params: CkksParameters, seed: int = 0) -> None:
+    def __init__(
+        self,
+        params: CkksParameters,
+        seed: int = 0,
+        plaintext_cache_entries: int = 8192,
+    ) -> None:
         if not params.is_functional:
             raise ValueError(
                 "parameter set is model-only; call params.functional_variant()"
@@ -53,8 +59,13 @@ class CkksContext:
         self.galois_keys: GaloisKeys = GaloisKeys()
         #: NTT-resident plaintexts keyed ``(cache_key, level, scale)`` —
         #: populated by :meth:`repro.fhe.ops.Evaluator.encode_cached` so each
-        #: weight/bias/mask is encoded + transformed once per network.
-        self.plaintext_cache: dict = {}
+        #: weight/bias/mask is encoded + transformed once per network.  A
+        #: bounded LRU (rather than a bare dict) so long-lived serving
+        #: contexts shared across many model instances cannot grow without
+        #: limit; one entry is one ``level * N`` uint64 plaintext.
+        self.plaintext_cache = LruCache(
+            plaintext_cache_entries, name="plaintext"
+        )
 
     def clear_plaintext_cache(self) -> None:
         """Drop all cached NTT-resident plaintexts."""

@@ -316,23 +316,39 @@ class Evaluator:
         return self.rescale(self.multiply_plain(ct, pt))
 
     def encode_cached(
-        self, values, level: int, scale: float, cache_key=None
+        self, values, level: int | None, scale: float, cache_key=None
     ) -> Plaintext:
         """Encode a slot vector, memoizing the NTT-domain plaintext.
 
         ``values`` may be an array or a zero-argument callable (evaluated
         only on a cache miss).  Without ``cache_key`` — or with the
         ``plaintext_cache`` fast path disabled — this is a plain encode.
+
+        Correctness of the memoization rests on the cache key carrying the
+        *exact* ``(level, scale)`` pair: after a Rescale the same weight
+        vector must be re-encoded at the shorter prime chain and the new
+        scale, never served from the entry cached one level up.  ``level``
+        is therefore canonicalized (``None`` means the context's full
+        chain) before keying, and a hit is verified against the requested
+        pair — an entry that does not match bit-for-bit (e.g. poisoned by
+        an external cache write) is invalidated and re-encoded instead of
+        being returned.
         """
+        if level is None:
+            level = self.context.params.level
         cache = self.context.plaintext_cache
         use_cache = (
             cache_key is not None and fastpath.get_config().plaintext_cache
         )
+        full_key = (cache_key, level, scale)
         if use_cache:
-            full_key = (cache_key, level, scale)
             hit = cache.get(full_key)
             if hit is not None:
-                return hit
+                if hit.level == level and hit.scale == scale:
+                    return hit
+                # Stale/poisoned entry: reusing it would evaluate the layer
+                # at the wrong basis or scale. Drop and rebuild.
+                cache.pop(full_key, None)
         if callable(values):
             values = values()
         pt = self.context.encode(values, level=level, scale=scale)

@@ -11,6 +11,7 @@ from .batched import (
     batched_layer_trace,
     batched_network_trace,
     cryptonets_mnist_batched,
+    max_batch_lanes,
 )
 from .builder import NetworkBuilder
 from .data import (
@@ -74,6 +75,7 @@ __all__ = [
     "batched_network_trace",
     "conv_as_dense_matrix",
     "cryptonets_mnist_batched",
+    "max_batch_lanes",
     "fxhenn_cifar10_model",
     "fxhenn_mnist_model",
     "glorot_weights",

@@ -101,14 +101,34 @@ def batched_layer_trace(spec: BatchedLayerSpec, level: int) -> LayerTrace:
     raise ValueError(f"unknown batched layer kind {spec.kind!r}")
 
 
+def max_batch_lanes(poly_degree: int) -> int:
+    """Images one batched inference can carry: ``N/2`` slot lanes."""
+    return poly_degree // 2
+
+
 def batched_network_trace(
     name: str,
     layers: list[BatchedLayerSpec],
     poly_degree: int,
     base_level: int,
     prime_bits: int = 30,
+    lanes: int | None = None,
 ) -> NetworkTrace:
-    """Full batched-packing trace (one rescale per layer, like the paper)."""
+    """Full batched-packing trace (one rescale per layer, like the paper).
+
+    ``lanes`` records how many of the ``N/2`` slot lanes carry live
+    images (default: all of them).  Under-filled batches execute the
+    *identical* operation sequence — lane occupancy only changes the
+    amortized per-image cost, which is why the serving layer wants it on
+    the trace.
+    """
+    if lanes is None:
+        lanes = max_batch_lanes(poly_degree)
+    if not 1 <= lanes <= max_batch_lanes(poly_degree):
+        raise ValueError(
+            f"lanes must be in [1, {max_batch_lanes(poly_degree)}] "
+            f"for N={poly_degree}, got {lanes}"
+        )
     traces = []
     level = base_level
     for spec in layers:
@@ -120,14 +140,18 @@ def batched_network_trace(
         poly_degree=poly_degree,
         base_level=base_level,
         prime_bits=prime_bits,
+        batch_lanes=lanes,
     )
 
 
-def cryptonets_mnist_batched(poly_degree: int = 8192) -> NetworkTrace:
+def cryptonets_mnist_batched(
+    poly_degree: int = 8192, lanes: int | None = None
+) -> NetworkTrace:
     """The CryptoNets/LoLa MNIST topology under batched packing.
 
     Reproduces the CryptoNets row of paper Table VII: ~215K HOPs with 945
-    KeySwitch operations, serving ``poly_degree / 2`` images at once.
+    KeySwitch operations, serving ``poly_degree / 2`` images at once
+    (``lanes`` restricts that to a partial batch).
     """
     conv = ConvSpec(
         in_channels=1, out_channels=5, kernel_size=5, stride=2, padding=1,
@@ -143,5 +167,6 @@ def cryptonets_mnist_batched(poly_degree: int = 8192) -> NetworkTrace:
         BatchedLayerSpec.dense("Fc2", fc2),
     ]
     return batched_network_trace(
-        "CryptoNets-MNIST-batched", layers, poly_degree, base_level=7
+        "CryptoNets-MNIST-batched", layers, poly_degree, base_level=7,
+        lanes=lanes,
     )

@@ -99,13 +99,30 @@ class LayerTrace:
 
 @dataclass(frozen=True)
 class NetworkTrace:
-    """Aggregated trace of a full HE-CNN."""
+    """Aggregated trace of a full HE-CNN.
+
+    ``batch_lanes`` annotates slot-batched (CryptoNets-style) traces with
+    the number of images riding the slot lanes — ``None`` for per-image
+    (LoLa) packing.  The operation counts themselves are lane-invariant
+    (that is the point of batching); the field only drives amortized
+    per-image accounting in the serving layer.
+    """
 
     name: str
     layers: tuple[LayerTrace, ...]
     poly_degree: int
     base_level: int
     prime_bits: int = 30
+    batch_lanes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_lanes is not None and not (
+            1 <= self.batch_lanes <= self.poly_degree // 2
+        ):
+            raise ValueError(
+                f"batch_lanes must be in [1, N/2] = [1, "
+                f"{self.poly_degree // 2}], got {self.batch_lanes}"
+            )
 
     @property
     def hop_count(self) -> int:

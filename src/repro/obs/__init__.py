@@ -17,10 +17,15 @@ asserted in CI).  See ``docs/observability.md``.
 from .config import disable, enable, enabled, observed, set_enabled
 from .probes import (
     DseProgress,
+    record_batch_dispatch,
     record_he_op,
     record_layer,
     record_noise_budget,
+    record_queue_depth,
+    record_request_latency,
+    record_request_outcome,
     record_sim_layer,
+    record_throughput,
 )
 from .registry import (
     REGISTRY,
@@ -59,10 +64,15 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "observed",
+    "record_batch_dispatch",
     "record_he_op",
     "record_layer",
     "record_noise_budget",
+    "record_queue_depth",
+    "record_request_latency",
+    "record_request_outcome",
     "record_sim_layer",
+    "record_throughput",
     "reset",
     "set_enabled",
     "trace_span",

@@ -59,6 +59,53 @@ def record_sim_layer(name: str, simulated_cycles: int,
 
 
 # ---------------------------------------------------------------------------
+# Serving-layer probes
+# ---------------------------------------------------------------------------
+
+
+def record_queue_depth(depth: int, queue: str = "serve") -> None:
+    """Publish the admission-queue depth after an enqueue/dequeue."""
+    if not config.enabled():
+        return
+    REGISTRY.gauge("serve_queue_depth", queue=queue).set(depth)
+
+
+def record_batch_dispatch(lanes: int, capacity: int, mode: str) -> None:
+    """One dispatched batch: count it and observe its slot-fill ratio."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("serve_batches_total", mode=mode).inc()
+    REGISTRY.counter("serve_images_total", mode=mode).inc(lanes)
+    if capacity > 0:
+        REGISTRY.histogram("serve_batch_fill_ratio").observe(lanes / capacity)
+
+
+def record_request_latency(seconds: float, mode: str) -> None:
+    """Per-request latency (arrival to completion), labeled by exec mode."""
+    if not config.enabled():
+        return
+    REGISTRY.histogram(
+        "serve_request_latency_seconds", mode=mode
+    ).observe(seconds)
+
+
+def record_request_outcome(outcome: str) -> None:
+    """Count a request's terminal state: completed / rejected / expired."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("serve_requests_total", outcome=outcome).inc()
+
+
+def record_throughput(images_per_second: float) -> None:
+    """Publish amortized serving throughput over the run so far."""
+    if not config.enabled():
+        return
+    REGISTRY.gauge("serve_throughput_images_per_second").set(
+        images_per_second
+    )
+
+
+# ---------------------------------------------------------------------------
 # DSE progress
 # ---------------------------------------------------------------------------
 
@@ -100,6 +147,22 @@ class DseProgress:
     def note_incumbent(self, latency_cycles: int) -> None:
         """A new best-so-far solution was found."""
         self.improvements += 1
+        if self.callback is not None:
+            self.callback({
+                "event": "incumbent",
+                "latency_cycles": latency_cycles,
+                "scanned": self.scanned,
+                "feasible": self.feasible,
+            })
+
+    def replay_incumbent(self, latency_cycles: int) -> None:
+        """Fire the callback for an incumbent found elsewhere.
+
+        Used by the parallel DSE reduction: worker chunks already counted
+        the improvement locally (and the counts arrive via :meth:`merge`),
+        so the parent must notify its callback *without* incrementing
+        ``improvements`` again.
+        """
         if self.callback is not None:
             self.callback({
                 "event": "incumbent",

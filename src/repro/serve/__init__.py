@@ -1,0 +1,55 @@
+"""Throughput serving layer: slot-batched scheduling above the HE stack.
+
+The paper optimizes single-image latency with LoLa packing (Sec. VII-A);
+a deployed service facing "heavy traffic from millions of users" (the
+ROADMAP north star) instead wants *amortized throughput*, which
+CryptoNets-style slot batching delivers: the batched CryptoNets-MNIST
+trace costs the same whether 1 or ``N/2`` images ride the slot lanes, so
+a full batch divides one inference's latency by 4096.
+
+This package provides the pieces between "a request arrived" and "the
+accelerator ran a trace":
+
+* :mod:`~repro.serve.request` — request/result records;
+* :mod:`~repro.serve.cache`   — LRU design / context caches so repeated
+  requests skip DSE and key generation;
+* :mod:`~repro.serve.costmodel` — per-mode cost facts derived from the
+  DSE'd designs (LoLa single vs slot-batched);
+* :mod:`~repro.serve.traffic` — deterministic arrival processes;
+* :mod:`~repro.serve.scheduler` — virtual-time slot-batch scheduler
+  (bounded queue, batch window, deadlines, LoLa degradation);
+* :mod:`~repro.serve.service` — the same policy on real threads with a
+  pluggable executor;
+* :mod:`~repro.serve.records` — JSON round-trip of serve reports;
+* :mod:`~repro.serve.bench`   — the latency-vs-throughput sweep behind
+  ``repro bench-throughput`` and BENCH_serve.json.
+
+See ``docs/serving.md`` for the design discussion.
+"""
+
+from .cache import ContextCache, DesignCache, DesignKey
+from .costmodel import ServingCostModel
+from .records import BatchRecord, RequestResult, ServeReport
+from .request import InferenceRequest
+from .scheduler import SchedulerConfig, SlotBatchScheduler
+from .service import BackpressureError, InferenceService, ServiceClosed
+from .traffic import burst_arrivals, poisson_arrivals, uniform_arrivals
+
+__all__ = [
+    "BackpressureError",
+    "BatchRecord",
+    "ContextCache",
+    "DesignCache",
+    "DesignKey",
+    "InferenceRequest",
+    "InferenceService",
+    "RequestResult",
+    "SchedulerConfig",
+    "ServeReport",
+    "ServiceClosed",
+    "ServingCostModel",
+    "SlotBatchScheduler",
+    "burst_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

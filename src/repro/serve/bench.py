@@ -1,0 +1,123 @@
+"""The latency-vs-throughput sweep behind ``repro bench-throughput``.
+
+For a fixed arrival stream, sweep the batch window and record, per
+window, the amortized throughput and the request latency percentiles —
+the serving layer's fundamental tradeoff curve.  The baseline is
+single-request LoLa serving (every request its own accelerator run, no
+batching), so the headline number is the amortized speedup of slot
+batching over the paper's latency-oriented deployment.
+
+Also demonstrates the design-cache contract: the sweep prices every
+window through one shared :class:`~repro.serve.cache.DesignCache`, so
+only the first scheduler run pays DSE — asserted in CI by watching the
+``dse_points_*`` counters stay flat across a second run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..fpga.device import FpgaDevice
+from .cache import DesignCache
+from .costmodel import ServingCostModel
+from .records import ServeReport
+from .scheduler import SchedulerConfig, SlotBatchScheduler
+from .traffic import poisson_arrivals
+
+
+def run_window(
+    cost_model: ServingCostModel,
+    batch_window_s: float,
+    requests,
+    max_lanes: int | None = None,
+    queue_capacity: int = 1_000_000,
+) -> ServeReport:
+    """One point on the curve: serve ``requests`` under one window."""
+    scheduler = SlotBatchScheduler(
+        cost_model,
+        SchedulerConfig(
+            batch_window_s=batch_window_s,
+            max_lanes=max_lanes,
+            queue_capacity=queue_capacity,
+        ),
+    )
+    return scheduler.run(requests)
+
+
+def single_request_baseline(
+    cost_model: ServingCostModel, requests
+) -> ServeReport:
+    """LoLa serving: batches capped at one lane, no batching ever wins."""
+    scheduler = SlotBatchScheduler(
+        cost_model,
+        SchedulerConfig(
+            batch_window_s=0.0, max_lanes=1, queue_capacity=1_000_000
+        ),
+    )
+    return scheduler.run(requests)
+
+
+def throughput_sweep(
+    device: FpgaDevice,
+    windows: list[float],
+    request_count: int = 2000,
+    rate_per_s: float = 5000.0,
+    poly_degree: int = 8192,
+    seed: int = 7,
+    max_lanes: int | None = None,
+    designs: DesignCache | None = None,
+) -> dict[str, Any]:
+    """Sweep batch windows over one Poisson arrival stream.
+
+    Returns a JSON-ready report: the per-window curve, the single-request
+    LoLa baseline, and the amortized speedup of the best window.
+    """
+    if designs is None:  # empty caches are falsy — test identity, not truth
+        designs = DesignCache()
+    cost_model = ServingCostModel.cryptonets_mnist(
+        device, poly_degree=poly_degree, designs=designs
+    )
+    requests = poisson_arrivals(request_count, rate_per_s, seed=seed)
+
+    baseline = single_request_baseline(cost_model, requests)
+    curve = []
+    for window in windows:
+        report = run_window(
+            cost_model, window, requests, max_lanes=max_lanes
+        )
+        latency = report.latency_percentiles()
+        curve.append({
+            "batch_window_s": window,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "expired": report.expired,
+            "batches": len(report.batches),
+            "mean_fill_ratio": report.mean_fill_ratio,
+            "throughput_images_per_s": report.throughput_images_per_s,
+            "latency_p50_s": latency["p50"],
+            "latency_p95_s": latency["p95"],
+            "latency_p99_s": latency["p99"],
+        })
+
+    best = max(curve, key=lambda row: row["throughput_images_per_s"])
+    baseline_tp = baseline.throughput_images_per_s
+    return {
+        "device": device.name,
+        "poly_degree": poly_degree,
+        "request_count": request_count,
+        "rate_per_s": rate_per_s,
+        "seed": seed,
+        "cost_model": cost_model.as_dict(),
+        "baseline": {
+            "mode": "lola-single",
+            "throughput_images_per_s": baseline_tp,
+            "latency_p50_s": baseline.latency_percentiles()["p50"],
+        },
+        "curve": curve,
+        "best_window_s": best["batch_window_s"],
+        "amortized_speedup": (
+            best["throughput_images_per_s"] / baseline_tp
+            if baseline_tp > 0 else 0.0
+        ),
+        "design_cache": designs.stats().as_dict(),
+    }

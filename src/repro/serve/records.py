@@ -1,0 +1,216 @@
+"""JSON-ready records of what the serving layer did.
+
+Every record round-trips through ``to_dict``/``from_dict`` (exercised in
+the serializer tests) so a bench run, a CI artifact, or a later analysis
+session can reload a full serving session without re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Terminal record of one request.
+
+    ``outcome`` is one of ``"batched"`` / ``"lola"`` (completed in that
+    mode), ``"expired"`` (deadline passed before dispatch) or
+    ``"rejected"`` (bounded admission queue was full).  ``start_s`` /
+    ``finish_s`` / ``batch_id`` are ``None`` unless the request completed.
+    """
+
+    request_id: int
+    outcome: str
+    arrival_s: float
+    start_s: float | None = None
+    finish_s: float | None = None
+    batch_id: int | None = None
+
+    OUTCOMES = ("batched", "lola", "expired", "rejected")
+
+    def __post_init__(self) -> None:
+        if self.outcome not in self.OUTCOMES:
+            raise ValueError(f"unknown outcome {self.outcome!r}")
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome in ("batched", "lola")
+
+    @property
+    def latency_s(self) -> float | None:
+        """Arrival-to-completion latency; None unless completed."""
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.arrival_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "outcome": self.outcome,
+            "arrival_s": self.arrival_s,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "batch_id": self.batch_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RequestResult":
+        return cls(
+            request_id=int(data["request_id"]),
+            outcome=str(data["outcome"]),
+            arrival_s=float(data["arrival_s"]),
+            start_s=None if data.get("start_s") is None
+            else float(data["start_s"]),
+            finish_s=None if data.get("finish_s") is None
+            else float(data["finish_s"]),
+            batch_id=None if data.get("batch_id") is None
+            else int(data["batch_id"]),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One accelerator dispatch: a slot batch or a LoLa degradation run."""
+
+    batch_id: int
+    mode: str  # "batched" | "lola"
+    lanes: int
+    capacity: int
+    start_s: float
+    finish_s: float
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("batched", "lola"):
+            raise ValueError(f"unknown batch mode {self.mode!r}")
+        if not 1 <= self.lanes <= max(1, self.capacity):
+            raise ValueError("lanes must be in [1, capacity]")
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.lanes / self.capacity if self.capacity else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "batch_id": self.batch_id,
+            "mode": self.mode,
+            "lanes": self.lanes,
+            "capacity": self.capacity,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BatchRecord":
+        return cls(
+            batch_id=int(data["batch_id"]),
+            mode=str(data["mode"]),
+            lanes=int(data["lanes"]),
+            capacity=int(data["capacity"]),
+            start_s=float(data["start_s"]),
+            finish_s=float(data["finish_s"]),
+        )
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Exact nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(p / 100 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Aggregate outcome of one serving session."""
+
+    results: tuple[RequestResult, ...]
+    batches: tuple[BatchRecord, ...]
+    config: dict[str, Any]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r.completed)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.results if r.outcome == "rejected")
+
+    @property
+    def expired(self) -> int:
+        return sum(1 for r in self.results if r.outcome == "expired")
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        finishes = [r.finish_s for r in self.results if r.finish_s is not None]
+        if not finishes:
+            return 0.0
+        start = min(r.arrival_s for r in self.results)
+        return max(finishes) - start
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        """Amortized completed images per second of makespan."""
+        span = self.makespan_s
+        return self.completed / span if span > 0 else 0.0
+
+    @property
+    def mean_fill_ratio(self) -> float:
+        slot_batches = [b for b in self.batches if b.mode == "batched"]
+        if not slot_batches:
+            return 0.0
+        return sum(b.fill_ratio for b in slot_batches) / len(slot_batches)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        lats = sorted(
+            r.latency_s for r in self.results if r.latency_s is not None
+        )
+        return {
+            "p50": _percentile(lats, 50),
+            "p95": _percentile(lats, 95),
+            "p99": _percentile(lats, 99),
+            "max": lats[-1] if lats else 0.0,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config,
+            "summary": {
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "makespan_s": self.makespan_s,
+                "throughput_images_per_s": self.throughput_images_per_s,
+                "mean_fill_ratio": self.mean_fill_ratio,
+                "latency": self.latency_percentiles(),
+            },
+            "results": [r.to_dict() for r in self.results],
+            "batches": [b.to_dict() for b in self.batches],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeReport":
+        return cls(
+            results=tuple(
+                RequestResult.from_dict(r) for r in data["results"]
+            ),
+            batches=tuple(
+                BatchRecord.from_dict(b) for b in data["batches"]
+            ),
+            config=dict(data["config"]),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeReport":
+        return cls.from_dict(json.loads(text))

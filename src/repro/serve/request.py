@@ -1,0 +1,37 @@
+"""Inference requests as the scheduler sees them.
+
+A request is one image awaiting classification.  Payloads are deliberately
+opaque to the scheduling layer — the virtual-time scheduler never touches
+them, and the threaded service only hands them to its executor — so the
+same policy code serves modeled FPGA runs and real CKKS execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One single-image inference request.
+
+    ``arrival_s`` and ``deadline_s`` are absolute times on the scheduler's
+    clock (virtual seconds for the simulator, ``time.monotonic`` seconds
+    for the threaded service).  ``deadline_s=None`` means the request
+    never expires.
+    """
+
+    request_id: int
+    arrival_s: float = 0.0
+    deadline_s: float | None = None
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be >= 0")
+        if self.deadline_s is not None and self.deadline_s < self.arrival_s:
+            raise ValueError("deadline_s must be >= arrival_s")
+
+    def expired(self, now_s: float) -> bool:
+        return self.deadline_s is not None and now_s > self.deadline_s

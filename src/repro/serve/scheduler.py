@@ -1,0 +1,212 @@
+"""Virtual-time slot-batch scheduler: the serving policy, simulated.
+
+A discrete-event simulation of one accelerator serving single-image
+requests under the slot-batching policy:
+
+* arrivals join a **bounded admission queue** (backpressure: a full queue
+  rejects);
+* the accelerator dispatches a batch when the queue holds a full
+  ``capacity`` of lanes, or when the oldest waiting request has aged past
+  the **batch window** — the knob trading tail latency against slot fill;
+* requests whose **deadline** passes before dispatch expire instead of
+  wasting lanes;
+* an under-filled batch **degrades to LoLa**: if ``k`` serialized
+  single-image runs are cheaper than one batched run
+  (``k < crossover``), the scheduler runs them unbatched.
+
+Virtual time makes the policy exactly reproducible — batch latencies come
+from the DSE'd designs via :class:`~repro.serve.costmodel
+.ServingCostModel`, not from wall clocks — so benches and tests can
+assert on precise latency/throughput numbers.  The same policy runs on
+real threads in :mod:`repro.serve.service`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..obs.probes import (
+    record_batch_dispatch,
+    record_queue_depth,
+    record_request_latency,
+    record_request_outcome,
+    record_throughput,
+)
+from ..obs.tracing import trace_span
+from .costmodel import ServingCostModel
+from .records import BatchRecord, RequestResult, ServeReport
+from .request import InferenceRequest
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Serving policy knobs.
+
+    ``batch_window_s`` bounds how long the oldest request may wait for
+    lane-mates; ``max_lanes`` caps batch size below the packing capacity
+    (``None`` = use all ``N/2`` lanes); ``queue_capacity`` bounds the
+    admission queue (backpressure); ``degrade_to_lola`` enables the
+    unbatched fallback for batches below the cost crossover.
+    """
+
+    batch_window_s: float = 0.5
+    max_lanes: int | None = None
+    queue_capacity: int = 10_000
+    degrade_to_lola: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if self.max_lanes is not None and self.max_lanes < 1:
+            raise ValueError("max_lanes must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "batch_window_s": self.batch_window_s,
+            "max_lanes": self.max_lanes,
+            "queue_capacity": self.queue_capacity,
+            "degrade_to_lola": self.degrade_to_lola,
+        }
+
+
+class SlotBatchScheduler:
+    """Simulate serving a request stream; see the module docstring."""
+
+    def __init__(
+        self,
+        cost_model: ServingCostModel,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.config = config or SchedulerConfig()
+        cap = self.cost_model.batch_capacity
+        self.capacity = min(self.config.max_lanes or cap, cap)
+
+    def run(self, requests: list[InferenceRequest]) -> ServeReport:
+        with trace_span("serve.run", category="serve",
+                        window=self.config.batch_window_s) as span:
+            report = self._run(requests)
+            span.set(completed=report.completed,
+                     throughput=report.throughput_images_per_s)
+        return report
+
+    def _run(self, requests: list[InferenceRequest]) -> ServeReport:
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        queue: list[InferenceRequest] = []
+        results: list[RequestResult] = []
+        batches: list[BatchRecord] = []
+        free_at = 0.0
+        i = 0
+
+        def admit_until(t: float) -> None:
+            nonlocal i
+            while i < len(pending) and pending[i].arrival_s <= t:
+                req = pending[i]
+                i += 1
+                if len(queue) >= self.config.queue_capacity:
+                    results.append(RequestResult(
+                        request_id=req.request_id, outcome="rejected",
+                        arrival_s=req.arrival_s,
+                    ))
+                    record_request_outcome("rejected")
+                else:
+                    queue.append(req)
+                record_queue_depth(len(queue))
+
+        while i < len(pending) or queue:
+            if not queue:
+                admit_until(pending[i].arrival_s)
+                continue
+            oldest = queue[0]
+            window_close = oldest.arrival_s + self.config.batch_window_s
+            if len(queue) < self.capacity and (
+                i < len(pending) and pending[i].arrival_s <= window_close
+            ):
+                # The batch is still open and more lane-mates arrive
+                # before the window closes: wait for them.
+                admit_until(pending[i].arrival_s)
+                continue
+            if len(queue) >= self.capacity:
+                dispatch_at = max(free_at, oldest.arrival_s)
+            else:
+                dispatch_at = max(free_at, window_close)
+            # Arrivals while the accelerator drains still make this batch.
+            admit_until(dispatch_at)
+
+            # Deadline check happens at dispatch: a request that would
+            # start past its deadline expires instead of occupying a lane.
+            alive: list[InferenceRequest] = []
+            for req in queue:
+                if req.expired(dispatch_at):
+                    results.append(RequestResult(
+                        request_id=req.request_id, outcome="expired",
+                        arrival_s=req.arrival_s,
+                    ))
+                    record_request_outcome("expired")
+                else:
+                    alive.append(req)
+            queue = alive
+            record_queue_depth(len(queue))
+            if not queue:
+                continue
+
+            batch = queue[: self.capacity]
+            queue = queue[len(batch):]
+            record_queue_depth(len(queue))
+            k = len(batch)
+            mode = "batched"
+            if self.config.degrade_to_lola and self.cost_model.lola_wins(k):
+                mode = "lola"
+            if mode == "lola":
+                single = self.cost_model.single_request_seconds()
+                finish = dispatch_at
+                for req in batch:
+                    finish += single
+                    self._complete(results, req, mode, dispatch_at, finish,
+                                   len(batches))
+                free_at = finish
+            else:
+                finish = dispatch_at + self.cost_model.batch_seconds(k)
+                for req in batch:
+                    self._complete(results, req, mode, dispatch_at, finish,
+                                   len(batches))
+                free_at = finish
+            batches.append(BatchRecord(
+                batch_id=len(batches), mode=mode, lanes=k,
+                capacity=self.capacity, start_s=dispatch_at,
+                finish_s=free_at,
+            ))
+            record_batch_dispatch(k, self.capacity, mode)
+
+        results.sort(key=lambda r: r.request_id)
+        report = ServeReport(
+            results=tuple(results),
+            batches=tuple(batches),
+            config={
+                **self.config.as_dict(),
+                "capacity": self.capacity,
+                "cost_model": self.cost_model.as_dict(),
+            },
+        )
+        record_throughput(report.throughput_images_per_s)
+        return report
+
+    @staticmethod
+    def _complete(
+        results: list[RequestResult],
+        req: InferenceRequest,
+        mode: str,
+        start_s: float,
+        finish_s: float,
+        batch_id: int,
+    ) -> None:
+        results.append(RequestResult(
+            request_id=req.request_id, outcome=mode,
+            arrival_s=req.arrival_s, start_s=start_s, finish_s=finish_s,
+            batch_id=batch_id,
+        ))
+        record_request_outcome(mode)
+        record_request_latency(finish_s - req.arrival_s, mode)

@@ -1,0 +1,88 @@
+"""Deterministic arrival processes for serving experiments.
+
+All generators return :class:`~repro.serve.request.InferenceRequest`
+lists sorted by arrival time and are fully determined by their arguments
+(Poisson arrivals via a seeded generator), so every bench and test run is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .request import InferenceRequest
+
+
+def uniform_arrivals(
+    count: int,
+    rate_per_s: float,
+    deadline_s: float | None = None,
+) -> list[InferenceRequest]:
+    """``count`` requests at exactly ``rate_per_s``, evenly spaced."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0")
+    gap = 1.0 / rate_per_s
+    return [
+        InferenceRequest(
+            request_id=i,
+            arrival_s=i * gap,
+            deadline_s=None if deadline_s is None else i * gap + deadline_s,
+        )
+        for i in range(count)
+    ]
+
+
+def poisson_arrivals(
+    count: int,
+    rate_per_s: float,
+    seed: int = 0,
+    deadline_s: float | None = None,
+) -> list[InferenceRequest]:
+    """Memoryless arrivals at mean ``rate_per_s`` (seeded, reproducible)."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=count)
+    times = np.cumsum(gaps)
+    return [
+        InferenceRequest(
+            request_id=i,
+            arrival_s=float(t),
+            deadline_s=None if deadline_s is None else float(t) + deadline_s,
+        )
+        for i, t in enumerate(times)
+    ]
+
+
+def burst_arrivals(
+    bursts: int,
+    burst_size: int,
+    gap_s: float,
+    deadline_s: float | None = None,
+) -> list[InferenceRequest]:
+    """``bursts`` instantaneous bursts of ``burst_size``, ``gap_s`` apart.
+
+    The adversarial case for a batch window: each burst either fills a
+    batch at once or strands a partial batch until the window closes.
+    """
+    if bursts < 0 or burst_size < 1:
+        raise ValueError("bursts must be >= 0 and burst_size >= 1")
+    if gap_s < 0:
+        raise ValueError("gap_s must be >= 0")
+    requests = []
+    for b in range(bursts):
+        t = b * gap_s
+        for j in range(burst_size):
+            requests.append(
+                InferenceRequest(
+                    request_id=b * burst_size + j,
+                    arrival_s=t,
+                    deadline_s=None if deadline_s is None
+                    else t + deadline_s,
+                )
+            )
+    return requests

@@ -51,3 +51,22 @@ def test_directives_reflect_point(design):
     ks_intra, ks_inter = design.solution.point.describe()["KeySwitch"]
     text = design.hls_directives()
     assert f"set_directive_allocation -limit {ks_inter} " in text
+
+
+def test_utilization_handles_degenerate_device(design):
+    """A zero-resource device (forged past validation, as a deserialized
+    or hand-rolled record could be) yields 0.0 ratios, not a crash."""
+    import copy
+    import dataclasses
+
+    bad_dev = copy.copy(design.device)
+    object.__setattr__(bad_dev, "dsp_slices", 0)
+    object.__setattr__(bad_dev, "bram_blocks", 0)
+    object.__setattr__(bad_dev, "uram_blocks", 0)
+    bad_solution = dataclasses.replace(design.solution, device=bad_dev)
+    assert bad_solution.bram_budget == 0
+    bad_design = dataclasses.replace(
+        design, device=bad_dev, solution=bad_solution
+    )
+    u = bad_design.utilization()
+    assert u == {"dsp": 0.0, "bram_peak": 0.0, "bram_aggregate": 0.0}

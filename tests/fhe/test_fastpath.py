@@ -242,7 +242,7 @@ def test_encode_cached_returns_identical_plaintext(ctx):
     plain = ctx.encode(values, level=3, scale=ctx.scale)
     assert np.array_equal(first.poly.residues, plain.poly.to_ntt().residues)
     ctx.clear_plaintext_cache()
-    assert ctx.plaintext_cache == {}
+    assert len(ctx.plaintext_cache) == 0
 
 
 def test_encode_cached_respects_disabled_flag(ctx):
@@ -251,7 +251,7 @@ def test_encode_cached_respects_disabled_flag(ctx):
     ctx.clear_plaintext_cache()
     with fastpath.overridden(plaintext_cache=False):
         ev.encode_cached(values, level=3, scale=ctx.scale, cache_key="k2")
-    assert ctx.plaintext_cache == {}
+    assert len(ctx.plaintext_cache) == 0
 
 
 def test_fastpath_config_toggles():
@@ -264,3 +264,86 @@ def test_fastpath_config_toggles():
     with fastpath.overridden(ntt_galois=False) as cfg:
         assert cfg.batched_ntt and not cfg.ntt_galois
     assert fastpath.get_config().ntt_galois
+
+
+def test_encode_cached_bit_identity_across_rescale_boundary(ctx):
+    """Regression: a weight cached at one (level, scale) must never be
+    served at another after Rescale.  Encode the same vector under one
+    cache key on both sides of a rescale boundary and check each result is
+    bit-identical to an uncached encode at that exact (level, scale)."""
+    ev = Evaluator(ctx)
+    values = np.linspace(-0.5, 0.5, ctx.slot_count)
+    ctx.clear_plaintext_cache()
+
+    ct = ctx.encrypt_values(np.ones(ctx.slot_count))
+    before = ev.encode_cached(
+        values, level=ct.level, scale=ct.scale, cache_key="w"
+    )
+    ct2 = ev.rescale(ev.multiply_plain(ct, before))
+    assert (ct2.level, ct2.scale) != (ct.level, ct.scale)
+
+    after = ev.encode_cached(
+        values, level=ct2.level, scale=ct2.scale, cache_key="w"
+    )
+    # The post-rescale request must NOT return the pre-rescale entry...
+    assert after is not before
+    assert (after.level, after.scale) == (ct2.level, ct2.scale)
+    # ...and must be bit-identical to a cold encode at the new pair.
+    oracle = ctx.encode(values, level=ct2.level, scale=ct2.scale)
+    assert np.array_equal(after.poly.residues, oracle.poly.to_ntt().residues)
+    # Both entries coexist (distinct full keys), so neither side re-encodes.
+    assert ev.encode_cached(
+        values, level=ct.level, scale=ct.scale, cache_key="w"
+    ) is before
+    assert ev.encode_cached(
+        values, level=ct2.level, scale=ct2.scale, cache_key="w"
+    ) is after
+    ctx.clear_plaintext_cache()
+
+
+def test_encode_cached_canonicalizes_default_level(ctx):
+    """``level=None`` and the explicit full-chain level share one entry."""
+    ev = Evaluator(ctx)
+    values = np.ones(ctx.slot_count)
+    ctx.clear_plaintext_cache()
+    implicit = ev.encode_cached(
+        values, level=None, scale=ctx.scale, cache_key="b"
+    )
+    explicit = ev.encode_cached(
+        values, level=ctx.params.level, scale=ctx.scale, cache_key="b"
+    )
+    assert explicit is implicit
+    assert len(ctx.plaintext_cache) == 1
+    ctx.clear_plaintext_cache()
+
+
+def test_encode_cached_heals_poisoned_entry(ctx):
+    """An entry whose payload contradicts its key is dropped and rebuilt."""
+    from repro.fhe.ciphertext import Plaintext
+
+    ev = Evaluator(ctx)
+    values = np.ones(ctx.slot_count)
+    ctx.clear_plaintext_cache()
+    stale = ctx.encode(values, level=2, scale=ctx.scale)
+    stale = Plaintext(poly=stale.poly.to_ntt(), scale=stale.scale)
+    ctx.plaintext_cache[("p", 3, ctx.scale)] = stale
+    healed = ev.encode_cached(values, level=3, scale=ctx.scale, cache_key="p")
+    assert healed is not stale
+    assert healed.level == 3
+    oracle = ctx.encode(values, level=3, scale=ctx.scale)
+    assert np.array_equal(healed.poly.residues, oracle.poly.to_ntt().residues)
+    ctx.clear_plaintext_cache()
+
+
+def test_plaintext_cache_is_bounded_lru():
+    """The context cache evicts least-recently-used entries at capacity."""
+    params = tiny_test_params(poly_degree=64, level=3)
+    small = CkksContext(params, seed=1, plaintext_cache_entries=2)
+    ev = Evaluator(small)
+    values = np.ones(small.slot_count)
+    ev.encode_cached(values, level=2, scale=small.scale, cache_key="a")
+    ev.encode_cached(values, level=2, scale=small.scale, cache_key="b")
+    ev.encode_cached(values, level=2, scale=small.scale, cache_key="c")
+    assert len(small.plaintext_cache) == 2
+    assert ("a", 2, small.scale) not in small.plaintext_cache
+    assert small.plaintext_cache.stats().evictions == 1

@@ -76,3 +76,56 @@ def test_batched_vs_lola_hop_blowup():
     lola = fxhenn_mnist_model().trace()
     batched = cryptonets_mnist_batched()
     assert 100 < batched.hop_count / lola.hop_count < 1000
+
+
+def test_partial_batch_trace_is_lane_invariant():
+    """Under-filled slot batches run the identical operation sequence:
+    only ``batch_lanes`` differs, never the op/keyswitch counts."""
+    full = cryptonets_mnist_batched()
+    for lanes in (1, 100, 2048):
+        partial = cryptonets_mnist_batched(lanes=lanes)
+        assert partial.batch_lanes == lanes
+        assert partial.hop_count == full.hop_count
+        assert partial.keyswitch_count == full.keyswitch_count
+        assert [lt.op_counts for lt in partial.layers] == [
+            lt.op_counts for lt in full.layers
+        ]
+
+
+def test_non_power_of_two_lanes_accepted():
+    """Lane occupancy is a head-count, not a packing constraint — odd and
+    non-power-of-two values inside [1, N/2] are all valid."""
+    for lanes in (3, 77, 1000, 3000, 4095):
+        trace = cryptonets_mnist_batched(lanes=lanes)
+        assert trace.batch_lanes == lanes
+        assert trace.keyswitch_count == 945
+
+
+def test_default_lanes_is_full_capacity():
+    from repro.hecnn import max_batch_lanes
+
+    assert max_batch_lanes(8192) == 4096
+    assert cryptonets_mnist_batched().batch_lanes == 4096
+    assert cryptonets_mnist_batched(poly_degree=2048).batch_lanes == 1024
+
+
+def test_lanes_out_of_range_rejected():
+    for lanes in (0, -5, 4097):
+        with pytest.raises(ValueError):
+            cryptonets_mnist_batched(lanes=lanes)
+
+
+def test_network_trace_validates_batch_lanes():
+    from repro.hecnn.trace import NetworkTrace
+
+    base = cryptonets_mnist_batched()
+    with pytest.raises(ValueError):
+        NetworkTrace(
+            name="bad", layers=base.layers, poly_degree=8192,
+            base_level=7, prime_bits=30, batch_lanes=8192,
+        )
+    with pytest.raises(ValueError):
+        NetworkTrace(
+            name="bad", layers=base.layers, poly_degree=8192,
+            base_level=7, prime_bits=30, batch_lanes=0,
+        )

@@ -1,0 +1,32 @@
+"""Fixtures for the serving-layer tests.
+
+DSE is the expensive part of cost-model construction, so a session-scoped
+cost model (and its warm design cache) is shared by every test that only
+needs pricing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga import acu9eg
+from repro.serve import DesignCache, ServingCostModel
+
+
+@pytest.fixture(scope="session")
+def dev9():
+    return acu9eg()
+
+
+@pytest.fixture(scope="session")
+def designs():
+    return DesignCache()
+
+
+@pytest.fixture(scope="session")
+def cost_model(dev9, designs) -> ServingCostModel:
+    model = ServingCostModel.cryptonets_mnist(dev9, designs=designs)
+    # Warm both designs once so individual tests never pay DSE.
+    model.single_request_seconds()
+    model.batch_seconds()
+    return model

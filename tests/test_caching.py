@@ -1,0 +1,112 @@
+"""Unit tests for the shared bounded LRU cache."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.caching import LruCache
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        LruCache(0)
+
+
+def test_eviction_order_is_least_recently_used():
+    cache = LruCache(2, name="t")
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a"
+    cache.put("c", 3)  # evicts "b", the stalest
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_stats_track_hits_misses_evictions():
+    cache = LruCache(1, name="t")
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("nope")
+    cache.put("b", 2)
+    s = cache.stats()
+    assert (s.hits, s.misses, s.evictions) == (1, 1, 1)
+    assert s.hit_rate == 0.5
+    assert s.as_dict()["capacity"] == 1
+
+
+def test_get_or_create_only_builds_on_miss():
+    cache = LruCache(4, name="t")
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "built"
+
+    assert cache.get_or_create("k", factory) == "built"
+    assert cache.get_or_create("k", factory) == "built"
+    assert len(calls) == 1
+
+
+def test_dict_compatibility():
+    cache = LruCache(4, name="t")
+    cache["x"] = 1
+    assert cache["x"] == 1
+    assert "x" in cache
+    assert list(cache.keys()) == ["x"]
+    assert cache.pop("x") == 1
+    with pytest.raises(KeyError):
+        cache["x"]
+
+
+def test_none_values_are_cacheable():
+    cache = LruCache(4, name="t")
+    cache.put("k", None)
+    assert "k" in cache
+    calls = []
+    # get() cannot distinguish a stored None from a miss, but
+    # get_or_create uses a sentinel and must not rebuild.
+    assert cache.get_or_create("k", lambda: calls.append(1)) is None
+    assert not calls
+
+
+def test_publishes_obs_events_when_enabled():
+    cache = LruCache(1, name="probe")
+    with obs.observed():
+        obs.reset()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("miss")
+        cache.put("b", 2)
+        reg = obs.get_registry()
+        for event, want in (("hit", 1), ("miss", 1), ("eviction", 1)):
+            got = reg.counter(
+                "cache_events_total", cache="probe", event=event
+            ).value
+            assert got == want, event
+        assert reg.gauge("cache_size", cache="probe").value == 1
+
+
+def test_thread_safety_under_contention():
+    cache = LruCache(32, name="t")
+    errors = []
+
+    def worker(tid: int) -> None:
+        try:
+            for i in range(200):
+                cache.put((tid, i % 40), i)
+                cache.get((tid, (i + 1) % 40))
+                len(cache)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 32

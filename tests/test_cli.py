@@ -113,3 +113,43 @@ def test_report(capsys):
     assert "Fig. 10" in out
     assert "Table IX" in out
     assert "FxHENN-CIFAR10" in out
+
+
+def test_serve(capsys):
+    assert main([
+        "serve", "--requests", "200", "--rate", "2000", "--window", "0.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "slot-batched serving on ACU9EG" in out
+    assert "completed: 200" in out
+    assert "throughput:" in out and "img/s" in out
+    assert "vs single-request LoLa" in out
+
+
+def test_bench_throughput_json(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_serve.json"
+    assert main([
+        "bench-throughput", "--windows", "0.05,0.5",
+        "--requests", "300", "--rate", "3000",
+        "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "window" in out and "img/s" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["device"] == "ACU9EG"
+    assert len(payload["curve"]) == 2
+    assert payload["amortized_speedup"] >= 5.0
+
+
+def test_bench_throughput_bad_windows_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench-throughput", "--windows", "fast,slow"])
+    assert excinfo.value.code != 0
+
+
+@pytest.mark.parametrize("command", ["serve", "bench-throughput"])
+def test_serve_commands_unknown_device_exit_nonzero(command):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--device", "bogus"])
+    assert excinfo.value.code != 0
+    assert "unknown device" in str(excinfo.value)
