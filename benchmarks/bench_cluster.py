@@ -1,0 +1,114 @@
+"""Cluster bench: fleet pipelines vs the best single-device design.
+
+Runs :func:`repro.cluster.bench.run_cluster_bench` over the built-in
+fleet mix (a homogeneous high-end trio, a lopsided heterogeneous chain,
+a wider low-power quartet) and records the full report as
+``BENCH_cluster.json``.  Asserts the PR's acceptance criteria:
+
+* at least one >= 3-device pipeline sustains steady-state throughput
+  strictly above the best single-device design for the same network;
+* the DP partitioner's bottleneck never exceeds the naive equal-layer
+  split on any benchmarked fleet (on *unrefined* plans, where its
+  optimality guarantee applies), and strictly beats it where the fleet
+  is lopsided enough that layer counts are the wrong currency;
+* per-stage refinement never worsens the DP plan;
+* the discrete pipeline simulation reproduces the analytic makespan
+  exactly on every fleet;
+* re-planning every fleet against the warm design cache performs no DSE
+  (the ``dse_points_scanned`` counter stays flat).
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import OUTPUT_DIR
+
+from repro.analysis import format_table
+from repro.cluster import run_cluster_bench
+from repro.fpga import acu9eg, acu15eg, device_by_name
+
+NUM_ITEMS = 32
+
+_TDP = {
+    d.name: d.tdp_watts
+    for d in (acu9eg(), acu15eg(), device_by_name("zcu104"))
+}
+
+
+def test_bench_cluster(benchmark, mnist_trace, save_report):
+    payload = benchmark.pedantic(
+        lambda: run_cluster_bench(mnist_trace, num_items=NUM_ITEMS),
+        rounds=1, iterations=1,
+    )
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = []
+    for row in payload["fleets"]:
+        splits = row["splits"]
+        rows.append((
+            row["fleet"]["name"],
+            f"{splits['dp']['bottleneck_seconds']:.5f}",
+            f"{splits['greedy']['bottleneck_seconds']:.5f}",
+            f"{splits['equal']['bottleneck_seconds']:.5f}",
+            f"{row['plan']['steady_state_throughput']:.2f}",
+            f"{row['throughput_speedup_vs_single']:.2f}x",
+            f"{row['energy_per_inference_joules']:.3f}",
+        ))
+    table = format_table(
+        ["fleet", "dp s", "greedy s", "equal s", "inf/s", "vs single",
+         "J/inf"],
+        rows,
+        title=f"Cluster: {payload['network']} pipelined, "
+              f"{NUM_ITEMS} items/fleet",
+    )
+    save_report("bench_cluster", table)
+
+    for row in payload["fleets"]:
+        name = row["fleet"]["name"]
+        # Acceptance: DP <= equal split on every fleet (unrefined plans).
+        assert row["dp_beats_equal"], name
+        # DP also never loses to its own greedy fallback.
+        assert row["splits"]["dp"]["bottleneck_seconds"] <= (
+            row["splits"]["greedy"]["bottleneck_seconds"] + 1e-12
+        ), name
+        # Refinement is monotone: the full-network design point stays
+        # feasible on every sub-range.
+        assert row["refined_no_worse"], name
+        # The discrete replay agrees with the closed form exactly.
+        assert row["sim"]["matches_analytic"], name
+        # The plan's analytic makespan is what the simulator measured.
+        assert row["sim"]["bottleneck_seconds"] == (
+            row["plan"]["bottleneck_seconds"]
+        ), name
+
+    # Acceptance: a >= 3-device pipeline strictly beats the best
+    # single-device design for the same network — on every fleet here.
+    assert all(len(r["fleet"]["nodes"]) >= 3 for r in payload["fleets"])
+    assert all(r["beats_single_device"] for r in payload["fleets"])
+    assert payload["any_beats_single_device"]
+
+    # The heterogeneous chain is where cost-aware cuts actually matter:
+    # equal layer counts strand the big FC layer on the weak board.
+    hetero = next(
+        r for r in payload["fleets"]
+        if len({n["device"] for n in r["fleet"]["nodes"]}) > 1
+    )
+    assert hetero["dp_strictly_beats_equal"]
+
+    # Acceptance: warm re-planning scans zero design points.
+    assert payload["warm_rerun"]["flat"]
+
+    # Fleet energy per inference bills stage TDP over occupied time only
+    # (idle slack behind the bottleneck is free), so it is positive and
+    # bounded by every stage running a full bottleneck interval.
+    for row in payload["fleets"]:
+        bottleneck = row["plan"]["bottleneck_seconds"]
+        ceiling = sum(
+            _TDP[s["device"]] * bottleneck for s in row["plan"]["stages"]
+        )
+        assert 0 < row["energy_per_inference_joules"] <= ceiling + 1e-12

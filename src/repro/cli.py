@@ -349,6 +349,145 @@ def cmd_bench_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_from_spec(
+    spec: str, bandwidth_gbps: float, link_latency_us: float
+):
+    from .cluster import Fleet, Link
+
+    names = [n.strip() for n in spec.split(",") if n.strip()]
+    if not names:
+        raise SystemExit(
+            f"fleet spec must name at least one device, got {spec!r}"
+        )
+    link = Link(
+        bandwidth_gbps=bandwidth_gbps, latency_s=link_latency_us * 1e-6
+    )
+    try:
+        return Fleet.from_names(names, link=link)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Dispatch ``repro cluster <subcommand>``."""
+    if args.cluster_command == "plan":
+        return cmd_cluster_plan(args)
+    raise SystemExit(f"unknown cluster command {args.cluster_command!r}")
+
+
+def cmd_cluster_plan(args: argparse.Namespace) -> int:
+    """Plan a pipeline across a fleet; ``--repeat`` proves the cache."""
+    import json
+
+    from . import obs
+    from .cluster import PARTITION_METHODS, FleetPlanner, best_single_device
+    from .obs.registry import REGISTRY
+
+    if args.method not in PARTITION_METHODS:
+        raise SystemExit(
+            f"unknown method {args.method!r}; "
+            f"choose from {PARTITION_METHODS}"
+        )
+    trace = _network(args.network).trace()
+    fleet = _fleet_from_spec(
+        args.fleet, args.bandwidth_gbps, args.link_latency_us
+    )
+    planner = FleetPlanner()
+    with obs.observed():
+        obs.reset()
+        plan = None
+        for rerun in range(max(1, args.repeat)):
+            before = REGISTRY.counter("dse_points_scanned").value
+            plan = planner.plan(trace, fleet, method=args.method)
+            scanned = REGISTRY.counter("dse_points_scanned").value - before
+            print(f"pass {rerun + 1}: {scanned} design points scanned"
+                  + (" (warm cache)" if scanned == 0 else ""))
+        baseline = best_single_device(
+            trace, list(fleet.devices), designs=planner.designs
+        )
+
+    rows = [
+        (s.index, s.device.name, ",".join(s.layer_names),
+         f"{s.compute_seconds:.5f}",
+         s.transfer_bytes, f"{s.transfer_seconds:.5f}",
+         f"{util:.1%}")
+        for s, util in zip(plan.stages, plan.utilization())
+    ]
+    print(format_table(
+        ["stage", "device", "layers", "compute s", "xfer B", "xfer s",
+         "util"],
+        rows,
+        title=f"{trace.name} on {fleet.name} ({plan.method} split)",
+    ))
+    print(f"bottleneck interval: {plan.bottleneck_seconds:.5f} s -> "
+          f"{plan.steady_state_throughput:.2f} inf/s steady-state")
+    print(f"fill latency: {plan.fill_latency_seconds:.5f} s; "
+          f"energy {plan.energy_per_inference_joules:.3f} J/inference")
+    single_tp = 1.0 / baseline.latency_seconds
+    print(f"best single device ({baseline.device.name}): "
+          f"{baseline.latency_seconds:.5f} s -> {single_tp:.2f} inf/s; "
+          f"pipeline speedup "
+          f"{plan.steady_state_throughput / single_tp:.2f}x")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(plan.as_dict(), indent=2) + "\n"
+        )
+        print(f"plan written to {args.json}")
+    return 0
+
+
+def cmd_bench_cluster(args: argparse.Namespace) -> int:
+    """Run the fleet benchmark; exit nonzero if an invariant fails."""
+    import json
+
+    from .cluster import Link, default_fleets, run_cluster_bench
+
+    trace = _network(args.network).trace()
+    if args.fleet:
+        fleets = [
+            _fleet_from_spec(
+                spec, args.bandwidth_gbps, args.link_latency_us
+            )
+            for spec in args.fleet
+        ]
+    else:
+        fleets = default_fleets(Link(
+            bandwidth_gbps=args.bandwidth_gbps,
+            latency_s=args.link_latency_us * 1e-6,
+        ))
+    payload = run_cluster_bench(trace, fleets=fleets, num_items=args.items)
+
+    rows = []
+    for row in payload["fleets"]:
+        splits = row["splits"]
+        rows.append((
+            row["fleet"]["name"],
+            f"{splits['dp']['bottleneck_seconds']:.5f}",
+            f"{splits['equal']['bottleneck_seconds']:.5f}",
+            f"{row['plan']['steady_state_throughput']:.2f}",
+            f"{row['throughput_speedup_vs_single']:.2f}x",
+            f"{row['energy_per_inference_joules']:.3f}",
+            "OK" if row["sim"]["matches_analytic"] else "MISMATCH",
+        ))
+    print(format_table(
+        ["fleet", "dp s", "equal s", "inf/s", "vs single", "J/inf", "sim"],
+        rows,
+        title=f"cluster bench: {trace.name}, {args.items} items/fleet",
+    ))
+    warm = payload["warm_rerun"]
+    print(f"dp <= equal on all fleets: {payload['all_dp_beat_equal']}")
+    print(f"warm rerun flat: {warm['flat']} "
+          f"({warm['dse_points_scanned_after']} points scanned total)")
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    sims_ok = all(
+        row["sim"]["matches_analytic"] for row in payload["fleets"]
+    )
+    ok = payload["all_dp_beat_equal"] and warm["flat"] and sims_ok
+    return 0 if ok else 1
+
+
 def cmd_report(_args: argparse.Namespace) -> int:
     """Regenerate the headline evaluation (Table VII + Fig. 10 + Table IX)."""
     from .analysis import TABLE7_FXHENN_PAPER, TABLE7_LITERATURE
@@ -469,6 +608,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_bt.add_argument("--max-lanes", type=int, default=None)
     p_bt.add_argument("--json", help="write the full curve to this file")
 
+    p_cluster = sub.add_parser(
+        "cluster", help="multi-FPGA pipeline planning"
+    )
+    cluster_sub = p_cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    p_cp = cluster_sub.add_parser(
+        "plan", help="plan a network's pipeline across a fleet"
+    )
+    p_cp.add_argument("--network", default="mnist")
+    p_cp.add_argument("--fleet", default="acu15eg,acu15eg,acu15eg",
+                      help="comma-separated device names, pipeline order")
+    p_cp.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    p_cp.add_argument("--link-latency-us", type=float, default=50.0)
+    p_cp.add_argument("--method", default="dp",
+                      help="cut solver: dp, greedy or equal")
+    p_cp.add_argument("--repeat", type=int, default=1,
+                      help="re-plan N times to demo the warm design cache")
+    p_cp.add_argument("--json", help="write the plan record to this file")
+
+    p_bc = sub.add_parser(
+        "bench-cluster",
+        help="benchmark fleet pipelines against single-device designs",
+    )
+    p_bc.add_argument("--network", default="mnist")
+    p_bc.add_argument("--fleet", action="append", default=None,
+                      help="comma-separated device names; repeatable "
+                           "(default: the built-in fleet mix)")
+    p_bc.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    p_bc.add_argument("--link-latency-us", type=float, default=50.0)
+    p_bc.add_argument("--items", type=int, default=32,
+                      help="inferences pushed through each simulated "
+                           "pipeline")
+    p_bc.add_argument("--json", help="write the full report to this file")
+
     sub.add_parser(
         "report", help="regenerate the headline evaluation tables"
     )
@@ -485,6 +659,8 @@ _COMMANDS = {
     "profile": cmd_profile,
     "serve": cmd_serve,
     "bench-throughput": cmd_bench_throughput,
+    "cluster": cmd_cluster,
+    "bench-cluster": cmd_bench_cluster,
     "report": cmd_report,
 }
 

@@ -1,0 +1,55 @@
+"""Multi-FPGA pipeline parallelism over FxHENN accelerators.
+
+FxHENN's unit of deployment is one DSE'd accelerator on one board; this
+package scales that out to an ordered *fleet* of (possibly
+heterogeneous) boards running the layer pipeline in stages:
+
+* :mod:`repro.cluster.fleet` — devices, links, fleets;
+* :mod:`repro.cluster.partition` — contiguous-split solvers (exact DP,
+  greedy fallback, equal-layer baseline);
+* :mod:`repro.cluster.plan` — the planned pipeline and its economics;
+* :mod:`repro.cluster.dse` — fleet-level DSE through the shared design
+  cache, with per-stage refinement;
+* :mod:`repro.cluster.pipeline` — discrete validation of the schedule;
+* :mod:`repro.cluster.serving` — slot batches routed through the fleet;
+* :mod:`repro.cluster.bench` — the ``repro bench-cluster`` sweep.
+
+See ``docs/cluster.md`` for the model and the math.
+"""
+
+from .bench import bench_fleet, default_fleets, run_cluster_bench
+from .dse import PARTITION_METHODS, FleetPlanner, best_single_device
+from .fleet import Fleet, FleetNode, Link
+from .partition import (
+    Split,
+    bottleneck_seconds,
+    dp_partition,
+    equal_partition,
+    greedy_partition,
+)
+from .pipeline import ClusterSimReport, plan_stages, simulate_plan
+from .plan import ClusterPlan, StagePlan
+from .serving import ClusterService
+
+__all__ = [
+    "ClusterPlan",
+    "ClusterService",
+    "ClusterSimReport",
+    "Fleet",
+    "FleetNode",
+    "FleetPlanner",
+    "Link",
+    "PARTITION_METHODS",
+    "Split",
+    "StagePlan",
+    "bench_fleet",
+    "best_single_device",
+    "bottleneck_seconds",
+    "default_fleets",
+    "dp_partition",
+    "equal_partition",
+    "greedy_partition",
+    "plan_stages",
+    "run_cluster_bench",
+    "simulate_plan",
+]

@@ -1,0 +1,151 @@
+"""The fleet benchmark behind ``repro bench-cluster``.
+
+For each benchmarked fleet:
+
+* price the three cut solvers (**dp** / **greedy** / **equal**) on
+  *unrefined* plans — the same per-device latency tables the DP
+  optimized over, where its optimality guarantee applies — and check
+  ``dp <= equal`` on every fleet;
+* build the **refined** DP plan (per-stage sub-trace DSE) and check it
+  is no worse than the unrefined one;
+* replay the refined plan through the discrete pipeline simulator and
+  check it reproduces the analytic makespan exactly;
+* compare steady-state throughput against the **best single-device
+  design** over the fleet's own boards — the number a pipeline must
+  beat to justify existing;
+* report fleet energy per inference.
+
+The whole sweep runs under one :class:`~repro.serve.cache.DesignCache`;
+a second planning pass over every fleet must leave the
+``dse_points_scanned`` counter flat (the warm-rerun contract), which the
+payload records and CI asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..fpga.device import acu9eg, acu15eg, zcu104
+from ..hecnn.trace import NetworkTrace
+from ..obs import observed
+from ..obs.registry import REGISTRY
+from .dse import FleetPlanner, best_single_device
+from .fleet import Fleet, Link
+from .partition import bottleneck_seconds
+from .pipeline import simulate_plan
+
+#: Unrefined-vs-refined comparisons tolerate only float noise; the
+#: guarantees themselves are exact.
+_EPS = 1e-12
+
+
+def default_fleets(link: Link | None = None) -> list[Fleet]:
+    """The benchmarked fleet mix: a homogeneous high-end trio, a
+    deliberately lopsided heterogeneous chain (where the equal split
+    strands the big FC layer on the weakest board), and a wider
+    low-power quartet."""
+    link = link or Link()
+    return [
+        Fleet.homogeneous(acu15eg(), 3, link=link),
+        Fleet.of([acu9eg(), zcu104(), acu15eg()], link=link),
+        Fleet.homogeneous(acu9eg(), 4, link=link),
+    ]
+
+
+def _dse_points_scanned() -> int:
+    return REGISTRY.counter("dse_points_scanned").value
+
+
+def bench_fleet(
+    planner: FleetPlanner,
+    trace: NetworkTrace,
+    fleet: Fleet,
+    num_items: int,
+) -> dict[str, Any]:
+    """One fleet's full report; see the module docstring for the checks."""
+    layer_seconds = planner.latency_table(trace, fleet)
+    cut_seconds = planner.cut_table(trace, fleet)
+    splits = {}
+    for method in ("dp", "greedy", "equal"):
+        split = planner.split(trace, fleet, method=method)
+        splits[method] = {
+            "bounds": list(split.bounds),
+            "bottleneck_seconds": bottleneck_seconds(
+                split.bounds, layer_seconds, cut_seconds
+            ),
+        }
+    dp_s = splits["dp"]["bottleneck_seconds"]
+    equal_s = splits["equal"]["bottleneck_seconds"]
+
+    unrefined = planner.plan(trace, fleet, method="dp", refine_stages=False)
+    plan = planner.plan(trace, fleet, method="dp", refine_stages=True)
+    sim = simulate_plan(plan, num_items)
+
+    baseline = best_single_device(
+        trace, list(fleet.devices), designs=planner.designs
+    )
+    baseline_tp = 1.0 / baseline.latency_seconds
+
+    return {
+        "fleet": fleet.as_dict(),
+        "splits": splits,
+        "dp_beats_equal": dp_s <= equal_s + _EPS,
+        "dp_strictly_beats_equal": dp_s < equal_s - _EPS,
+        "plan": plan.as_dict(),
+        "refined_no_worse": (
+            plan.bottleneck_seconds <= unrefined.bottleneck_seconds + _EPS
+        ),
+        "unrefined_bottleneck_seconds": unrefined.bottleneck_seconds,
+        "sim": sim.as_dict(),
+        "baseline_single_device": {
+            "device": baseline.device.name,
+            "latency_seconds": baseline.latency_seconds,
+            "throughput_per_second": baseline_tp,
+        },
+        "throughput_speedup_vs_single": (
+            plan.steady_state_throughput / baseline_tp
+        ),
+        "beats_single_device": plan.steady_state_throughput > baseline_tp,
+        "energy_per_inference_joules": plan.energy_per_inference_joules,
+    }
+
+
+def run_cluster_bench(
+    trace: NetworkTrace,
+    fleets: list[Fleet] | None = None,
+    num_items: int = 32,
+) -> dict[str, Any]:
+    """The full fleet sweep, JSON-ready, with the warm-rerun proof.
+
+    Runs under the observability switch so the DSE counters are live;
+    the caller keeps its prior obs state.
+    """
+    if fleets is None:
+        fleets = default_fleets()
+    planner = FleetPlanner()
+    with observed():
+        rows = [
+            bench_fleet(planner, trace, fleet, num_items) for fleet in fleets
+        ]
+        # Warm rerun: every (sub-)trace/device pair is cached now, so a
+        # second planning pass over every fleet scans zero design points.
+        before = _dse_points_scanned()
+        for fleet in fleets:
+            planner.plan(trace, fleet, method="dp", refine_stages=True)
+        after = _dse_points_scanned()
+    return {
+        "network": trace.name,
+        "poly_degree": trace.poly_degree,
+        "num_items": num_items,
+        "fleets": rows,
+        "all_dp_beat_equal": all(r["dp_beats_equal"] for r in rows),
+        "any_beats_single_device": any(
+            r["beats_single_device"] for r in rows
+        ),
+        "warm_rerun": {
+            "dse_points_scanned_before": before,
+            "dse_points_scanned_after": after,
+            "flat": after == before,
+        },
+        "design_cache": planner.designs.stats().as_dict(),
+    }

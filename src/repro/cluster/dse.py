@@ -1,0 +1,227 @@
+"""Fleet-level design space exploration.
+
+Joint planning problem: for each fleet node pick an accelerator design
+(under that node's DSP/BRAM limits) *and* pick the layer cut points, so
+the pipeline interval is minimal.  The solver decomposes it exactly the
+way the costs decompose:
+
+1. **Per-device DSE** — run the single-board DSE (through the shared
+   :class:`~repro.serve.cache.DesignCache`, so warm fleets skip it) on
+   the *full* network per device, yielding an exact per-layer latency
+   table ``lat[d][l]``.  Layer evaluations are independent given the
+   device's BRAM budget, so the full-network design prices any
+   contiguous stage on that device.
+2. **Cut charging** — price every candidate cut with the exact
+   ciphertext wire bytes (:meth:`NetworkTrace.boundary_wire_bytes`,
+   from ``repro.fhe.serialization``) over the actual link.
+3. **Optimal split** — the contiguous-split DP
+   (:func:`repro.cluster.partition.dp_partition`) over those tables.
+4. **Per-stage refinement** (optional) — re-run DSE on each stage's
+   sub-trace: a stage running 2 of 5 layers has laxer BRAM pressure and
+   may afford a hotter design.  The full-network point remains feasible
+   for every sub-range, so refinement can only lower stage times — the
+   DP's bottleneck is an upper bound on the refined plan's.
+
+Every DSE product is memoized in the :class:`DesignCache` under the
+sub-trace's derived name, so re-planning the same (network, fleet) pair
+performs zero design-point scans — the ``dse_points_*`` registry
+counters stay flat on warm reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.framework import AcceleratorDesign
+from ..fpga.device import FpgaDevice
+from ..hecnn.trace import NetworkTrace
+from ..obs.probes import record_cluster_plan, record_cluster_stage, record_cluster_transfer
+from ..obs.tracing import trace_span
+from ..serve.cache import DesignCache
+from .fleet import Fleet, FleetNode
+from .partition import (
+    Split,
+    dp_partition,
+    equal_partition,
+    greedy_partition,
+)
+from .plan import ClusterPlan, StagePlan
+
+#: Supported cut-point solvers, in decreasing exactness.
+PARTITION_METHODS = ("dp", "greedy", "equal")
+
+
+@dataclass
+class FleetPlanner:
+    """Plans cluster pipelines; all DSE flows through one design cache."""
+
+    designs: DesignCache = field(default_factory=DesignCache)
+
+    # -- cost tables ----------------------------------------------------------
+
+    def node_design(
+        self, trace: NetworkTrace, node: FleetNode
+    ) -> AcceleratorDesign:
+        """The node's full-network design (cached)."""
+        return self.designs.get(
+            trace, node.device,
+            dsp_limit=node.dsp_limit, bram_limit=node.bram_limit,
+        )
+
+    def latency_table(
+        self, trace: NetworkTrace, fleet: Fleet
+    ) -> list[list[float]]:
+        """``lat[d][l]``: layer ``l``'s seconds on fleet node ``d``."""
+        table = []
+        for node in fleet.nodes:
+            design = self.node_design(trace, node)
+            clock_hz = node.device.clock_hz
+            table.append([
+                layer.latency_cycles / clock_hz
+                for layer in design.solution.layers
+            ])
+        return table
+
+    def cut_table(
+        self, trace: NetworkTrace, fleet: Fleet
+    ) -> list[list[float]]:
+        """``cut[k][j]``: seconds to ship the boundary after layer ``j``
+        over link ``k`` — exact wire bytes over the link model."""
+        num_cuts = len(trace.layers) - 1
+        return [
+            [
+                fleet.links[k].transfer_seconds(trace.boundary_wire_bytes(j))
+                for j in range(num_cuts)
+            ]
+            for k in range(len(fleet.links))
+        ]
+
+    # -- planning -------------------------------------------------------------
+
+    def split(
+        self, trace: NetworkTrace, fleet: Fleet, method: str = "dp"
+    ) -> Split:
+        """Choose cut points with the requested solver."""
+        if method == "equal":
+            return equal_partition(len(trace.layers), len(fleet))
+        layer_seconds = self.latency_table(trace, fleet)
+        cut_seconds = self.cut_table(trace, fleet)
+        if method == "dp":
+            return dp_partition(layer_seconds, cut_seconds)
+        if method == "greedy":
+            return greedy_partition(layer_seconds, cut_seconds)
+        raise ValueError(
+            f"unknown partition method {method!r}; "
+            f"choose from {PARTITION_METHODS}"
+        )
+
+    def plan(
+        self,
+        trace: NetworkTrace,
+        fleet: Fleet,
+        method: str = "dp",
+        refine_stages: bool = True,
+    ) -> ClusterPlan:
+        """Full fleet plan: per-device DSE, cuts, optional refinement.
+
+        Raises :class:`~repro.core.dse.InfeasibleDesignError` if any
+        fleet node cannot fit the network (or, with refinement, its
+        stage) under its resource limits.
+        """
+        if len(fleet) > len(trace.layers):
+            raise ValueError(
+                f"fleet {fleet.name} has {len(fleet)} nodes but "
+                f"{trace.name} only {len(trace.layers)} layers"
+            )
+        with trace_span(
+            "cluster.plan", category="cluster",
+            network=trace.name, fleet=fleet.name, method=method,
+        ) as span:
+            chosen = self.split(trace, fleet, method=method)
+            stages = []
+            for d, (start, stop) in enumerate(chosen.spans()):
+                node = fleet.nodes[d]
+                if refine_stages:
+                    design = self.designs.get(
+                        trace.slice(start, stop), node.device,
+                        dsp_limit=node.dsp_limit,
+                        bram_limit=node.bram_limit,
+                    )
+                    compute = design.latency_seconds
+                else:
+                    design = self.node_design(trace, node)
+                    clock_hz = node.device.clock_hz
+                    compute = sum(
+                        layer.latency_cycles / clock_hz
+                        for layer in design.solution.layers[start:stop]
+                    )
+                transfer_bytes = 0
+                transfer_seconds = 0.0
+                if d < len(fleet) - 1:
+                    transfer_bytes = trace.boundary_wire_bytes(stop - 1)
+                    transfer_seconds = fleet.link_after(d).transfer_seconds(
+                        transfer_bytes
+                    )
+                stages.append(StagePlan(
+                    index=d,
+                    device=node.device,
+                    layer_start=start,
+                    layer_stop=stop,
+                    layer_names=tuple(
+                        lt.name for lt in trace.layers[start:stop]
+                    ),
+                    design=design,
+                    compute_seconds=compute,
+                    transfer_bytes=transfer_bytes,
+                    transfer_seconds=transfer_seconds,
+                ))
+            plan = ClusterPlan(
+                network=trace.name,
+                fleet=fleet,
+                stages=tuple(stages),
+                method=chosen.method,
+                refined=refine_stages,
+            )
+            self._publish(plan)
+            span.set(
+                bottleneck_s=plan.bottleneck_seconds,
+                throughput=plan.steady_state_throughput,
+                stages=len(plan.stages),
+            )
+        return plan
+
+    @staticmethod
+    def _publish(plan: ClusterPlan) -> None:
+        record_cluster_plan(
+            fleet=plan.fleet.name,
+            network=plan.network,
+            bottleneck_seconds=plan.bottleneck_seconds,
+            throughput=plan.steady_state_throughput,
+        )
+        for stage, util in zip(plan.stages, plan.utilization()):
+            record_cluster_stage(
+                stage.index, stage.device.name,
+                busy_seconds=stage.compute_seconds, utilization=util,
+            )
+            if stage.transfer_bytes:
+                record_cluster_transfer(
+                    stage.index, stage.transfer_bytes, stage.transfer_seconds
+                )
+
+
+def best_single_device(
+    trace: NetworkTrace,
+    devices: list[FpgaDevice],
+    designs: DesignCache | None = None,
+) -> AcceleratorDesign:
+    """Lowest-latency single-board design among ``devices`` — the
+    baseline any pipeline plan must beat to justify the fleet."""
+    if not devices:
+        raise ValueError("need at least one candidate device")
+    cache = designs if designs is not None else DesignCache()
+    best = None
+    for device in devices:
+        design = cache.get(trace, device)
+        if best is None or design.latency_seconds < best.latency_seconds:
+            best = design
+    return best

@@ -1,0 +1,172 @@
+"""Fleet model: an ordered chain of FPGA devices joined by links.
+
+FxHENN generates one accelerator per board; the paper's own Table VII
+shows a single low-power board latency-bound on deeper networks.  The
+scale-out direction is pipeline parallelism: shard the layer sequence
+across a *fleet* of boards, each running its own DSE'd accelerator, with
+ciphertexts crossing board boundaries over real links.
+
+A :class:`Fleet` is deliberately an ordered chain — HE-CNN inference is
+a linear layer pipeline, so stage ``i`` only ever talks to stage
+``i + 1``.  Heterogeneous fleets are first-class: each node carries its
+own :class:`~repro.fpga.device.FpgaDevice` spec plus optional per-node
+DSP/BRAM limits (e.g. to reserve resources for the shell or a NIC), and
+each :class:`Link` its own bandwidth and latency.  Device order is taken
+as given; the partitioner optimizes cut points, not device placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..fpga.device import FpgaDevice, device_by_name
+
+
+@dataclass(frozen=True)
+class Link:
+    """One inter-device connection: bandwidth plus fixed latency.
+
+    The defaults model a 10 GbE switch hop — the commodity fabric the
+    paper's ALINX boards actually expose — with a 50 us one-way latency.
+    """
+
+    bandwidth_gbps: float = 10.0
+    latency_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0 or self.latency_s < 0:
+            raise ValueError(
+                "bandwidth must be positive and latency non-negative"
+            )
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Time to ship ``num_bytes`` across this link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes * 8 / (self.bandwidth_gbps * 1e9)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "latency_s": self.latency_s,
+        }
+
+
+@dataclass(frozen=True)
+class FleetNode:
+    """One pipeline position: a device plus optional resource limits."""
+
+    device: FpgaDevice
+    dsp_limit: int | None = None
+    bram_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dsp_limit is not None and self.dsp_limit < 1:
+            raise ValueError("dsp_limit must be >= 1")
+        if self.bram_limit is not None and self.bram_limit < 1:
+            raise ValueError("bram_limit must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "device": self.device.name,
+            "dsp_limit": self.dsp_limit,
+            "bram_limit": self.bram_limit,
+        }
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """An ordered device chain: ``nodes[i]`` feeds ``nodes[i+1]`` over
+    ``links[i]``.  ``links`` must hold exactly ``len(nodes) - 1`` entries."""
+
+    name: str
+    nodes: tuple[FleetNode, ...]
+    links: tuple[Link, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a fleet needs at least one node")
+        if len(self.links) != len(self.nodes) - 1:
+            raise ValueError(
+                f"fleet of {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} links, got {len(self.links)}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        devices: list[FpgaDevice],
+        link: Link | None = None,
+        name: str | None = None,
+    ) -> "Fleet":
+        """Fleet from a device list with one uniform link model."""
+        link = link or Link()
+        nodes = tuple(FleetNode(device=d) for d in devices)
+        return cls(
+            name=name or "+".join(d.name for d in devices),
+            nodes=nodes,
+            links=(link,) * (len(nodes) - 1),
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        device: FpgaDevice,
+        count: int,
+        link: Link | None = None,
+        name: str | None = None,
+    ) -> "Fleet":
+        """``count`` copies of one device joined by identical links."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return cls.of(
+            [device] * count, link=link,
+            name=name or f"{count}x{device.name}",
+        )
+
+    @classmethod
+    def from_names(
+        cls,
+        names: list[str],
+        link: Link | None = None,
+        name: str | None = None,
+    ) -> "Fleet":
+        """Fleet from built-in device preset names (CLI entry point)."""
+        return cls.of([device_by_name(n) for n in names], link=link, name=name)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[FleetNode]:
+        return iter(self.nodes)
+
+    @property
+    def devices(self) -> tuple[FpgaDevice, ...]:
+        return tuple(node.device for node in self.nodes)
+
+    def link_after(self, stage: int) -> Link:
+        """The link carrying stage ``stage``'s output downstream."""
+        return self.links[stage]
+
+    def key(self) -> tuple:
+        """Hashable identity used in caches and telemetry labels.
+
+        Two fleets with the same devices, limits and link parameters are
+        interchangeable for planning purposes, whatever their names.
+        """
+        return (
+            tuple(
+                (n.device.name, n.dsp_limit, n.bram_limit) for n in self.nodes
+            ),
+            tuple((ln.bandwidth_gbps, ln.latency_s) for ln in self.links),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "nodes": [n.as_dict() for n in self.nodes],
+            "links": [ln.as_dict() for ln in self.links],
+        }

@@ -1,0 +1,210 @@
+"""Contiguous layer partitioning across a device chain.
+
+The pipeline-parallel planning problem: place a network's ``L``-layer
+sequence onto ``D`` ordered devices as ``D`` contiguous stages, so that
+the *pipeline interval* — the steady-state time between consecutive
+inferences, equal to the slowest stage or cut — is minimized::
+
+    minimize   max( max_d stage_time(d),  max_cut transfer_time(cut) )
+
+Stage times are per-device (heterogeneous fleets evaluate the same layer
+differently) and every candidate cut is charged its exact ciphertext
+transfer time on the link it crosses, so the optimizer sees compute and
+communication in the same currency.
+
+Two solvers:
+
+* :func:`dp_partition` — exact dynamic program over (device, prefix)
+  states, ``O(D * L^2)``; contiguous splits have optimal substructure in
+  the bottleneck objective, so this is *optimal* among contiguous
+  splits.  For the paper's 5-layer networks the table is trivially
+  small; even a 1000-layer network on a 16-board fleet is ~16M states.
+* :func:`greedy_partition` — ``O(D * L)`` fallback for very long layer
+  sequences: fills each stage toward its device's proportional share.
+  No optimality guarantee, but never produces an invalid split.
+
+:func:`equal_partition` is the naive equal-layer-count baseline the
+benchmarks compare against, and :func:`bottleneck_seconds` evaluates any
+split under the shared objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class Split:
+    """A contiguous partition: stage ``d`` runs layers
+    ``[bounds[d], bounds[d+1])``."""
+
+    bounds: tuple[int, ...]
+    method: str
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) < 2 or self.bounds[0] != 0:
+            raise ValueError("bounds must start at 0 and name >= 1 stage")
+        if any(b >= c for b, c in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("bounds must be strictly increasing")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.bounds) - 1
+
+    def spans(self) -> tuple[tuple[int, int], ...]:
+        """Per-stage ``(start, stop)`` layer ranges."""
+        return tuple(zip(self.bounds, self.bounds[1:]))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"bounds": list(self.bounds), "method": self.method}
+
+
+def _validate_tables(
+    layer_seconds: Sequence[Sequence[float]],
+    cut_seconds: Sequence[Sequence[float]],
+) -> tuple[int, int]:
+    num_devices = len(layer_seconds)
+    if num_devices < 1:
+        raise ValueError("need at least one device row")
+    num_layers = len(layer_seconds[0])
+    if any(len(row) != num_layers for row in layer_seconds):
+        raise ValueError("all device rows must cover the same layers")
+    if num_layers < num_devices:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_devices} "
+            f"non-empty stages"
+        )
+    if any(t < 0 for row in layer_seconds for t in row):
+        raise ValueError("layer times must be non-negative")
+    if len(cut_seconds) != num_devices - 1:
+        raise ValueError(
+            f"need one cut-cost row per link ({num_devices - 1}), "
+            f"got {len(cut_seconds)}"
+        )
+    if any(len(row) != max(0, num_layers - 1) for row in cut_seconds):
+        raise ValueError("each cut-cost row must cover every candidate cut")
+    if any(t < 0 for row in cut_seconds for t in row):
+        raise ValueError("cut times must be non-negative")
+    return num_devices, num_layers
+
+
+def bottleneck_seconds(
+    bounds: Sequence[int],
+    layer_seconds: Sequence[Sequence[float]],
+    cut_seconds: Sequence[Sequence[float]],
+) -> float:
+    """Pipeline interval of an arbitrary split under the shared objective."""
+    num_devices, num_layers = _validate_tables(layer_seconds, cut_seconds)
+    if len(bounds) != num_devices + 1 or bounds[-1] != num_layers:
+        raise ValueError("bounds must assign every layer to every device")
+    worst = 0.0
+    for d, (start, stop) in enumerate(zip(bounds, bounds[1:])):
+        worst = max(worst, sum(layer_seconds[d][start:stop]))
+        if d < num_devices - 1:
+            worst = max(worst, cut_seconds[d][stop - 1])
+    return worst
+
+
+def dp_partition(
+    layer_seconds: Sequence[Sequence[float]],
+    cut_seconds: Sequence[Sequence[float]],
+) -> Split:
+    """Optimal contiguous split minimizing the pipeline interval.
+
+    ``layer_seconds[d][l]`` is layer ``l``'s latency on device ``d``;
+    ``cut_seconds[k][j]`` is the transfer time over link ``k`` (between
+    devices ``k`` and ``k+1``) when the cut falls after layer ``j``.
+    Every stage receives at least one layer.  Ties break toward the
+    earliest feasible cut, making the result deterministic.
+    """
+    num_devices, num_layers = _validate_tables(layer_seconds, cut_seconds)
+
+    # prefix[d][i]: total seconds of layers [0, i) on device d.
+    prefix = []
+    for row in layer_seconds:
+        acc = [0.0]
+        for t in row:
+            acc.append(acc[-1] + t)
+        prefix.append(acc)
+
+    def stage(d: int, start: int, stop: int) -> float:
+        return prefix[d][stop] - prefix[d][start]
+
+    inf = float("inf")
+    # best[d][i]: minimal bottleneck placing the first i layers on
+    # devices 0..d; parent[d][i] reconstructs the chosen cut.
+    best = [[inf] * (num_layers + 1) for _ in range(num_devices)]
+    parent = [[0] * (num_layers + 1) for _ in range(num_devices)]
+    for i in range(1, num_layers - num_devices + 2):
+        best[0][i] = stage(0, 0, i)
+    for d in range(1, num_devices):
+        remaining = num_devices - 1 - d  # stages still to fill after d
+        for i in range(d + 1, num_layers - remaining + 1):
+            for j in range(d, i):
+                upstream = best[d - 1][j]
+                if upstream == inf:
+                    continue
+                candidate = max(
+                    upstream, cut_seconds[d - 1][j - 1], stage(d, j, i)
+                )
+                if candidate < best[d][i]:
+                    best[d][i] = candidate
+                    parent[d][i] = j
+    bounds = [num_layers]
+    for d in range(num_devices - 1, 0, -1):
+        bounds.append(parent[d][bounds[-1]])
+    bounds.append(0)
+    return Split(bounds=tuple(reversed(bounds)), method="dp")
+
+
+def greedy_partition(
+    layer_seconds: Sequence[Sequence[float]],
+    cut_seconds: Sequence[Sequence[float]],
+) -> Split:
+    """Linear-time fallback: fill each stage toward its fair share.
+
+    Stage ``d`` accumulates layers until its time reaches the device's
+    proportional target (its own total over ``D``), always reserving
+    enough layers for the stages behind it.  Exactness is traded for
+    ``O(D * L)`` — use :func:`dp_partition` unless the layer sequence is
+    enormous.
+    """
+    num_devices, num_layers = _validate_tables(layer_seconds, cut_seconds)
+    bounds = [0]
+    layer = 0
+    for d in range(num_devices - 1):
+        target = sum(layer_seconds[d]) / num_devices
+        stage_time = 0.0
+        # Reserve one layer per remaining stage.
+        reserve = num_devices - 1 - d
+        took = 0
+        while layer < num_layers - reserve:
+            t = layer_seconds[d][layer]
+            if took > 0 and stage_time + t > target:
+                break
+            stage_time += t
+            layer += 1
+            took += 1
+        bounds.append(layer)
+    bounds.append(num_layers)
+    return Split(bounds=tuple(bounds), method="greedy")
+
+
+def equal_partition(num_layers: int, num_stages: int) -> Split:
+    """The naive baseline: near-equal *layer counts* per stage.
+
+    Ignores per-layer cost entirely — the first ``L mod D`` stages get
+    one extra layer.  This is the split the cluster benchmark requires
+    the DP to never lose to.
+    """
+    if not 1 <= num_stages <= num_layers:
+        raise ValueError(
+            f"need 1 <= stages <= layers, got {num_stages} stages for "
+            f"{num_layers} layers"
+        )
+    base, extra = divmod(num_layers, num_stages)
+    bounds = [0]
+    for d in range(num_stages):
+        bounds.append(bounds[-1] + base + (1 if d < extra else 0))
+    return Split(bounds=tuple(bounds), method="equal")

@@ -1,0 +1,152 @@
+"""Cluster plans: the product of fleet-level planning.
+
+A :class:`ClusterPlan` is to a fleet what
+:class:`~repro.core.framework.AcceleratorDesign` is to a single board:
+the chosen per-stage accelerator designs, the layer cut points, the
+exact inter-stage transfer charges, and the derived pipeline economics —
+bottleneck interval, steady-state throughput, single-item fill latency,
+per-stage utilization and fleet energy per inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.framework import AcceleratorDesign
+from ..fpga.device import FpgaDevice
+from ..fpga.energy import cluster_energy_per_inference
+from .fleet import Fleet
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One pipeline stage: a device running a contiguous layer range.
+
+    ``transfer_bytes`` / ``transfer_seconds`` describe the stage's
+    *outgoing* boundary (zero for the final stage): the exact wire size
+    of the output ciphertexts and their time on the downstream link.
+    """
+
+    index: int
+    device: FpgaDevice
+    layer_start: int
+    layer_stop: int
+    layer_names: tuple[str, ...]
+    design: AcceleratorDesign
+    compute_seconds: float
+    transfer_bytes: int = 0
+    transfer_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.layer_start >= self.layer_stop:
+            raise ValueError("a stage must run at least one layer")
+        if self.compute_seconds < 0 or self.transfer_seconds < 0:
+            raise ValueError("stage times must be non-negative")
+        if self.transfer_bytes < 0:
+            raise ValueError("transfer_bytes must be non-negative")
+
+    @property
+    def num_layers(self) -> int:
+        return self.layer_stop - self.layer_start
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "device": self.device.name,
+            "layers": list(self.layer_names),
+            "layer_range": [self.layer_start, self.layer_stop],
+            "compute_seconds": self.compute_seconds,
+            "transfer_bytes": self.transfer_bytes,
+            "transfer_seconds": self.transfer_seconds,
+            "dsp_usage": self.design.solution.dsp_usage,
+            "bram_peak": self.design.solution.bram_peak,
+            "nc_ntt": self.design.solution.point.nc_ntt,
+        }
+
+
+@dataclass(frozen=True)
+class ClusterPlan:
+    """A network pipelined across a fleet."""
+
+    network: str
+    fleet: Fleet
+    stages: tuple[StagePlan, ...]
+    method: str
+    refined: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.stages) != len(self.fleet.nodes):
+            raise ValueError("plan must carry one stage per fleet node")
+        if self.stages and self.stages[-1].transfer_seconds != 0.0:
+            raise ValueError("the final stage has no downstream transfer")
+
+    # -- pipeline economics ---------------------------------------------------
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """Steady-state pipeline interval: the slowest stage or transfer."""
+        return max(
+            max(s.compute_seconds for s in self.stages),
+            max(s.transfer_seconds for s in self.stages),
+        )
+
+    @property
+    def steady_state_throughput(self) -> float:
+        """Inferences per second once the pipeline is full."""
+        interval = self.bottleneck_seconds
+        return 1.0 / interval if interval > 0 else 0.0
+
+    @property
+    def fill_latency_seconds(self) -> float:
+        """End-to-end latency of a single item through the empty pipeline."""
+        return sum(
+            s.compute_seconds + s.transfer_seconds for s in self.stages
+        )
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        return sum(s.transfer_bytes for s in self.stages)
+
+    def utilization(self) -> tuple[float, ...]:
+        """Per-stage compute occupancy of the steady-state interval."""
+        interval = self.bottleneck_seconds
+        if interval <= 0:
+            return tuple(0.0 for _ in self.stages)
+        return tuple(s.compute_seconds / interval for s in self.stages)
+
+    @property
+    def energy_per_inference_joules(self) -> float:
+        """Fleet energy per inference: each stage's TDP over its occupied
+        time (idle slack behind the bottleneck is not charged)."""
+        return cluster_energy_per_inference(
+            (s.device.tdp_watts, s.compute_seconds) for s in self.stages
+        )
+
+    def makespan_seconds(self, num_items: int) -> float:
+        """Analytic pipeline makespan: fill once, then one interval per
+        additional item.  The discrete simulation in
+        :mod:`repro.cluster.pipeline` must reproduce this exactly."""
+        if num_items <= 0:
+            return 0.0
+        return (
+            self.fill_latency_seconds
+            + (num_items - 1) * self.bottleneck_seconds
+        )
+
+    # -- reporting ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "network": self.network,
+            "fleet": self.fleet.as_dict(),
+            "method": self.method,
+            "refined": self.refined,
+            "stages": [s.as_dict() for s in self.stages],
+            "bottleneck_seconds": self.bottleneck_seconds,
+            "steady_state_throughput": self.steady_state_throughput,
+            "fill_latency_seconds": self.fill_latency_seconds,
+            "total_transfer_bytes": self.total_transfer_bytes,
+            "utilization": list(self.utilization()),
+            "energy_per_inference_joules": self.energy_per_inference_joules,
+        }

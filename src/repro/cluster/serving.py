@@ -1,0 +1,209 @@
+"""Cluster serving: slot batches routed through a pipelined fleet.
+
+:class:`~repro.serve.scheduler.SlotBatchScheduler` models one board that
+is busy for a whole batch latency between dispatches.  A pipelined fleet
+is different in exactly one way that matters for throughput: it admits a
+*new* batch every bottleneck interval while earlier batches are still in
+flight downstream, so
+
+* batch **admission cadence** = ``plan.bottleneck_seconds``;
+* batch **completion** = admission + ``plan.fill_latency_seconds``.
+
+:class:`ClusterService` is the virtual-time router implementing that
+policy above the same admission queue / batch window / deadline
+semantics as the single-board scheduler, producing the same
+:class:`~repro.serve.records.ServeReport` (outcome ``"cluster"``).
+There is no LoLa degradation here — an under-filled batch still rides
+the pipeline; degrading would require a second, latency-oriented
+deployment next to the fleet.
+
+Every dispatched batch publishes cluster probes: per-stage occupancy,
+transfer bytes on every link, and end-to-end batch latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..hecnn.batched import cryptonets_mnist_batched, max_batch_lanes
+from ..obs.probes import (
+    record_batch_dispatch,
+    record_cluster_batch,
+    record_cluster_stage,
+    record_cluster_transfer,
+    record_queue_depth,
+    record_request_latency,
+    record_request_outcome,
+    record_throughput,
+)
+from ..obs.tracing import trace_span
+from ..serve.records import BatchRecord, RequestResult, ServeReport
+from ..serve.request import InferenceRequest
+from ..serve.scheduler import SchedulerConfig
+from .dse import FleetPlanner
+from .fleet import Fleet
+from .plan import ClusterPlan
+
+
+class ClusterService:
+    """Virtual-time slot-batch router over a cluster plan."""
+
+    def __init__(
+        self,
+        plan: ClusterPlan,
+        batch_capacity: int,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        if batch_capacity < 1:
+            raise ValueError("batch_capacity must be >= 1")
+        self.plan = plan
+        self.config = config or SchedulerConfig()
+        self.capacity = min(
+            self.config.max_lanes or batch_capacity, batch_capacity
+        )
+
+    @classmethod
+    def cryptonets_mnist(
+        cls,
+        fleet: Fleet,
+        poly_degree: int = 8192,
+        planner: FleetPlanner | None = None,
+        config: SchedulerConfig | None = None,
+        method: str = "dp",
+    ) -> "ClusterService":
+        """The benchmark deployment: the slot-batched CryptoNets-MNIST
+        trace pipelined across ``fleet``, ``N/2`` lanes per batch."""
+        planner = planner if planner is not None else FleetPlanner()
+        trace = cryptonets_mnist_batched(poly_degree)
+        plan = planner.plan(trace, fleet, method=method)
+        return cls(
+            plan, batch_capacity=max_batch_lanes(poly_degree), config=config
+        )
+
+    # -- the router -----------------------------------------------------------
+
+    def run(self, requests: list[InferenceRequest]) -> ServeReport:
+        with trace_span(
+            "cluster.serve", category="cluster",
+            fleet=self.plan.fleet.name, window=self.config.batch_window_s,
+        ) as span:
+            report = self._run(requests)
+            span.set(completed=report.completed,
+                     throughput=report.throughput_images_per_s)
+        return report
+
+    def _run(self, requests: list[InferenceRequest]) -> ServeReport:
+        interval = self.plan.bottleneck_seconds
+        transit = self.plan.fill_latency_seconds
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        queue: list[InferenceRequest] = []
+        results: list[RequestResult] = []
+        batches: list[BatchRecord] = []
+        admit_free_at = 0.0  # when the pipeline can accept the next batch
+        i = 0
+
+        def admit_until(t: float) -> None:
+            nonlocal i
+            while i < len(pending) and pending[i].arrival_s <= t:
+                req = pending[i]
+                i += 1
+                if len(queue) >= self.config.queue_capacity:
+                    results.append(RequestResult(
+                        request_id=req.request_id, outcome="rejected",
+                        arrival_s=req.arrival_s,
+                    ))
+                    record_request_outcome("rejected")
+                else:
+                    queue.append(req)
+                record_queue_depth(len(queue), queue="cluster")
+
+        while i < len(pending) or queue:
+            if not queue:
+                admit_until(pending[i].arrival_s)
+                continue
+            oldest = queue[0]
+            window_close = oldest.arrival_s + self.config.batch_window_s
+            if len(queue) < self.capacity and (
+                i < len(pending) and pending[i].arrival_s <= window_close
+            ):
+                admit_until(pending[i].arrival_s)
+                continue
+            if len(queue) >= self.capacity:
+                dispatch_at = max(admit_free_at, oldest.arrival_s)
+            else:
+                dispatch_at = max(admit_free_at, window_close)
+            admit_until(dispatch_at)
+
+            alive: list[InferenceRequest] = []
+            for req in queue:
+                if req.expired(dispatch_at):
+                    results.append(RequestResult(
+                        request_id=req.request_id, outcome="expired",
+                        arrival_s=req.arrival_s,
+                    ))
+                    record_request_outcome("expired")
+                else:
+                    alive.append(req)
+            queue = alive
+            record_queue_depth(len(queue), queue="cluster")
+            if not queue:
+                continue
+
+            batch = queue[: self.capacity]
+            queue = queue[len(batch):]
+            record_queue_depth(len(queue), queue="cluster")
+            finish = dispatch_at + transit
+            for req in batch:
+                results.append(RequestResult(
+                    request_id=req.request_id, outcome="cluster",
+                    arrival_s=req.arrival_s, start_s=dispatch_at,
+                    finish_s=finish, batch_id=len(batches),
+                ))
+                record_request_outcome("cluster")
+                record_request_latency(finish - req.arrival_s, "cluster")
+            batches.append(BatchRecord(
+                batch_id=len(batches), mode="cluster", lanes=len(batch),
+                capacity=self.capacity, start_s=dispatch_at, finish_s=finish,
+            ))
+            record_batch_dispatch(len(batch), self.capacity, "cluster")
+            record_cluster_batch(len(batch), transit)
+            self._publish_stages()
+            # The pipeline frees an admission slot one interval later,
+            # even though this batch is still in flight downstream.
+            admit_free_at = dispatch_at + interval
+
+        results.sort(key=lambda r: r.request_id)
+        report = ServeReport(
+            results=tuple(results),
+            batches=tuple(batches),
+            config={
+                **self.config.as_dict(),
+                "capacity": self.capacity,
+                "cluster": self._plan_summary(),
+            },
+        )
+        record_throughput(report.throughput_images_per_s)
+        return report
+
+    # -- probes / reporting ---------------------------------------------------
+
+    def _publish_stages(self) -> None:
+        for stage, util in zip(self.plan.stages, self.plan.utilization()):
+            record_cluster_stage(
+                stage.index, stage.device.name,
+                busy_seconds=stage.compute_seconds, utilization=util,
+            )
+            if stage.transfer_bytes:
+                record_cluster_transfer(
+                    stage.index, stage.transfer_bytes, stage.transfer_seconds
+                )
+
+    def _plan_summary(self) -> dict[str, Any]:
+        return {
+            "network": self.plan.network,
+            "fleet": self.plan.fleet.name,
+            "stages": len(self.plan.stages),
+            "bottleneck_seconds": self.plan.bottleneck_seconds,
+            "fill_latency_seconds": self.plan.fill_latency_seconds,
+            "total_transfer_bytes": self.plan.total_transfer_bytes,
+        }

@@ -65,8 +65,10 @@ from .serialization import (
     ciphertext_from_bytes,
     ciphertext_to_bytes,
     ciphertext_wire_bytes,
+    ciphertext_wire_size,
     plaintext_from_bytes,
     plaintext_to_bytes,
+    plaintext_wire_size,
 )
 
 __all__ = [
@@ -97,8 +99,10 @@ __all__ = [
     "ciphertext_from_bytes",
     "ciphertext_to_bytes",
     "ciphertext_wire_bytes",
+    "ciphertext_wire_size",
     "plaintext_from_bytes",
     "plaintext_to_bytes",
+    "plaintext_wire_size",
     "barrett_reduce",
     "batched_barrett_reduce",
     "batched_mod_add",

@@ -6,10 +6,17 @@ This module provides the byte-level formats for that boundary:
 
 * a compact binary format for :class:`~repro.fhe.ciphertext.Ciphertext`
   and :class:`~repro.fhe.ciphertext.Plaintext` — a fixed little-endian
-  header (magic, version, geometry, scale, domain flags) followed by the
-  raw residue words;
-* helpers computing the exact wire sizes, used by the Table VI model-size
-  accounting and by bandwidth estimates.
+  header (magic, version, geometry, scale) followed by a per-component
+  NTT-domain flag bitmap and the raw residue words;
+* helpers computing the exact wire sizes *without materializing bytes*,
+  used by the Table VI model-size accounting, by the cluster partitioner's
+  inter-device transfer charges, and by bandwidth estimates.
+
+Format version 2 replaced the version-1 fixed 32-bit domain-flag word
+with a variable-length bitmap of ``ceil(num_polys / 8)`` bytes, so any
+component count up to the 255 the ``num_polys`` byte can express
+round-trips; counts beyond that raise :class:`SerializationError` at
+pack time instead of corrupting the header.
 
 Secret keys are deliberately *not* serializable here: they never leave the
 client in the paper's threat model.
@@ -25,39 +32,51 @@ from .ciphertext import Ciphertext, Plaintext
 from .poly import RnsBasis, RnsPolynomial
 
 _MAGIC = b"FXHN"
-_VERSION = 1
+_VERSION = 2
 # magic, version, kind, num_polys, n, level, scale (f64)
-_HEADER = struct.Struct("<4sBBBxIIdI")
+_HEADER = struct.Struct("<4sBBBxIId")
 _KIND_CIPHERTEXT = 1
 _KIND_PLAINTEXT = 2
+#: Hard cap of the one-byte ``num_polys`` header field.
+MAX_COMPONENTS = 255
 
 
 class SerializationError(ValueError):
     """Raised on malformed or incompatible serialized data."""
 
 
+def _flags_bytes(num_polys: int) -> int:
+    """Size of the NTT-domain flag bitmap: one bit per component."""
+    return -(-num_polys // 8)
+
+
 def _pack(polys: list[RnsPolynomial], scale: float, kind: int) -> bytes:
+    if len(polys) > MAX_COMPONENTS:
+        raise SerializationError(
+            f"cannot serialize {len(polys)} components; the num_polys "
+            f"header field holds at most {MAX_COMPONENTS}"
+        )
     basis = polys[0].basis
-    flags = 0
+    flags = bytearray(_flags_bytes(len(polys)))
     for i, poly in enumerate(polys):
         if poly.basis != basis:
             raise SerializationError("components must share one basis")
         if poly.is_ntt:
-            flags |= 1 << i
+            flags[i // 8] |= 1 << (i % 8)
     header = _HEADER.pack(
-        _MAGIC, _VERSION, kind, len(polys), basis.n, basis.level, scale, flags
+        _MAGIC, _VERSION, kind, len(polys), basis.n, basis.level, scale
     )
     prime_block = struct.pack(f"<{basis.level}Q", *basis.primes)
     body = b"".join(
         np.ascontiguousarray(p.residues, dtype="<u8").tobytes() for p in polys
     )
-    return header + prime_block + body
+    return header + bytes(flags) + prime_block + body
 
 
 def _unpack(data: bytes, expected_kind: int) -> tuple[list[RnsPolynomial], float]:
     if len(data) < _HEADER.size:
         raise SerializationError("truncated header")
-    magic, version, kind, num_polys, n, level, scale, flags = _HEADER.unpack(
+    magic, version, kind, num_polys, n, level, scale = _HEADER.unpack(
         data[: _HEADER.size]
     )
     if magic != _MAGIC:
@@ -66,7 +85,14 @@ def _unpack(data: bytes, expected_kind: int) -> tuple[list[RnsPolynomial], float
         raise SerializationError(f"unsupported version {version}")
     if kind != expected_kind:
         raise SerializationError("wrong payload kind")
+    if num_polys < 1:
+        raise SerializationError("payload must carry at least one component")
     offset = _HEADER.size
+    flag_bytes = _flags_bytes(num_polys)
+    if len(data) < offset + flag_bytes:
+        raise SerializationError("truncated flag bitmap")
+    flags = data[offset : offset + flag_bytes]
+    offset += flag_bytes
     prime_bytes = level * 8
     if len(data) < offset + prime_bytes:
         raise SerializationError("truncated prime block")
@@ -83,7 +109,8 @@ def _unpack(data: bytes, expected_kind: int) -> tuple[list[RnsPolynomial], float
     for i in range(num_polys):
         chunk = data[offset : offset + poly_bytes]
         residues = np.frombuffer(chunk, dtype="<u8").reshape(level, n).copy()
-        polys.append(RnsPolynomial(basis, residues, is_ntt=bool(flags >> i & 1)))
+        is_ntt = bool(flags[i // 8] >> (i % 8) & 1)
+        polys.append(RnsPolynomial(basis, residues, is_ntt=is_ntt))
         offset += poly_bytes
     return polys, scale
 
@@ -114,8 +141,38 @@ def plaintext_from_bytes(data: bytes) -> Plaintext:
     return Plaintext(poly=polys[0], scale=scale)
 
 
-def ciphertext_wire_bytes(poly_degree: int, level: int, components: int = 2) -> int:
-    """Exact serialized size of a ciphertext with the given geometry."""
+def ciphertext_wire_size(
+    poly_degree: int, level: int, num_polys: int = 2
+) -> int:
+    """Exact serialized size of a payload with the given geometry.
+
+    Computed from the format alone — no residue arrays are materialized —
+    so it is cheap enough for the cluster partitioner to price every
+    candidate inter-device cut.  Raises :class:`SerializationError` for
+    geometries the format cannot express, mirroring :func:`_pack`.
+    """
+    if num_polys < 1 or num_polys > MAX_COMPONENTS:
+        raise SerializationError(
+            f"num_polys must be in [1, {MAX_COMPONENTS}], got {num_polys}"
+        )
+    if poly_degree < 1 or level < 1:
+        raise SerializationError("poly_degree and level must be >= 1")
     return (
-        _HEADER.size + level * 8 + components * level * poly_degree * 8
+        _HEADER.size
+        + _flags_bytes(num_polys)
+        + level * 8
+        + num_polys * level * poly_degree * 8
     )
+
+
+def plaintext_wire_size(poly_degree: int, level: int) -> int:
+    """Exact serialized size of one encoded plaintext."""
+    return ciphertext_wire_size(poly_degree, level, num_polys=1)
+
+
+def ciphertext_wire_bytes(poly_degree: int, level: int, components: int = 2) -> int:
+    """Exact serialized size of a ciphertext with the given geometry.
+
+    Kept as the historical name; identical to :func:`ciphertext_wire_size`.
+    """
+    return ciphertext_wire_size(poly_degree, level, num_polys=components)

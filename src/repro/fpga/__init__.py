@@ -27,7 +27,12 @@ from .device import (
     device_by_name,
     zcu104,
 )
-from .energy import PlatformResult, energy_efficiency, speedup
+from .energy import (
+    PlatformResult,
+    cluster_energy_per_inference,
+    energy_efficiency,
+    speedup,
+)
 from .modules import (
     ModuleDesign,
     dsp_const,
@@ -54,6 +59,7 @@ __all__ = [
     "bn_buffer_blocks",
     "buffer_tile_words",
     "calibration",
+    "cluster_energy_per_inference",
     "device_by_name",
     "dsp_const",
     "energy_efficiency",

@@ -166,6 +166,75 @@ class NetworkTrace:
         )
         return bits // 8
 
+    def model_wire_size_bytes(self) -> int:
+        """Encoded model size in the ``repro.fhe.serialization`` wire format.
+
+        Where :meth:`model_size_bytes` prices the accelerator's native
+        DRAM stream (residues packed at ``prime_bits``), this is the exact
+        byte count of shipping every weight/bias plaintext over the wire —
+        the client-upload column of the Table VI accounting.
+        """
+        from ..fhe.serialization import plaintext_wire_size
+
+        return sum(
+            layer.plaintext_count
+            * plaintext_wire_size(self.poly_degree, layer.level)
+            for layer in self.layers
+        )
+
+    def input_wire_bytes(self) -> int:
+        """Exact wire bytes of the encrypted input the client uploads."""
+        from ..fhe.serialization import ciphertext_wire_size
+
+        first = self.layers[0]
+        return first.num_input_cts * ciphertext_wire_size(
+            self.poly_degree, first.level
+        )
+
+    def boundary_wire_bytes(self, cut_after: int) -> int:
+        """Exact wire bytes crossing the cut after layer ``cut_after``.
+
+        This is what one pipeline stage ships to the next when the network
+        is split across devices: the upstream layer's output ciphertexts,
+        serialized at the level the downstream layer receives them.
+        """
+        if not 0 <= cut_after < len(self.layers) - 1:
+            raise ValueError(
+                f"cut_after must be in [0, {len(self.layers) - 2}], "
+                f"got {cut_after}"
+            )
+        from ..fhe.serialization import ciphertext_wire_size
+
+        upstream = self.layers[cut_after]
+        downstream = self.layers[cut_after + 1]
+        return upstream.num_output_cts * ciphertext_wire_size(
+            self.poly_degree, downstream.level
+        )
+
+    def slice(self, start: int, stop: int) -> "NetworkTrace":
+        """Contiguous sub-network ``layers[start:stop]`` as its own trace.
+
+        The slice keeps the parent's CKKS geometry and gets a
+        deterministic derived name (``"{name}[start:stop]"``) so design
+        caches key each stage of a cluster partition distinctly; a
+        full-range slice returns ``self`` unchanged, sharing the parent's
+        cache entry.
+        """
+        if not 0 <= start < stop <= len(self.layers):
+            raise ValueError(
+                f"invalid slice [{start}:{stop}] of {len(self.layers)} layers"
+            )
+        if start == 0 and stop == len(self.layers):
+            return self
+        return NetworkTrace(
+            name=f"{self.name}[{start}:{stop}]",
+            layers=self.layers[start:stop],
+            poly_degree=self.poly_degree,
+            base_level=self.base_level,
+            prime_bits=self.prime_bits,
+            batch_lanes=self.batch_lanes,
+        )
+
     def layer(self, name: str) -> LayerTrace:
         for layer in self.layers:
             if layer.name == name:

@@ -106,6 +106,60 @@ def record_throughput(images_per_second: float) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Cluster probes
+# ---------------------------------------------------------------------------
+
+
+def record_cluster_plan(fleet: str, network: str, bottleneck_seconds: float,
+                        throughput: float) -> None:
+    """One fleet plan was produced: count it, publish its economics."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("cluster_plans_total", fleet=fleet, network=network).inc()
+    REGISTRY.gauge(
+        "cluster_bottleneck_seconds", fleet=fleet, network=network
+    ).set(bottleneck_seconds)
+    REGISTRY.gauge(
+        "cluster_throughput_per_second", fleet=fleet, network=network
+    ).set(throughput)
+
+
+def record_cluster_stage(stage: int, device: str, busy_seconds: float,
+                         utilization: float) -> None:
+    """Per-stage occupancy of the steady-state pipeline interval."""
+    if not config.enabled():
+        return
+    REGISTRY.gauge(
+        "cluster_stage_busy_seconds", stage=stage, device=device
+    ).set(busy_seconds)
+    REGISTRY.gauge(
+        "cluster_stage_utilization", stage=stage, device=device
+    ).set(utilization)
+
+
+def record_cluster_transfer(stage: int, num_bytes: int,
+                            seconds: float) -> None:
+    """Bytes shipped across the link leaving ``stage``."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("cluster_transfer_bytes_total", stage=stage).inc(
+        num_bytes
+    )
+    REGISTRY.gauge("cluster_transfer_seconds", stage=stage).set(seconds)
+
+
+def record_cluster_batch(lanes: int, latency_seconds: float) -> None:
+    """One slot batch completed its trip through the cluster pipeline."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("cluster_batches_total").inc()
+    REGISTRY.counter("cluster_images_total").inc(lanes)
+    REGISTRY.histogram("cluster_batch_latency_seconds").observe(
+        latency_seconds
+    )
+
+
+# ---------------------------------------------------------------------------
 # DSE progress
 # ---------------------------------------------------------------------------
 

@@ -16,10 +16,11 @@ from typing import Any
 class RequestResult:
     """Terminal record of one request.
 
-    ``outcome`` is one of ``"batched"`` / ``"lola"`` (completed in that
-    mode), ``"expired"`` (deadline passed before dispatch) or
-    ``"rejected"`` (bounded admission queue was full).  ``start_s`` /
-    ``finish_s`` / ``batch_id`` are ``None`` unless the request completed.
+    ``outcome`` is one of ``"batched"`` / ``"lola"`` / ``"cluster"``
+    (completed in that mode), ``"expired"`` (deadline passed before
+    dispatch) or ``"rejected"`` (bounded admission queue was full).
+    ``start_s`` / ``finish_s`` / ``batch_id`` are ``None`` unless the
+    request completed.
     """
 
     request_id: int
@@ -29,7 +30,7 @@ class RequestResult:
     finish_s: float | None = None
     batch_id: int | None = None
 
-    OUTCOMES = ("batched", "lola", "expired", "rejected")
+    OUTCOMES = ("batched", "lola", "cluster", "expired", "rejected")
 
     def __post_init__(self) -> None:
         if self.outcome not in self.OUTCOMES:
@@ -37,7 +38,7 @@ class RequestResult:
 
     @property
     def completed(self) -> bool:
-        return self.outcome in ("batched", "lola")
+        return self.outcome in ("batched", "lola", "cluster")
 
     @property
     def latency_s(self) -> float | None:
@@ -76,14 +77,14 @@ class BatchRecord:
     """One accelerator dispatch: a slot batch or a LoLa degradation run."""
 
     batch_id: int
-    mode: str  # "batched" | "lola"
+    mode: str  # "batched" | "lola" | "cluster"
     lanes: int
     capacity: int
     start_s: float
     finish_s: float
 
     def __post_init__(self) -> None:
-        if self.mode not in ("batched", "lola"):
+        if self.mode not in ("batched", "lola", "cluster"):
             raise ValueError(f"unknown batch mode {self.mode!r}")
         if not 1 <= self.lanes <= max(1, self.capacity):
             raise ValueError("lanes must be in [1, capacity]")
@@ -164,7 +165,9 @@ class ServeReport:
 
     @property
     def mean_fill_ratio(self) -> float:
-        slot_batches = [b for b in self.batches if b.mode == "batched"]
+        slot_batches = [
+            b for b in self.batches if b.mode in ("batched", "cluster")
+        ]
         if not slot_batches:
             return 0.0
         return sum(b.fill_ratio for b in slot_batches) / len(slot_batches)

@@ -1,0 +1,38 @@
+"""Fixtures for the cluster tests.
+
+Fleet planning runs per-device DSE, so one session-scoped planner (and
+its warm design cache) is shared by every test that only needs plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Fleet, FleetPlanner, Link
+from repro.fpga import acu9eg, acu15eg
+from repro.hecnn import fxhenn_mnist_model
+
+
+@pytest.fixture(scope="session")
+def mnist_trace():
+    return fxhenn_mnist_model().trace()
+
+
+@pytest.fixture(scope="session")
+def fleet3():
+    return Fleet.homogeneous(acu15eg(), 3)
+
+
+@pytest.fixture(scope="session")
+def hetero_fleet():
+    return Fleet.of([acu9eg(), acu15eg()], link=Link(bandwidth_gbps=1.0))
+
+
+@pytest.fixture(scope="session")
+def planner():
+    return FleetPlanner()
+
+
+@pytest.fixture(scope="session")
+def mnist_plan(planner, mnist_trace, fleet3):
+    return planner.plan(mnist_trace, fleet3)

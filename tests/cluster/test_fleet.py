@@ -1,0 +1,75 @@
+"""Tests for the fleet model: devices, links, chains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Fleet, FleetNode, Link
+from repro.fpga import acu9eg, acu15eg
+
+
+def test_link_transfer_time_is_latency_plus_serialization():
+    link = Link(bandwidth_gbps=10.0, latency_s=50e-6)
+    # 1.25 GB/s on a 10 Gbps link: 1 MB takes 0.8 ms plus the hop.
+    assert link.transfer_seconds(10**6) == pytest.approx(50e-6 + 8e-4)
+
+
+def test_link_zero_bytes_is_free():
+    assert Link().transfer_seconds(0) == 0.0
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link(bandwidth_gbps=0.0)
+    with pytest.raises(ValueError):
+        Link(latency_s=-1.0)
+    with pytest.raises(ValueError):
+        Link().transfer_seconds(-1)
+
+
+def test_node_limit_validation():
+    with pytest.raises(ValueError):
+        FleetNode(device=acu9eg(), dsp_limit=0)
+    with pytest.raises(ValueError):
+        FleetNode(device=acu9eg(), bram_limit=0)
+
+
+def test_fleet_needs_one_link_per_adjacent_pair():
+    nodes = (FleetNode(device=acu9eg()), FleetNode(device=acu15eg()))
+    with pytest.raises(ValueError):
+        Fleet(name="bad", nodes=nodes, links=())
+    with pytest.raises(ValueError):
+        Fleet(name="empty", nodes=(), links=())
+
+
+def test_homogeneous_names_and_sizes():
+    fleet = Fleet.homogeneous(acu15eg(), 3)
+    assert fleet.name == "3xACU15EG"
+    assert len(fleet) == 3
+    assert len(fleet.links) == 2
+    assert all(n.device.name == "ACU15EG" for n in fleet)
+
+
+def test_from_names_resolves_presets():
+    fleet = Fleet.from_names(["acu9eg", "acu15eg"])
+    assert [d.name for d in fleet.devices] == ["ACU9EG", "ACU15EG"]
+    with pytest.raises(ValueError):
+        Fleet.from_names(["nope"])
+
+
+def test_key_ignores_name_but_not_structure():
+    a = Fleet.of([acu9eg(), acu15eg()], name="alpha")
+    b = Fleet.of([acu9eg(), acu15eg()], name="beta")
+    c = Fleet.of([acu15eg(), acu9eg()], name="alpha")
+    assert a.key() == b.key()
+    assert a.key() != c.key()
+    slower = Fleet.of([acu9eg(), acu15eg()], link=Link(bandwidth_gbps=1.0))
+    assert a.key() != slower.key()
+
+
+def test_as_dict_round_trips_structure():
+    fleet = Fleet.homogeneous(acu9eg(), 2)
+    d = fleet.as_dict()
+    assert d["name"] == "2xACU9EG"
+    assert [n["device"] for n in d["nodes"]] == ["ACU9EG", "ACU9EG"]
+    assert len(d["links"]) == 1

@@ -1,0 +1,162 @@
+"""Tests for the contiguous-split solvers.
+
+The DP's optimality claim is checked against brute-force enumeration of
+every contiguous split on randomized heterogeneous cost tables.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Split,
+    bottleneck_seconds,
+    dp_partition,
+    equal_partition,
+    greedy_partition,
+)
+
+
+def _random_tables(rng, num_devices, num_layers, cut_scale=1.0):
+    layer_seconds = rng.uniform(0.1, 5.0, (num_devices, num_layers)).tolist()
+    cut_seconds = rng.uniform(
+        0.0, cut_scale, (num_devices - 1, num_layers - 1)
+    ).tolist()
+    return layer_seconds, cut_seconds
+
+
+def _brute_force_best(layer_seconds, cut_seconds):
+    num_devices = len(layer_seconds)
+    num_layers = len(layer_seconds[0])
+    best = float("inf")
+    for cuts in combinations(range(1, num_layers), num_devices - 1):
+        bounds = (0, *cuts, num_layers)
+        best = min(
+            best, bottleneck_seconds(bounds, layer_seconds, cut_seconds)
+        )
+    return best
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        Split(bounds=(1, 3), method="dp")  # must start at 0
+    with pytest.raises(ValueError):
+        Split(bounds=(0, 2, 2), method="dp")  # strictly increasing
+    split = Split(bounds=(0, 2, 5), method="dp")
+    assert split.num_stages == 2
+    assert split.spans() == ((0, 2), (2, 5))
+
+
+def test_dp_matches_brute_force_on_random_tables():
+    rng = np.random.default_rng(11)
+    for trial in range(40):
+        num_devices = int(rng.integers(2, 5))
+        num_layers = int(rng.integers(num_devices, 9))
+        layer_seconds, cut_seconds = _random_tables(
+            rng, num_devices, num_layers, cut_scale=float(rng.uniform(0, 3))
+        )
+        split = dp_partition(layer_seconds, cut_seconds)
+        got = bottleneck_seconds(split.bounds, layer_seconds, cut_seconds)
+        want = _brute_force_best(layer_seconds, cut_seconds)
+        assert got == pytest.approx(want), (trial, split.bounds)
+
+
+def test_dp_never_loses_to_equal_split():
+    rng = np.random.default_rng(23)
+    for _ in range(40):
+        num_devices = int(rng.integers(2, 5))
+        num_layers = int(rng.integers(num_devices, 9))
+        layer_seconds, cut_seconds = _random_tables(
+            rng, num_devices, num_layers
+        )
+        dp = dp_partition(layer_seconds, cut_seconds)
+        equal = equal_partition(num_layers, num_devices)
+        dp_s = bottleneck_seconds(dp.bounds, layer_seconds, cut_seconds)
+        eq_s = bottleneck_seconds(equal.bounds, layer_seconds, cut_seconds)
+        assert dp_s <= eq_s + 1e-12
+
+
+def test_dp_isolates_dominant_layer():
+    # One huge layer: the optimum gives it a stage of its own.
+    layer_seconds = [[1.0, 1.0, 10.0, 1.0, 1.0]] * 3
+    cut_seconds = [[0.0] * 4] * 2
+    split = dp_partition(layer_seconds, cut_seconds)
+    assert split.bounds == (0, 2, 3, 5)
+    assert bottleneck_seconds(
+        split.bounds, layer_seconds, cut_seconds
+    ) == pytest.approx(10.0)
+
+
+def test_dp_avoids_expensive_cut():
+    # Cutting after layer 0 is free; after layer 1 costs 100 s.  The DP
+    # must pay slight compute imbalance to dodge the expensive boundary.
+    layer_seconds = [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]]
+    cut_seconds = [[0.0, 100.0]]
+    split = dp_partition(layer_seconds, cut_seconds)
+    assert split.bounds == (0, 1, 3)
+
+
+def test_dp_charges_cut_on_the_link_it_crosses():
+    # The same cut position prices differently per link: only link 0 is
+    # slow after layer 0, so the DP pays compute imbalance to move that
+    # boundary while link 1 stays free to cut anywhere.
+    layer_seconds = [[1.0, 1.0, 1.0, 1.0]] * 3
+    cut_seconds = [[50.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+    split = dp_partition(layer_seconds, cut_seconds)
+    got = bottleneck_seconds(split.bounds, layer_seconds, cut_seconds)
+    assert got == pytest.approx(2.0)
+    assert split.bounds[1] == 2  # first cut after layer 1, not layer 0
+
+
+def test_heterogeneous_devices_shift_the_cut():
+    # Device 1 is 10x faster: it should absorb most layers.
+    layer_seconds = [[1.0] * 6, [0.1] * 6]
+    cut_seconds = [[0.0] * 5]
+    split = dp_partition(layer_seconds, cut_seconds)
+    assert split.bounds == (0, 1, 6)
+
+
+def test_more_devices_than_layers_is_an_error():
+    with pytest.raises(ValueError):
+        dp_partition([[1.0], [1.0]], [[]])
+    with pytest.raises(ValueError):
+        equal_partition(2, 3)
+
+
+def test_table_shape_validation():
+    with pytest.raises(ValueError):
+        dp_partition([[1.0, 2.0], [1.0]], [[0.5]])  # ragged layer rows
+    with pytest.raises(ValueError):
+        dp_partition([[1.0, 2.0], [1.0, 2.0]], [])  # missing cut row
+    with pytest.raises(ValueError):
+        dp_partition([[1.0, -2.0], [1.0, 2.0]], [[0.5]])  # negative time
+
+
+def test_greedy_is_valid_and_covers_all_layers():
+    rng = np.random.default_rng(31)
+    for _ in range(40):
+        num_devices = int(rng.integers(2, 5))
+        num_layers = int(rng.integers(num_devices, 12))
+        layer_seconds, cut_seconds = _random_tables(
+            rng, num_devices, num_layers
+        )
+        split = greedy_partition(layer_seconds, cut_seconds)
+        assert split.num_stages == num_devices
+        assert split.bounds[0] == 0 and split.bounds[-1] == num_layers
+        # bottleneck_seconds revalidates bounds cover every layer once.
+        assert bottleneck_seconds(
+            split.bounds, layer_seconds, cut_seconds
+        ) > 0
+
+
+def test_equal_partition_spreads_remainder_forward():
+    assert equal_partition(5, 3).bounds == (0, 2, 4, 5)
+    assert equal_partition(6, 3).bounds == (0, 2, 4, 6)
+
+
+def test_single_device_degenerate_case():
+    split = dp_partition([[1.0, 2.0, 3.0]], [])
+    assert split.bounds == (0, 3)

@@ -1,0 +1,58 @@
+"""Tests for the discrete replay of cluster schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import plan_stages, simulate_plan
+from repro.cluster.pipeline import TICK_SECONDS
+
+
+def test_stages_alternate_compute_and_links(mnist_plan):
+    stages = plan_stages(mnist_plan)
+    # 3 compute stages + 2 non-zero links; the final stage ships nothing.
+    assert len(stages) == 5
+    assert [s.name.startswith("s") for s in stages[0::2]] == [True] * 3
+    assert [s.name.startswith("link") for s in stages[1::2]] == [True] * 2
+
+
+def test_simulation_matches_analytic_exactly(mnist_plan):
+    for num_items in (1, 2, 7, 32):
+        report = simulate_plan(mnist_plan, num_items)
+        assert report.matches_analytic, num_items
+
+
+def test_single_item_makespan_is_fill_latency(mnist_plan):
+    report = simulate_plan(mnist_plan, 1)
+    assert report.makespan_seconds == pytest.approx(
+        mnist_plan.fill_latency_seconds, abs=len(report.stage_names) *
+        TICK_SECONDS
+    )
+
+
+def test_steady_state_throughput_approaches_plan(mnist_plan):
+    report = simulate_plan(mnist_plan, 200)
+    # With fill amortized over 200 items the simulated rate converges on
+    # the plan's analytic steady-state throughput.
+    assert report.throughput_per_second == pytest.approx(
+        mnist_plan.steady_state_throughput, rel=0.02
+    )
+
+
+def test_bottleneck_stage_is_fully_utilized(mnist_plan):
+    report = simulate_plan(mnist_plan, 100)
+    assert max(report.stage_utilization) > 0.95
+    assert all(0 < u <= 1.0 + 1e-9 for u in report.stage_utilization)
+
+
+def test_report_round_trips_to_dict(mnist_plan):
+    report = simulate_plan(mnist_plan, 4)
+    d = report.as_dict()
+    assert d["num_items"] == 4
+    assert d["matches_analytic"] is True
+    assert len(d["stages"]) == len(report.stage_names)
+
+
+def test_num_items_validation(mnist_plan):
+    with pytest.raises(ValueError):
+        simulate_plan(mnist_plan, 0)

@@ -1,0 +1,177 @@
+"""Tests for fleet-level planning: tables, plans, caching, refinement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    Fleet,
+    FleetNode,
+    FleetPlanner,
+    Link,
+    best_single_device,
+)
+from repro.fpga import acu9eg, acu15eg
+from repro.obs.registry import REGISTRY
+from repro.serve import DesignCache
+
+
+def test_latency_table_matches_node_designs(planner, mnist_trace, fleet3):
+    table = planner.latency_table(mnist_trace, fleet3)
+    assert len(table) == 3
+    design = planner.node_design(mnist_trace, fleet3.nodes[0])
+    assert sum(table[0]) == pytest.approx(design.latency_seconds)
+
+
+def test_cut_table_prices_exact_wire_bytes(planner, mnist_trace, fleet3):
+    cuts = planner.cut_table(mnist_trace, fleet3)
+    assert len(cuts) == 2  # one row per link
+    for j, cost in enumerate(cuts[0]):
+        want = fleet3.links[0].transfer_seconds(
+            mnist_trace.boundary_wire_bytes(j)
+        )
+        assert cost == pytest.approx(want)
+
+
+def test_plan_covers_every_layer_once(mnist_plan, mnist_trace):
+    spans = [(s.layer_start, s.layer_stop) for s in mnist_plan.stages]
+    assert spans[0][0] == 0
+    assert spans[-1][1] == len(mnist_trace.layers)
+    for (_, stop), (start, _) in zip(spans, spans[1:]):
+        assert stop == start
+    names = [n for s in mnist_plan.stages for n in s.layer_names]
+    assert names == [lt.name for lt in mnist_trace.layers]
+
+
+def test_plan_economics_are_consistent(mnist_plan):
+    assert mnist_plan.bottleneck_seconds == max(
+        max(s.compute_seconds for s in mnist_plan.stages),
+        max(s.transfer_seconds for s in mnist_plan.stages),
+    )
+    assert mnist_plan.steady_state_throughput == pytest.approx(
+        1.0 / mnist_plan.bottleneck_seconds
+    )
+    assert mnist_plan.fill_latency_seconds >= mnist_plan.bottleneck_seconds
+    assert mnist_plan.makespan_seconds(5) == pytest.approx(
+        mnist_plan.fill_latency_seconds + 4 * mnist_plan.bottleneck_seconds
+    )
+    utils = mnist_plan.utilization()
+    assert max(utils) == pytest.approx(1.0)  # the bottleneck stage
+    assert all(0 < u <= 1.0 + 1e-12 for u in utils)
+    assert mnist_plan.energy_per_inference_joules > 0
+    assert mnist_plan.stages[-1].transfer_bytes == 0
+
+
+def test_final_stage_has_no_transfer_everywhere(mnist_plan):
+    for stage in mnist_plan.stages[:-1]:
+        assert stage.transfer_bytes > 0
+        assert stage.transfer_seconds > 0
+
+
+def test_plan_beats_single_device_on_mnist(planner, mnist_trace, fleet3):
+    plan = planner.plan(mnist_trace, fleet3)
+    single = best_single_device(
+        mnist_trace, [acu15eg()], designs=planner.designs
+    )
+    assert plan.steady_state_throughput > 1.0 / single.latency_seconds
+
+
+def test_refinement_never_hurts(planner, mnist_trace, fleet3):
+    refined = planner.plan(mnist_trace, fleet3, refine_stages=True)
+    unrefined = planner.plan(mnist_trace, fleet3, refine_stages=False)
+    assert refined.bottleneck_seconds <= (
+        unrefined.bottleneck_seconds + 1e-12
+    )
+
+
+def test_warm_replan_scans_zero_design_points(planner, mnist_trace, fleet3):
+    planner.plan(mnist_trace, fleet3)  # ensure warm
+    with obs.observed():
+        obs.reset()
+        planner.plan(mnist_trace, fleet3)
+        assert REGISTRY.counter("dse_points_scanned").value == 0
+
+
+def test_distinct_fleets_get_distinct_stage_designs(mnist_trace):
+    """Same network, different fleet shapes: the cache must key stage
+    designs by sub-trace identity, never collide across fleets."""
+    planner = FleetPlanner()
+    plan2 = planner.plan(mnist_trace, Fleet.homogeneous(acu15eg(), 2))
+    plan3 = planner.plan(mnist_trace, Fleet.homogeneous(acu15eg(), 3))
+    spans2 = {(s.layer_start, s.layer_stop) for s in plan2.stages}
+    spans3 = {(s.layer_start, s.layer_stop) for s in plan3.stages}
+    assert spans2 != spans3
+    # Every cached design's latency matches its own stage, not another's.
+    for plan in (plan2, plan3):
+        for stage in plan.stages:
+            assert stage.design.latency_seconds == pytest.approx(
+                stage.compute_seconds
+            )
+
+
+def test_per_node_resource_limits_reach_the_dse(mnist_trace):
+    planner = FleetPlanner()
+    full = Fleet.homogeneous(acu15eg(), 2)
+    capped = Fleet(
+        name="capped",
+        nodes=tuple(
+            FleetNode(device=n.device, dsp_limit=600) for n in full.nodes
+        ),
+        links=full.links,
+    )
+    free = planner.plan(mnist_trace, full)
+    tight = planner.plan(mnist_trace, capped)
+    for stage in tight.stages:
+        assert stage.design.solution.dsp_usage <= 600
+    assert tight.bottleneck_seconds >= free.bottleneck_seconds - 1e-12
+
+
+def test_more_nodes_than_layers_rejected(planner, mnist_trace):
+    too_big = Fleet.homogeneous(acu9eg(), len(mnist_trace.layers) + 1)
+    with pytest.raises(ValueError):
+        planner.plan(mnist_trace, too_big)
+
+
+def test_unknown_method_rejected(planner, mnist_trace, fleet3):
+    with pytest.raises(ValueError):
+        planner.plan(mnist_trace, fleet3, method="magic")
+
+
+def test_slow_links_move_the_bottleneck(planner, mnist_trace):
+    # A near-dead link makes the transfer the pipeline interval.
+    crawl = Fleet.of(
+        [acu15eg(), acu15eg()], link=Link(bandwidth_gbps=0.001)
+    )
+    plan = FleetPlanner(designs=DesignCache()).plan(mnist_trace, crawl)
+    assert plan.bottleneck_seconds == max(
+        s.transfer_seconds for s in plan.stages
+    )
+    assert plan.steady_state_throughput < 1.0
+
+
+def test_best_single_device_picks_the_fastest(planner, mnist_trace):
+    best = best_single_device(
+        mnist_trace, [acu9eg(), acu15eg()], designs=planner.designs
+    )
+    assert best.device.name == "ACU15EG"
+    with pytest.raises(ValueError):
+        best_single_device(mnist_trace, [], designs=planner.designs)
+
+
+def test_plan_publishes_cluster_probes(planner, mnist_trace, fleet3):
+    with obs.observed():
+        obs.reset()
+        planner.plan(mnist_trace, fleet3)
+        reg = obs.get_registry()
+        assert reg.counter(
+            "cluster_plans_total",
+            fleet=fleet3.name, network=mnist_trace.name,
+        ).value == 1
+        assert reg.gauge(
+            "cluster_bottleneck_seconds",
+            fleet=fleet3.name, network=mnist_trace.name,
+        ).value > 0
+        assert reg.counter(
+            "cluster_transfer_bytes_total", stage=0
+        ).value > 0

@@ -1,0 +1,155 @@
+"""Tests for the cluster serving router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterService, Fleet, FleetPlanner
+from repro.fpga import acu15eg
+from repro.serve import SchedulerConfig
+from repro.serve.request import InferenceRequest
+from repro.serve.traffic import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def service(mnist_plan):
+    return ClusterService(mnist_plan, batch_capacity=8)
+
+
+def _burst(n, spacing=0.0):
+    return [
+        InferenceRequest(i, arrival_s=i * spacing) for i in range(n)
+    ]
+
+
+def test_every_request_terminates_exactly_once(service):
+    report = service.run(_burst(30, spacing=0.001))
+    assert len(report.results) == 30
+    assert sorted(r.request_id for r in report.results) == list(range(30))
+    assert report.completed == 30
+
+
+def test_batches_are_cluster_mode(service):
+    report = service.run(_burst(16))
+    assert report.batches
+    assert all(b.mode == "cluster" for b in report.batches)
+    assert all(r.outcome == "cluster" for r in report.results)
+
+
+def test_batch_latency_is_fill_latency(service, mnist_plan):
+    report = service.run(_burst(8))
+    batch = report.batches[0]
+    assert batch.duration_s == pytest.approx(
+        mnist_plan.fill_latency_seconds
+    )
+
+
+def test_pipeline_admits_faster_than_it_drains(service, mnist_plan):
+    """Consecutive full batches start one bottleneck interval apart —
+    not one fill latency apart, which is the whole point of the fleet."""
+    report = service.run(_burst(24))  # three full back-to-back batches
+    starts = [b.start_s for b in report.batches]
+    assert len(starts) == 3
+    for a, b in zip(starts, starts[1:]):
+        assert b - a == pytest.approx(mnist_plan.bottleneck_seconds)
+    assert mnist_plan.bottleneck_seconds < mnist_plan.fill_latency_seconds
+
+
+def test_saturated_throughput_approaches_lanes_over_bottleneck(
+    service, mnist_plan
+):
+    report = service.run(_burst(200))
+    want = 8 / mnist_plan.bottleneck_seconds
+    # Fill latency amortizes over 25 batches; allow that slack only.
+    assert report.throughput_images_per_s == pytest.approx(want, rel=0.2)
+    assert report.throughput_images_per_s > 8 * (
+        1.0 / mnist_plan.fill_latency_seconds
+    )
+
+
+def test_window_closes_partial_batch(mnist_plan):
+    service = ClusterService(
+        mnist_plan, batch_capacity=8,
+        config=SchedulerConfig(batch_window_s=0.05),
+    )
+    report = service.run(_burst(3))
+    assert report.completed == 3
+    assert report.batches[0].lanes == 3
+    assert report.batches[0].start_s == pytest.approx(0.05)
+
+
+def test_deadlines_expire_before_dispatch(mnist_plan):
+    service = ClusterService(
+        mnist_plan, batch_capacity=8,
+        config=SchedulerConfig(batch_window_s=1.0),
+    )
+    requests = [
+        InferenceRequest(0, arrival_s=0.0, deadline_s=0.01),
+        InferenceRequest(1, arrival_s=0.0),
+    ]
+    report = service.run(requests)
+    outcomes = {r.request_id: r.outcome for r in report.results}
+    assert outcomes[0] == "expired"
+    assert outcomes[1] == "cluster"
+
+
+def test_bounded_queue_rejects_overflow(mnist_plan):
+    service = ClusterService(
+        mnist_plan, batch_capacity=2,
+        config=SchedulerConfig(batch_window_s=10.0, queue_capacity=2),
+    )
+    report = service.run(_burst(5))
+    assert report.rejected > 0
+    assert report.completed + report.rejected == 5
+
+
+def test_max_lanes_caps_capacity(mnist_plan):
+    service = ClusterService(
+        mnist_plan, batch_capacity=8,
+        config=SchedulerConfig(max_lanes=4),
+    )
+    assert service.capacity == 4
+    report = service.run(_burst(8))
+    assert all(b.lanes <= 4 for b in report.batches)
+
+
+def test_capacity_validation(mnist_plan):
+    with pytest.raises(ValueError):
+        ClusterService(mnist_plan, batch_capacity=0)
+
+
+def test_report_config_carries_plan_summary(service, mnist_plan):
+    report = service.run(_burst(4))
+    summary = report.config["cluster"]
+    assert summary["fleet"] == mnist_plan.fleet.name
+    assert summary["bottleneck_seconds"] == pytest.approx(
+        mnist_plan.bottleneck_seconds
+    )
+
+
+def test_service_publishes_cluster_probes(service):
+    with obs.observed():
+        obs.reset()
+        service.run(poisson_arrivals(50, 500.0, seed=3))
+        reg = obs.get_registry()
+        batches = reg.counter("cluster_batches_total").value
+        assert batches > 0
+        assert reg.counter("cluster_images_total").value == 50
+        assert reg.counter(
+            "serve_batches_total", mode="cluster"
+        ).value == batches
+        assert reg.counter(
+            "serve_requests_total", outcome="cluster"
+        ).value == 50
+
+
+def test_cryptonets_deployment_builds(mnist_plan):
+    planner = FleetPlanner()
+    fleet = Fleet.homogeneous(acu15eg(), 3)
+    service = ClusterService.cryptonets_mnist(
+        fleet, poly_degree=8192, planner=planner
+    )
+    assert service.capacity == 4096  # N/2 lanes
+    assert service.plan.fleet is fleet
+    assert len(service.plan.stages) == 3

@@ -85,3 +85,89 @@ def test_version_check(ctx):
     data[4] = 99  # version byte
     with pytest.raises(SerializationError, match="version"):
         ciphertext_from_bytes(bytes(data))
+
+
+def _n_component_payload(ctx, count):
+    """A payload of ``count`` components with an alternating NTT pattern
+    (exercises every bit position across multiple bitmap bytes)."""
+    from repro.fhe.poly import RnsPolynomial
+    from repro.fhe.serialization import _KIND_CIPHERTEXT, _pack
+
+    base = ctx.encrypt_values(np.ones(4)).components[0]
+    polys = [
+        RnsPolynomial(base.basis, base.residues.copy(), is_ntt=(i % 3 == 0))
+        for i in range(count)
+    ]
+    return polys, _pack(polys, 2.0**20, _KIND_CIPHERTEXT)
+
+
+def test_many_components_roundtrip_flag_bitmap(ctx):
+    """Counts beyond the old 32-bit flag field must round-trip, with
+    every per-component domain flag preserved."""
+    from repro.fhe.serialization import _KIND_CIPHERTEXT, _unpack
+
+    polys, data = _n_component_payload(ctx, 40)
+    back, scale = _unpack(data, _KIND_CIPHERTEXT)
+    assert scale == 2.0**20
+    assert len(back) == 40
+    for want, got in zip(polys, back):
+        assert got.is_ntt == want.is_ntt
+        assert np.array_equal(got.residues, want.residues)
+
+
+def test_component_count_beyond_header_field_rejected(ctx):
+    from repro.fhe.serialization import MAX_COMPONENTS
+
+    with pytest.raises(SerializationError, match="num_polys"):
+        _n_component_payload(ctx, MAX_COMPONENTS + 1)
+
+
+def test_max_component_count_roundtrips(ctx):
+    from repro.fhe.serialization import (
+        MAX_COMPONENTS,
+        _KIND_CIPHERTEXT,
+        _unpack,
+    )
+
+    _, data = _n_component_payload(ctx, MAX_COMPONENTS)
+    back, _ = _unpack(data, _KIND_CIPHERTEXT)
+    assert len(back) == MAX_COMPONENTS
+
+
+def test_wire_size_matches_three_component_ciphertext(ctx, evaluator):
+    from repro.fhe import ciphertext_wire_size
+
+    ct = evaluator.square(ctx.encrypt_values(np.ones(4)))
+    assert len(ciphertext_to_bytes(ct)) == ciphertext_wire_size(
+        ctx.params.poly_degree, ct.level, num_polys=3
+    )
+
+
+def test_plaintext_wire_size_matches_bytes(ctx):
+    from repro.fhe import plaintext_wire_size
+
+    pt = ctx.encode(np.ones(4))
+    assert len(plaintext_to_bytes(pt)) == plaintext_wire_size(
+        ctx.params.poly_degree, pt.poly.basis.level
+    )
+
+
+def test_wire_size_validation():
+    from repro.fhe import ciphertext_wire_size
+
+    with pytest.raises(SerializationError):
+        ciphertext_wire_size(512, 4, num_polys=0)
+    with pytest.raises(SerializationError):
+        ciphertext_wire_size(512, 4, num_polys=256)
+    with pytest.raises(SerializationError):
+        ciphertext_wire_size(0, 4)
+    with pytest.raises(SerializationError):
+        ciphertext_wire_size(512, 0)
+
+
+def test_truncated_flag_bitmap_detected(ctx):
+    data = ciphertext_to_bytes(ctx.encrypt_values(np.ones(4)))
+    from repro.fhe.serialization import _HEADER
+
+    with pytest.raises(SerializationError, match="flag|truncated"):
+        ciphertext_from_bytes(data[: _HEADER.size])

@@ -34,3 +34,50 @@ def test_validation():
         PlatformResult(platform="X", tdp_watts=0, latency_seconds=1)
     with pytest.raises(ValueError):
         PlatformResult(platform="X", tdp_watts=1, latency_seconds=0)
+
+
+def test_from_design_uses_device_tdp():
+    from repro.fpga import acu15eg
+
+    r = PlatformResult.from_design(acu15eg(), latency_seconds=0.1)
+    assert r.platform == "ACU15EG"
+    assert r.tdp_watts == acu15eg().tdp_watts
+    assert r.energy_joules == pytest.approx(acu15eg().tdp_watts * 0.1)
+
+
+def test_cluster_energy_sums_stage_occupancy():
+    from repro.fpga import cluster_energy_per_inference
+
+    # Two 10 W stages busy 0.1 s each plus a 20 W stage busy 0.05 s.
+    stages = [(10.0, 0.1), (10.0, 0.1), (20.0, 0.05)]
+    assert cluster_energy_per_inference(stages) == pytest.approx(3.0)
+
+
+def test_cluster_energy_idle_stage_costs_nothing():
+    from repro.fpga import cluster_energy_per_inference
+
+    assert cluster_energy_per_inference([(10.0, 0.0)]) == 0.0
+
+
+def test_cluster_energy_validation():
+    from repro.fpga import cluster_energy_per_inference
+
+    with pytest.raises(ValueError):
+        cluster_energy_per_inference([(0.0, 0.1)])
+    with pytest.raises(ValueError):
+        cluster_energy_per_inference([(10.0, -0.1)])
+
+
+def test_cluster_energy_matches_plan_accounting():
+    """The plan's per-inference energy equals summing its stages by hand."""
+    from repro.cluster import Fleet, FleetPlanner
+    from repro.fpga import acu9eg
+    from repro.hecnn import fxhenn_mnist_model
+
+    plan = FleetPlanner().plan(
+        fxhenn_mnist_model().trace(), Fleet.homogeneous(acu9eg(), 2)
+    )
+    want = sum(
+        s.device.tdp_watts * s.compute_seconds for s in plan.stages
+    )
+    assert plan.energy_per_inference_joules == pytest.approx(want)

@@ -112,3 +112,62 @@ def test_network_trace_aggregates(mnist_model):
 def test_unknown_op_rejected():
     with pytest.raises(ValueError):
         he_op_basic_ops("bogus", 1024, 3)  # type: ignore[arg-type]
+
+
+def test_slice_semantics(mnist_model):
+    trace = mnist_model.trace()
+    sub = trace.slice(1, 3)
+    assert sub.name == f"{trace.name}[1:3]"
+    assert [lt.name for lt in sub.layers] == [
+        lt.name for lt in trace.layers[1:3]
+    ]
+    assert sub.poly_degree == trace.poly_degree
+    assert sub.base_level == trace.base_level
+    assert sub.prime_bits == trace.prime_bits
+    # Full-range slice returns the identical object (shared cache entry).
+    assert trace.slice(0, len(trace.layers)) is trace
+    for bad in ((2, 2), (-1, 3), (0, len(trace.layers) + 1)):
+        with pytest.raises(ValueError):
+            trace.slice(*bad)
+
+
+def test_boundary_wire_bytes_exact(mnist_model):
+    from repro.fhe import ciphertext_wire_size
+
+    trace = mnist_model.trace()
+    for cut in range(len(trace.layers) - 1):
+        upstream = trace.layers[cut]
+        downstream = trace.layers[cut + 1]
+        assert trace.boundary_wire_bytes(cut) == (
+            upstream.num_output_cts
+            * ciphertext_wire_size(trace.poly_degree, downstream.level)
+        )
+    with pytest.raises(ValueError):
+        trace.boundary_wire_bytes(len(trace.layers) - 1)
+    with pytest.raises(ValueError):
+        trace.boundary_wire_bytes(-1)
+
+
+def test_model_wire_size_tracks_plaintext_format(mnist_model):
+    from repro.fhe import plaintext_wire_size
+
+    trace = mnist_model.trace()
+    want = sum(
+        lt.plaintext_count * plaintext_wire_size(trace.poly_degree, lt.level)
+        for lt in trace.layers
+    )
+    assert trace.model_wire_size_bytes() == want
+    # The wire format carries headers + 64-bit words, so it is strictly
+    # larger than the native prime_bits-packed DRAM stream.
+    assert trace.model_wire_size_bytes() > trace.model_size_bytes()
+
+
+def test_input_wire_bytes(mnist_model):
+    from repro.fhe import ciphertext_wire_size
+
+    trace = mnist_model.trace()
+    first = trace.layers[0]
+    assert trace.input_wire_bytes() == (
+        first.num_input_cts
+        * ciphertext_wire_size(trace.poly_degree, first.level)
+    )

@@ -110,3 +110,71 @@ def test_thread_safety_under_contention():
         t.join()
     assert not errors
     assert len(cache) <= 32
+
+
+def test_concurrent_get_or_create_returns_consistent_values():
+    """Thread hammer on get_or_create: racing builders may duplicate
+    work, but every caller must observe the value its key maps to and
+    the cache must never exceed capacity or lose a stored update."""
+    cache = LruCache(16, name="t")
+    builds: dict[int, int] = {}
+    build_lock = threading.Lock()
+    errors = []
+
+    def factory_for(key: int):
+        def factory():
+            with build_lock:
+                builds[key] = builds.get(key, 0) + 1
+            return ("value", key)
+        return factory
+
+    def worker(tid: int) -> None:
+        try:
+            for i in range(300):
+                key = (tid + i) % 12  # 12 keys < capacity: no evictions
+                got = cache.get_or_create(key, factory_for(key))
+                assert got == ("value", key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) == 12
+    # Every key ended up cached with its own value (no lost updates,
+    # no cross-key corruption), even if racing threads built it twice.
+    for key in range(12):
+        assert cache.get(key) == ("value", key)
+    assert cache.stats().evictions == 0
+
+
+def test_concurrent_eviction_pressure_keeps_bound_and_values():
+    """Puts from many threads against a tiny capacity: size stays
+    bounded and every surviving entry maps to the value last put."""
+    cache = LruCache(8, name="t")
+    errors = []
+
+    def worker(tid: int) -> None:
+        try:
+            for i in range(500):
+                key = i % 24
+                cache.put(key, ("v", key))
+                got = cache.get(key)
+                if got is not None:
+                    assert got == ("v", key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 8
+    assert cache.stats().evictions > 0
+    for key in cache.keys():
+        assert cache.get(key) == ("v", key)

@@ -153,3 +153,55 @@ def test_serve_commands_unknown_device_exit_nonzero(command):
         main([command, "--device", "bogus"])
     assert excinfo.value.code != 0
     assert "unknown device" in str(excinfo.value)
+
+
+def test_cluster_plan(capsys):
+    assert main([
+        "cluster", "plan", "--network", "mnist",
+        "--fleet", "acu15eg,acu15eg", "--repeat", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck interval" in out
+    assert "pipeline speedup" in out
+    assert "(warm cache)" in out  # second pass scanned zero points
+
+
+def test_cluster_plan_json(tmp_path, capsys):
+    out_path = tmp_path / "plan.json"
+    assert main([
+        "cluster", "plan", "--fleet", "acu9eg,acu15eg",
+        "--method", "greedy", "--json", str(out_path),
+    ]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["method"] == "greedy"
+    assert len(payload["stages"]) == 2
+    assert payload["bottleneck_seconds"] > 0
+
+
+def test_cluster_plan_bad_method_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cluster", "plan", "--method", "magic"])
+    assert excinfo.value.code != 0
+
+
+def test_cluster_plan_unknown_device_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cluster", "plan", "--fleet", "bogus,acu9eg"])
+    assert excinfo.value.code != 0
+
+
+def test_bench_cluster_json(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_cluster.json"
+    assert main([
+        "bench-cluster", "--fleet", "acu9eg,acu9eg,acu9eg",
+        "--items", "4", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cluster bench" in out
+    assert "warm rerun flat: True" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["all_dp_beat_equal"] is True
+    assert payload["warm_rerun"]["flat"] is True
+    row = payload["fleets"][0]
+    assert row["sim"]["matches_analytic"] is True
+    assert row["beats_single_device"] is True
