@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Performance regression gate over the committed BENCH_*.json records.
+
+Compares a fresh benchmark run (``benchmarks/output/`` by default) against
+the committed baselines (``benchmarks/baselines/``) and exits nonzero when
+any headline metric regressed beyond its tolerance — the CI ``bench-gate``
+job runs this after regenerating the deterministic virtual-time benches,
+so a scheduler or planner change that silently costs >15% throughput or
+latency fails the build instead of landing.
+
+Metric selection is declarative (`_METRICS` below): each entry names a
+dotted path into the JSON record, whether higher or lower is better, and
+a relative tolerance.  Virtual-time metrics (serve, cluster) are
+deterministic and get the default 15% gate; wall-clock FHE metrics jitter
+with the runner and get a lenient 40% gate — they exist to catch "the
+fast path stopped being fast", not 5% noise.
+
+Usage::
+
+    python benchmarks/check_regression.py                # gate the repo
+    python benchmarks/check_regression.py --fresh-dir /tmp/out
+    python benchmarks/check_regression.py --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Deterministic (virtual-time) metrics fail the gate beyond this.
+DEFAULT_TOLERANCE = 0.15
+#: Wall-clock metrics (BENCH_fhe) jitter with the CI runner.
+WALLCLOCK_TOLERANCE = 0.40
+
+#: file stem -> ((dotted path, direction, tolerance), ...).  ``direction``
+#: is "higher" (regression = value dropped) or "lower" (regression =
+#: value rose).  List elements are addressed by index (``curve.0``); the
+#: extractor also accepts ``*`` to fan one spec out over a whole list.
+_METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
+    "BENCH_fhe": (
+        ("speedup", "higher", WALLCLOCK_TOLERANCE),
+        ("fastpath.seconds", "lower", WALLCLOCK_TOLERANCE),
+        ("op_latency_ms.Rotate.p95_ms", "lower", WALLCLOCK_TOLERANCE),
+        ("op_latency_ms.Rescale.p95_ms", "lower", WALLCLOCK_TOLERANCE),
+    ),
+    "BENCH_serve": (
+        ("amortized_speedup", "higher", DEFAULT_TOLERANCE),
+        ("baseline.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
+        ("curve.*.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
+        ("curve.*.latency_p99_s", "lower", DEFAULT_TOLERANCE),
+    ),
+    "BENCH_cluster": (
+        ("fleets.*.plan.steady_state_throughput", "higher",
+         DEFAULT_TOLERANCE),
+        ("fleets.*.throughput_speedup_vs_single", "higher",
+         DEFAULT_TOLERANCE),
+        ("fleets.*.plan.fill_latency_seconds", "lower", DEFAULT_TOLERANCE),
+    ),
+}
+
+#: Boolean invariants that must stay true in the fresh record.
+_INVARIANTS: dict[str, tuple[str, ...]] = {
+    "BENCH_serve": ("warm_rerun.dse_skipped",),
+    "BENCH_cluster": ("all_dp_beat_equal", "warm_rerun.flat"),
+}
+
+
+def _resolve(record: object, path: str) -> list[tuple[str, object]]:
+    """``(concrete_path, value)`` pairs for a dotted path; ``*`` fans out."""
+    parts = path.split(".")
+    found: list[tuple[str, object]] = [("", record)]
+    for part in parts:
+        next_found: list[tuple[str, object]] = []
+        for prefix, node in found:
+            def join(key: object) -> str:
+                return f"{prefix}.{key}" if prefix else str(key)
+
+            if part == "*":
+                if not isinstance(node, list):
+                    raise KeyError(f"{prefix or '<root>'} is not a list")
+                next_found.extend(
+                    (join(i), item) for i, item in enumerate(node)
+                )
+            elif isinstance(node, dict):
+                if part not in node:
+                    raise KeyError(f"missing key {join(part)!r}")
+                next_found.append((join(part), node[part]))
+            elif isinstance(node, list):
+                index = int(part)
+                next_found.append((join(index), node[index]))
+            else:
+                raise KeyError(f"{prefix!r} is a leaf, cannot descend")
+        found = next_found
+    return found
+
+
+def compare_records(
+    stem: str, baseline: dict, fresh: dict
+) -> list[dict[str, object]]:
+    """Every gated metric's verdict for one benchmark record."""
+    rows: list[dict[str, object]] = []
+    for path, direction, tolerance in _METRICS.get(stem, ()):
+        base_values = dict(_resolve(baseline, path))
+        for concrete, fresh_value in _resolve(fresh, path):
+            if concrete not in base_values:
+                continue  # new list entries are not gated
+            base_value = base_values[concrete]
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                fresh_value, (int, float)
+            ):
+                raise TypeError(f"{stem}:{concrete} is not numeric")
+            if base_value == 0:
+                delta = 0.0 if fresh_value == 0 else float("inf")
+            elif direction == "higher":
+                delta = (base_value - fresh_value) / abs(base_value)
+            else:
+                delta = (fresh_value - base_value) / abs(base_value)
+            rows.append({
+                "benchmark": stem,
+                "metric": concrete,
+                "direction": direction,
+                "baseline": base_value,
+                "fresh": fresh_value,
+                "regression": delta,
+                "tolerance": tolerance,
+                "ok": delta <= tolerance,
+            })
+    for path in _INVARIANTS.get(stem, ()):
+        ((concrete, value),) = _resolve(fresh, path)
+        rows.append({
+            "benchmark": stem,
+            "metric": concrete,
+            "direction": "invariant",
+            "baseline": True,
+            "fresh": bool(value),
+            "regression": 0.0 if value else float("inf"),
+            "tolerance": 0.0,
+            "ok": bool(value),
+        })
+    return rows
+
+
+def check(
+    baseline_dir: Path, fresh_dir: Path, only: list[str] | None = None
+) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    stems = only if only else sorted(_METRICS)
+    for stem in stems:
+        baseline_path = baseline_dir / f"{stem}.json"
+        fresh_path = fresh_dir / f"{stem}.json"
+        if not baseline_path.exists():
+            raise FileNotFoundError(f"no committed baseline {baseline_path}")
+        if not fresh_path.exists():
+            raise FileNotFoundError(f"no fresh record {fresh_path}")
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        rows.extend(compare_records(stem, baseline, fresh))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=HERE / "baselines",
+        help="committed baseline BENCH_*.json directory",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=Path, default=HERE / "output",
+        help="freshly generated BENCH_*.json directory",
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(_METRICS), default=None,
+        help="gate only this benchmark stem (repeatable)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the full verdict table to this file",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rows = check(args.baseline_dir, args.fresh_dir, args.only)
+    except (FileNotFoundError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = [row for row in rows if not row["ok"]]
+    width = max(len(f"{r['benchmark']}:{r['metric']}") for r in rows)
+    for row in rows:
+        name = f"{row['benchmark']}:{row['metric']}"
+        if row["direction"] == "invariant":
+            detail = f"invariant {'holds' if row['ok'] else 'BROKEN'}"
+        else:
+            detail = (
+                f"{row['baseline']:.6g} -> {row['fresh']:.6g} "
+                f"({row['regression']:+.1%} vs {row['tolerance']:.0%} "
+                f"tolerance, {row['direction']} is better)"
+            )
+        print(f"{'ok  ' if row['ok'] else 'FAIL'} {name:<{width}}  {detail}")
+    print(f"\n{len(rows)} metrics gated, {len(failures)} regressed")
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(
+            {"rows": rows, "failures": len(failures)}, indent=2
+        ) + "\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

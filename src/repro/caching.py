@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
 
 from .obs import config as obs_config
+from .obs.flight import FLIGHT
 from .obs.registry import REGISTRY
 
 
@@ -70,11 +71,17 @@ class LruCache:
     costs duplicate work, never correctness).
     """
 
-    def __init__(self, capacity: int, name: str = "lru") -> None:
+    def __init__(
+        self, capacity: int, name: str = "lru", flight: bool = False
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.name = name
+        #: Mirror hit/miss/eviction events into the flight recorder.
+        #: Off by default — per-op caches (the NTT plaintext cache) would
+        #: flood the bounded ring; the coarse design/context caches opt in.
+        self.flight = flight
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -154,6 +161,11 @@ class LruCache:
                 "cache_events_total", cache=self.name, event=event
             ).inc()
             REGISTRY.gauge("cache_size", cache=self.name).set(len(self._data))
+            if self.flight:
+                FLIGHT.record(
+                    "cache", cache=self.name, event=event,
+                    size=len(self._data),
+                )
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -169,15 +169,34 @@ def cmd_infer(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _write_or_fail(path: str, text: str, what: str) -> bool:
+    """Write ``text`` to ``path``; on failure complain and return False.
+
+    An unwritable output path must surface as a nonzero exit, not a
+    traceback: a CI job asking for a trace artifact and silently getting
+    none is worse than a failed job.
+    """
+    try:
+        Path(path).write_text(text)
+    except OSError as exc:
+        print(f"error: cannot write {what} to {path!r}: {exc}",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Encrypted inference under the observability layer (``repro.obs``).
 
     Prints (a) a per-layer wall-time / op-count / noise-budget table and
     (b) a per-op latency histogram (count, p50, p95) — the software twin
-    of the paper's Fig. 7 layer breakdown — and optionally exports the
-    span tree as Chrome-trace JSON loadable in chrome://tracing or
-    https://ui.perfetto.dev.
+    of the paper's Fig. 7 layer breakdown.  ``--format json`` emits the
+    same tables as one machine-readable object instead.  Optionally
+    exports the span tree as Chrome-trace JSON loadable in
+    chrome://tracing or https://ui.perfetto.dev; an unwritable trace
+    path exits nonzero.
     """
+    import json
     import time
 
     from . import obs
@@ -221,46 +240,75 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     tracer = obs.get_tracer()
     layer_stats = {r["name"]: r for r in tracer.summary(category="layer")}
-    rows = []
+    layer_rows = []
     for (name, bound), layer in zip(noise_rows, model.layers):
         stats = layer_stats.get(name, {})
         op_count = sum(recorder.by_phase.get(name, {}).values())
-        rows.append((
-            name,
-            type(layer).__name__.removeprefix("Packed"),
-            f"{stats.get('total_ms', 0.0):.1f}",
-            op_count,
-            bound.level,
-            f"{bound.error_bits:.1f}",
-        ))
-    print(format_table(
-        ["layer", "kind", "wall ms", "HE ops", "level out", "noise bits"],
-        rows,
-        title=f"{model.name} encrypted inference profile "
-              f"(N={params.poly_degree}, wall {wall:.2f} s)",
-    ))
-    print()
+        layer_rows.append({
+            "name": name,
+            "kind": type(layer).__name__.removeprefix("Packed"),
+            "wall_ms": stats.get("total_ms", 0.0),
+            "he_ops": op_count,
+            "level_out": bound.level,
+            "noise_bits": bound.error_bits,
+        })
     op_rows = [
-        (r["name"], r["count"], f"{r['total_ms']:.1f}",
-         f"{r['p50_ms']:.2f}", f"{r['p95_ms']:.2f}")
+        {"op": r["name"], "count": r["count"], "total_ms": r["total_ms"],
+         "p50_ms": r["p50_ms"], "p95_ms": r["p95_ms"]}
         for r in tracer.summary(category="he_op")
     ]
-    print(format_table(
-        ["op", "count", "total ms", "p50 ms", "p95 ms"], op_rows,
-        title="per-op latency breakdown",
-    ))
-    print(f"\nmax CKKS error vs plaintext reference: {err:.2e}")
+
+    if args.format == "json":
+        payload = {
+            "network": model.name,
+            "poly_degree": params.poly_degree,
+            "wall_s": wall,
+            "max_ckks_error": err,
+            "layers": layer_rows,
+            "ops": op_rows,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(
+            ["layer", "kind", "wall ms", "HE ops", "level out", "noise bits"],
+            [(r["name"], r["kind"], f"{r['wall_ms']:.1f}", r["he_ops"],
+              r["level_out"], f"{r['noise_bits']:.1f}")
+             for r in layer_rows],
+            title=f"{model.name} encrypted inference profile "
+                  f"(N={params.poly_degree}, wall {wall:.2f} s)",
+        ))
+        print()
+        print(format_table(
+            ["op", "count", "total ms", "p50 ms", "p95 ms"],
+            [(r["op"], r["count"], f"{r['total_ms']:.1f}",
+              f"{r['p50_ms']:.2f}", f"{r['p95_ms']:.2f}")
+             for r in op_rows],
+            title="per-op latency breakdown",
+        ))
+        print(f"\nmax CKKS error vs plaintext reference: {err:.2e}")
     if args.trace_out:
-        tracer.export_chrome_trace(args.trace_out)
-        print(f"Chrome trace written to {args.trace_out} "
-              f"(open in chrome://tracing or ui.perfetto.dev)")
+        try:
+            tracer.export_chrome_trace(args.trace_out)
+        except OSError as exc:
+            print(f"error: cannot write Chrome trace to "
+                  f"{args.trace_out!r}: {exc}", file=sys.stderr)
+            return 1
+        if args.format != "json":
+            print(f"Chrome trace written to {args.trace_out} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Simulate a slot-batched serving session and print the outcome."""
     from . import obs
-    from .serve import SchedulerConfig, ServingCostModel, SlotBatchScheduler
+    from .serve import (
+        SchedulerConfig,
+        ServingCostModel,
+        SlotBatchScheduler,
+        default_slos,
+        evaluate_report,
+    )
     from .serve.traffic import poisson_arrivals
 
     device = _device(args.device)
@@ -280,6 +328,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     with obs.observed():
         obs.reset()
         report = scheduler.run(requests)
+        slo_statuses = evaluate_report(
+            report, default_slos(p99_latency_s=args.slo_p99)
+        )
+        openmetrics = obs.render_openmetrics() if args.openmetrics_out else ""
     latency = report.latency_percentiles()
     batch_rows = [
         (b.batch_id, b.mode, b.lanes, f"{b.fill_ratio:.3f}",
@@ -303,7 +355,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if report.throughput_images_per_s > 0:
         print(f"vs single-request LoLa ({1 / single:.1f} img/s): "
               f"{report.throughput_images_per_s * single:.1f}x amortized")
-    return 0
+    for status in slo_statuses:
+        print(f"SLO {status.slo.name}: {status.value:.4f} "
+              f"{'<=' if status.ok else '>'} {status.slo.threshold} "
+              f"[{'OK' if status.ok else 'VIOLATED'}]")
+    ok = True
+    if args.trace_out:
+        try:
+            obs.get_tracer().export_chrome_trace(args.trace_out)
+            print(f"Chrome trace written to {args.trace_out}")
+        except OSError as exc:
+            print(f"error: cannot write Chrome trace to "
+                  f"{args.trace_out!r}: {exc}", file=sys.stderr)
+            ok = False
+    if args.openmetrics_out:
+        obs.validate_openmetrics(openmetrics)
+        if _write_or_fail(args.openmetrics_out, openmetrics,
+                          "OpenMetrics snapshot"):
+            print(f"OpenMetrics snapshot written to {args.openmetrics_out}")
+        else:
+            ok = False
+    if args.slo_strict and not all(s.ok for s in slo_statuses):
+        return 1
+    return 0 if ok else 1
 
 
 def cmd_bench_throughput(args: argparse.Namespace) -> int:
@@ -576,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--full", action="store_true",
                         help="mnist only: full paper parameters (slow)")
     p_prof.add_argument("--seed", type=int, default=4)
+    p_prof.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format: human tables or one JSON "
+                             "object with the same per-layer/per-op data")
     p_prof.add_argument("--trace-out",
                         help="write Chrome-trace JSON to this file")
 
@@ -594,6 +671,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-capacity", type=int, default=1_000_000)
     p_serve.add_argument("--deadline", type=float, default=None,
                          help="per-request deadline in seconds")
+    p_serve.add_argument("--slo-p99", type=float, default=30.0,
+                         help="p99 latency SLO threshold in seconds")
+    p_serve.add_argument("--slo-strict", action="store_true",
+                         help="exit nonzero when any SLO is violated")
+    p_serve.add_argument("--trace-out",
+                         help="write the session's Chrome-trace JSON "
+                              "(virtual request/batch tracks) to this file")
+    p_serve.add_argument("--openmetrics-out",
+                         help="write an OpenMetrics metrics snapshot of "
+                              "the session to this file")
 
     p_bt = sub.add_parser(
         "bench-throughput",

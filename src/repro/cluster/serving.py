@@ -31,12 +31,14 @@ from ..obs.probes import (
     record_cluster_batch,
     record_cluster_stage,
     record_cluster_transfer,
+    record_flight,
     record_queue_depth,
     record_request_latency,
     record_request_outcome,
     record_throughput,
 )
-from ..obs.tracing import trace_span
+from ..obs.tracing import emit_virtual, trace_span
+from ..serve.scheduler import BATCH_TID, _request_tid
 from ..serve.records import BatchRecord, RequestResult, ServeReport
 from ..serve.request import InferenceRequest
 from ..serve.scheduler import SchedulerConfig
@@ -112,9 +114,17 @@ class ClusterService:
                         request_id=req.request_id, outcome="rejected",
                         arrival_s=req.arrival_s,
                     ))
-                    record_request_outcome("rejected")
+                    record_request_outcome(
+                        "rejected", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="cluster",
+                    )
                 else:
                     queue.append(req)
+                    record_flight(
+                        "admit", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="cluster",
+                        depth=len(queue),
+                    )
                 record_queue_depth(len(queue), queue="cluster")
 
         while i < len(pending) or queue:
@@ -141,7 +151,17 @@ class ClusterService:
                         request_id=req.request_id, outcome="expired",
                         arrival_s=req.arrival_s,
                     ))
-                    record_request_outcome("expired")
+                    record_request_outcome(
+                        "expired", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="cluster",
+                    )
+                    emit_virtual(
+                        "expired", "request", req.arrival_s,
+                        dispatch_at - req.arrival_s,
+                        tid=_request_tid(req.request_id),
+                        args={"trace_id": req.trace_ref,
+                              "request_id": req.request_id},
+                    )
                 else:
                     alive.append(req)
             queue = alive
@@ -153,20 +173,35 @@ class ClusterService:
             queue = queue[len(batch):]
             record_queue_depth(len(queue), queue="cluster")
             finish = dispatch_at + transit
+            batch_id = len(batches)
             for req in batch:
                 results.append(RequestResult(
                     request_id=req.request_id, outcome="cluster",
                     arrival_s=req.arrival_s, start_s=dispatch_at,
-                    finish_s=finish, batch_id=len(batches),
+                    finish_s=finish, batch_id=batch_id,
                 ))
                 record_request_outcome("cluster")
                 record_request_latency(finish - req.arrival_s, "cluster")
+                journey = {"trace_id": req.trace_ref,
+                           "request_id": req.request_id,
+                           "batch_id": batch_id}
+                emit_virtual(
+                    "queue_wait", "request", req.arrival_s,
+                    dispatch_at - req.arrival_s,
+                    tid=_request_tid(req.request_id), args=journey,
+                )
+                emit_virtual(
+                    "response", "request", finish, 0.0,
+                    tid=_request_tid(req.request_id),
+                    args={**journey, "latency_s": finish - req.arrival_s},
+                )
             batches.append(BatchRecord(
-                batch_id=len(batches), mode="cluster", lanes=len(batch),
+                batch_id=batch_id, mode="cluster", lanes=len(batch),
                 capacity=self.capacity, start_s=dispatch_at, finish_s=finish,
             ))
             record_batch_dispatch(len(batch), self.capacity, "cluster")
             record_cluster_batch(len(batch), transit)
+            self._emit_batch_journey(batch, batch_id, dispatch_at)
             self._publish_stages()
             # The pipeline frees an admission slot one interval later,
             # even though this batch is still in flight downstream.
@@ -186,6 +221,55 @@ class ClusterService:
         return report
 
     # -- probes / reporting ---------------------------------------------------
+
+    #: Virtual-trace track base for pipeline stages, far above any
+    #: realistic request track (``tid = request_id + 1``).
+    STAGE_TID_BASE = 10_000_000
+
+    def _emit_batch_journey(
+        self,
+        batch: list[InferenceRequest],
+        batch_id: int,
+        dispatch_at: float,
+    ) -> None:
+        """One batch's walk down the pipeline, as virtual trace events.
+
+        Emits the batch envelope plus, per stage, an ``execute`` event on
+        the stage's own track and a ``transfer`` event for its outgoing
+        link — every event tagged with the batch's trace IDs, so a single
+        request filters to one connected queue → batch → stage-by-stage →
+        response flame.  Stage handoffs also land in the flight recorder.
+        """
+        trace_ids = [r.trace_ref for r in batch[:64]]
+        shared = {"batch_id": batch_id, "lanes": len(batch),
+                  "trace_ids": trace_ids}
+        emit_virtual(
+            f"batch {batch_id} [cluster]", "cluster.batch", dispatch_at,
+            self.plan.fill_latency_seconds, tid=BATCH_TID, args=shared,
+        )
+        at = dispatch_at
+        for stage in self.plan.stages:
+            tid = self.STAGE_TID_BASE + stage.index
+            emit_virtual(
+                f"stage{stage.index} {stage.device.name}",
+                "cluster.stage", at, stage.compute_seconds, tid=tid,
+                args={**shared, "stage": stage.index,
+                      "device": stage.device.name,
+                      "layers": list(stage.layer_names)},
+            )
+            at += stage.compute_seconds
+            record_flight(
+                "stage_handoff", batch_id=batch_id, stage=stage.index,
+                device=stage.device.name, at_s=at, trace_ids=trace_ids,
+            )
+            if stage.transfer_seconds > 0:
+                emit_virtual(
+                    f"transfer{stage.index}", "cluster.transfer", at,
+                    stage.transfer_seconds, tid=tid,
+                    args={**shared, "stage": stage.index,
+                          "bytes": stage.transfer_bytes},
+                )
+                at += stage.transfer_seconds
 
     def _publish_stages(self) -> None:
         for stage, util in zip(self.plan.stages, self.plan.utilization()):

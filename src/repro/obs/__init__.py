@@ -1,13 +1,20 @@
-"""Unified observability: metrics registry, span tracing, domain probes.
+"""Unified observability: metrics, tracing, probes, flight data, export.
 
-Three pillars (all zero-dependency, all off by default):
+Pillars (all zero-dependency, all off by default):
 
-* :mod:`repro.obs.registry` — labeled counters / gauges / histograms with
-  exact p50/p95/p99, the data behind the per-op latency breakdowns;
+* :mod:`repro.obs.registry` — labeled counters / gauges / histograms
+  (thread-safe, reservoir-bounded) with exact p50/p95/p99 below the cap;
 * :mod:`repro.obs.tracing` — nested spans with Chrome-trace / Perfetto
-  JSON export and a plain-text per-layer summary (paper Fig. 7 in text);
-* :mod:`repro.obs.probes` — the hooks the evaluator, HE-CNN layers, noise
-  estimator, simulator and DSE call.
+  JSON export, virtual-time event emission for the simulated schedulers,
+  and a plain-text per-layer summary (paper Fig. 7 in text);
+* :mod:`repro.obs.tracectx` — request-scoped trace IDs propagated from
+  admission through batching, workers and pipeline stages;
+* :mod:`repro.obs.flight` — bounded ring of structured events with JSONL
+  dump and a dump-on-error hook (the post-mortem for a failed request);
+* :mod:`repro.obs.export` — OpenMetrics text rendering, grammar
+  validation, and a periodic atomic snapshotter;
+* :mod:`repro.obs.probes` — the hooks the evaluator, HE-CNN layers,
+  noise estimator, simulator, DSE, serving and cluster layers call.
 
 Enable with :func:`enable` / :func:`observed`; with the switch off every
 instrumented hot path costs one flag check (< 2 % on the FHE microbench,
@@ -15,9 +22,12 @@ asserted in CI).  See ``docs/observability.md``.
 """
 
 from .config import disable, enable, enabled, observed, set_enabled
+from .export import Snapshotter, render_openmetrics, validate_openmetrics
+from .flight import FLIGHT, FlightRecorder, dump_on_error, get_flight_recorder
 from .probes import (
     DseProgress,
     record_batch_dispatch,
+    record_flight,
     record_he_op,
     record_layer,
     record_noise_budget,
@@ -35,36 +45,56 @@ from .registry import (
     MetricsRegistry,
     get_registry,
 )
-from .tracing import TRACER, Span, Tracer, get_tracer, trace_span, traced
+from .tracectx import current_trace_id, new_trace_id, trace_context
+from .tracing import (
+    TRACER,
+    Span,
+    Tracer,
+    emit_virtual,
+    get_tracer,
+    trace_span,
+    traced,
+)
 
 
 def reset() -> None:
-    """Zero the registry and drop all trace events (the test-isolation hook).
+    """Zero the registry, drop trace events and the flight ring (the
+    test-isolation hook).
 
     Metric handles cached by other modules stay valid (instruments are
     zeroed in place, not dropped).
     """
     REGISTRY.reset()
     TRACER.clear()
+    FLIGHT.clear()
 
 
 __all__ = [
     "Counter",
     "DseProgress",
+    "FLIGHT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "Snapshotter",
     "Span",
     "TRACER",
     "Tracer",
+    "current_trace_id",
     "disable",
+    "dump_on_error",
+    "emit_virtual",
     "enable",
     "enabled",
+    "get_flight_recorder",
     "get_registry",
     "get_tracer",
+    "new_trace_id",
     "observed",
     "record_batch_dispatch",
+    "record_flight",
     "record_he_op",
     "record_layer",
     "record_noise_budget",
@@ -73,8 +103,11 @@ __all__ = [
     "record_request_outcome",
     "record_sim_layer",
     "record_throughput",
+    "render_openmetrics",
     "reset",
     "set_enabled",
+    "trace_context",
     "trace_span",
     "traced",
+    "validate_openmetrics",
 ]

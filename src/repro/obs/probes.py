@@ -16,7 +16,20 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from . import config
+from .flight import FLIGHT
 from .registry import REGISTRY
+
+
+def record_flight(kind: str, **fields: Any) -> None:
+    """Append one event to the flight recorder (no-op while obs is off).
+
+    The structured twin of a log line: admissions, dispatches, expiries,
+    cache traffic and DSE incumbents all flow through here so the last N
+    of them survive in the bounded ring (:mod:`repro.obs.flight`).
+    """
+    if not config.enabled():
+        return
+    FLIGHT.record(kind, **fields)
 
 
 def record_he_op(op: str, level: int | None = None,
@@ -78,6 +91,7 @@ def record_batch_dispatch(lanes: int, capacity: int, mode: str) -> None:
     REGISTRY.counter("serve_images_total", mode=mode).inc(lanes)
     if capacity > 0:
         REGISTRY.histogram("serve_batch_fill_ratio").observe(lanes / capacity)
+    FLIGHT.record("dispatch", lanes=lanes, capacity=capacity, mode=mode)
 
 
 def record_request_latency(seconds: float, mode: str) -> None:
@@ -89,11 +103,17 @@ def record_request_latency(seconds: float, mode: str) -> None:
     ).observe(seconds)
 
 
-def record_request_outcome(outcome: str) -> None:
-    """Count a request's terminal state: completed / rejected / expired."""
+def record_request_outcome(outcome: str, **fields: Any) -> None:
+    """Count a request's terminal state: completed / rejected / expired.
+
+    Non-completion outcomes also land in the flight recorder — they are
+    exactly the events a post-mortem wants in arrival order.
+    """
     if not config.enabled():
         return
     REGISTRY.counter("serve_requests_total", outcome=outcome).inc()
+    if outcome in ("rejected", "expired"):
+        FLIGHT.record(outcome, **fields)
 
 
 def record_throughput(images_per_second: float) -> None:
@@ -201,6 +221,10 @@ class DseProgress:
     def note_incumbent(self, latency_cycles: int) -> None:
         """A new best-so-far solution was found."""
         self.improvements += 1
+        record_flight(
+            "dse_incumbent", latency_cycles=latency_cycles,
+            scanned=self.scanned, feasible=self.feasible,
+        )
         if self.callback is not None:
             self.callback({
                 "event": "incumbent",

@@ -2,8 +2,9 @@
 
 A :class:`MetricsRegistry` is a flat, process-local store of named metric
 instruments, each keyed by ``(name, labels)`` — the usual Prometheus-style
-data model, minus any wire format (this repo is zero-dependency).  Three
-instrument kinds exist:
+data model, minus any wire format (this repo is zero-dependency; the
+Prometheus/OpenMetrics *text* rendering lives in :mod:`repro.obs.export`).
+Three instrument kinds exist:
 
 * :class:`Counter` — monotone accumulator (op counts, NTT rows, DSE
   points pruned).  Counters are *always* live: incrementing one is a
@@ -13,8 +14,17 @@ instrument kinds exist:
   them.
 * :class:`Gauge` — last-written value (ciphertext level/scale after an
   op, per-layer noise budget in bits).
-* :class:`Histogram` — full-sample distribution with exact percentiles
-  (p50/p95/p99) over the recorded values; used for per-op wall times.
+* :class:`Histogram` — sample distribution with exact percentiles
+  (p50/p95/p99) while under its reservoir cap; beyond the cap it keeps a
+  uniform random sample (Vitter's Algorithm R), so memory is bounded in
+  a long-running server.
+
+Every mutating instrument method takes the instrument's own lock:
+``value += amount`` is a read-modify-write that interleaves across
+bytecodes, so unlocked increments lose counts under the
+:class:`~repro.serve.service.InferenceService` worker pool (the hammer
+test in ``tests/obs/test_registry.py`` demonstrates exactness).  Reads
+of ``value`` stay unlocked — a stale read is fine, a lost write is not.
 
 Handles returned by :meth:`MetricsRegistry.counter` (etc.) stay valid
 across :meth:`MetricsRegistry.reset` — reset zeroes instruments in place
@@ -23,7 +33,9 @@ rather than dropping them, so modules may cache handles at import time.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Any, Iterator
 
 LabelKey = tuple[tuple[str, Any], ...]
@@ -36,73 +48,129 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
 class Counter:
     """A monotonically increasing accumulator."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
     """A value that can go up and down; remembers the last write."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: LabelKey) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self.value += float(amount)
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
+
+
+#: Default histogram reservoir: exact percentiles up to this many samples.
+DEFAULT_RESERVOIR = 65_536
 
 
 class Histogram:
-    """Exact-sample distribution with interpolated percentiles.
+    """Bounded-memory distribution with interpolated percentiles.
 
-    Keeps every observation (these are per-HE-op timings — thousands per
-    inference, not millions), so percentiles are exact: the same linear
-    interpolation as ``numpy.percentile``'s default.
+    Up to ``reservoir`` observations every sample is kept and percentiles
+    are exact (the same linear interpolation as ``numpy.percentile``'s
+    default).  Beyond the cap the stored samples become a uniform random
+    reservoir (Algorithm R) of the full stream: ``count`` and ``total``
+    stay exact, while ``min``/``max``/percentiles are estimates over the
+    reservoir — unbiased, with error shrinking as the cap grows.  The
+    replacement RNG is seeded from the instrument identity so runs are
+    reproducible.
     """
 
-    __slots__ = ("name", "labels", "values")
+    __slots__ = ("name", "labels", "values", "reservoir", "_count", "_total",
+                 "_rng", "_seed", "_lock")
 
-    def __init__(self, name: str, labels: LabelKey) -> None:
+    def __init__(self, name: str, labels: LabelKey,
+                 reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("reservoir must be >= 1")
         self.name = name
         self.labels = labels
+        self.reservoir = reservoir
         self.values: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._seed = zlib.crc32(f"{name}|{labels}".encode())
+        self._rng = random.Random(self._seed)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if len(self.values) < self.reservoir:
+                self.values.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.reservoir:
+                    self.values[slot] = value
 
     def reset(self) -> None:
-        self.values.clear()
+        with self._lock:
+            self.values.clear()
+            self._count = 0
+            self._total = 0.0
+            self._rng = random.Random(self._seed)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        """Exact number of observations (including sampled-out ones)."""
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        """Exact running sum of all observations."""
+        return self._total
+
+    @property
+    def saturated(self) -> bool:
+        """True once the reservoir is sampling (percentiles approximate)."""
+        return self._count > self.reservoir
+
+    def _sample(self) -> list[float]:
+        with self._lock:
+            return list(self.values)
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100), linearly interpolated."""
-        if not self.values:
-            return 0.0
+        """The ``p``-th percentile (0..100), linearly interpolated.
+
+        Exact below the reservoir cap; a reservoir estimate above it.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self.values)
+        ordered = sorted(self._sample())
+        if not ordered:
+            return 0.0
         rank = (len(ordered) - 1) * p / 100.0
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
@@ -110,18 +178,31 @@ class Histogram:
         return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     def summary(self) -> dict[str, float]:
-        if not self.values:
+        sample = self._sample()
+        if not sample:
             return {"count": 0, "total": 0.0}
-        return {
+        ordered = sorted(sample)
+        out = {
             "count": self.count,
             "total": self.total,
             "mean": self.total / self.count,
-            "min": min(self.values),
-            "max": max(self.values),
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": _interp(ordered, 50),
+            "p95": _interp(ordered, 95),
+            "p99": _interp(ordered, 99),
         }
+        if self.saturated:
+            out["sampled"] = True
+        return out
+
+
+def _interp(ordered: list[float], p: float) -> float:
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -167,6 +248,12 @@ class MetricsRegistry:
                 continue
             yield metric
 
+    def items(self) -> Iterator[tuple[tuple[str, str, LabelKey], Any]]:
+        """``((kind, name, labels), instrument)`` pairs in stable order."""
+        yield from sorted(
+            self._metrics.items(), key=lambda item: item[0][:2] + (str(item[0][2]),)
+        )
+
     def reset(self) -> None:
         """Zero every instrument *in place* (cached handles stay valid)."""
         with self._lock:
@@ -176,9 +263,7 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """All current values, JSON-ready, keyed ``name{label=value,...}``."""
         out: dict[str, dict[str, Any]] = {}
-        for (kind, name, labels), metric in sorted(
-            self._metrics.items(), key=lambda item: item[0][:2] + (str(item[0][2]),)
-        ):
+        for (kind, name, labels), metric in self.items():
             label_str = ",".join(f"{k}={v}" for k, v in labels)
             key = f"{name}{{{label_str}}}" if label_str else name
             if kind == "histogram":

@@ -1,0 +1,68 @@
+"""Request-scoped trace context: trace IDs that follow a request around.
+
+A *trace ID* names one end-to-end journey — typically one
+:class:`~repro.serve.request.InferenceRequest` from admission through
+batching, execution (possibly across several pipeline stages) and
+response.  Every span or virtual event recorded while a trace context is
+active carries the ID in its Chrome-trace ``args``, so filtering the
+exported trace on ``trace_id`` yields one connected flame per request
+even when its pieces ran on different worker threads (or in virtual
+time, on no thread at all).
+
+The context is a thread-local *stack*: nested :func:`trace_context`
+blocks shadow the outer ID and restore it on exit, mirroring span
+nesting.  Crossing a thread boundary is explicit — the serving layer
+reads ``request.trace_id`` and re-enters the context on the worker
+thread — because implicit propagation through a thread pool would tie
+this module to one executor implementation.
+
+ID generation is a single atomic ``itertools.count`` step (no lock, no
+randomness), giving process-unique, human-readable IDs like
+``"t-000042"``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+_sequence = itertools.count(1)
+_local = threading.local()
+
+
+def new_trace_id(prefix: str = "t") -> str:
+    """A process-unique trace ID (atomic counter; safe without a lock)."""
+    return f"{prefix}-{next(_sequence):06d}"
+
+
+def _stack() -> list[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_trace_id() -> str | None:
+    """The innermost active trace ID on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def trace_context(trace_id: str | None) -> Iterator[str | None]:
+    """Activate ``trace_id`` for the block (no-op when ``None``).
+
+    Spans closed inside the block pick the ID up automatically; see
+    :meth:`repro.obs.tracing.Tracer._pop`.
+    """
+    if trace_id is None:
+        yield None
+        return
+    stack = _stack()
+    stack.append(trace_id)
+    try:
+        yield trace_id
+    finally:
+        stack.pop()

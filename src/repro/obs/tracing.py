@@ -29,7 +29,7 @@ import threading
 import time
 from typing import Any, Callable, Iterable
 
-from . import config
+from . import config, tracectx
 from .registry import REGISTRY
 
 
@@ -90,8 +90,19 @@ class Tracer:
         self._events: list[dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Dense thread-ident -> track map: masking the raw ident can
+        #: alias two live worker threads onto one Perfetto row.
+        self._tids: dict[int, int] = {}
         #: Common epoch so every event's ``ts`` shares one monotonic origin.
         self._epoch_ns = time.perf_counter_ns()
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._tids.get(ident)
+            if tid is None:
+                tid = self._tids[ident] = len(self._tids)
+        return tid
 
     # -- span lifecycle (internal; use trace_span) ---------------------------
 
@@ -115,10 +126,14 @@ class Tracer:
             "ts": (span.start_ns - self._epoch_ns) / 1000.0,
             "dur": span.duration_ns / 1000.0,
             "pid": 0,
-            "tid": threading.get_ident() & 0xFFFF,
+            "tid": self._tid(),
         }
-        if span.args:
-            event["args"] = dict(span.args)
+        args = dict(span.args) if span.args else {}
+        trace_id = tracectx.current_trace_id()
+        if trace_id is not None and "trace_id" not in args:
+            args["trace_id"] = trace_id
+        if args:
+            event["args"] = args
         with self._lock:
             self._events.append(event)
         REGISTRY.histogram(
@@ -130,6 +145,48 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    # -- virtual-time events --------------------------------------------------
+
+    #: ``pid`` used for events with caller-supplied (virtual) timestamps,
+    #: keeping them on their own process track next to wall-clock spans.
+    VIRTUAL_PID = 1
+
+    def emit(
+        self,
+        name: str,
+        category: str,
+        start_s: float,
+        duration_s: float,
+        *,
+        tid: int = 0,
+        pid: int = VIRTUAL_PID,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record one complete event with explicit timestamps.
+
+        The virtual-time schedulers (:class:`~repro.serve.scheduler
+        .SlotBatchScheduler`, :class:`~repro.cluster.serving
+        .ClusterService`) live on simulated clocks — there is no wall
+        time to span — so they emit each request's queue-wait, batch
+        execution and per-stage journey directly, in virtual seconds.
+        Events land on ``pid=VIRTUAL_PID`` so Perfetto renders them as a
+        separate process track with one row (``tid``) per request or
+        stage.
+        """
+        event: dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": start_s * 1e6,
+            "dur": duration_s * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        with self._lock:
+            self._events.append(event)
+
     # -- inspection / export -------------------------------------------------
 
     def events(self) -> list[dict[str, Any]]:
@@ -140,6 +197,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self._tids.clear()
         self._epoch_ns = time.perf_counter_ns()
 
     def chrome_trace(self) -> dict[str, Any]:
@@ -230,6 +288,21 @@ def trace_span(name: str, category: str = "span", **args: Any):
     if not config.enabled():
         return _NULL_SPAN
     return Span(TRACER, name, category, args)
+
+
+def emit_virtual(
+    name: str,
+    category: str,
+    start_s: float,
+    duration_s: float,
+    *,
+    tid: int = 0,
+    args: dict[str, Any] | None = None,
+) -> None:
+    """Gated module-level form of :meth:`Tracer.emit` (no-op while off)."""
+    if not config.enabled():
+        return
+    TRACER.emit(name, category, start_s, duration_s, tid=tid, args=args)
 
 
 def traced(name: str | None = None, category: str = "fn") -> Callable:

@@ -21,6 +21,8 @@ accelerator ran a trace":
 * :mod:`~repro.serve.service` — the same policy on real threads with a
   pluggable executor;
 * :mod:`~repro.serve.records` — JSON round-trip of serve reports;
+* :mod:`~repro.serve.slo`     — declarative SLOs (p99 latency, deadline
+  misses, rejects) evaluated over sliding windows;
 * :mod:`~repro.serve.bench`   — the latency-vs-throughput sweep behind
   ``repro bench-throughput`` and BENCH_serve.json.
 
@@ -33,6 +35,7 @@ from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
 from .scheduler import SchedulerConfig, SlotBatchScheduler
 from .service import BackpressureError, InferenceService, ServiceClosed
+from .slo import Slo, SloMonitor, SloStatus, default_slos, evaluate_report
 from .traffic import burst_arrivals, poisson_arrivals, uniform_arrivals
 
 __all__ = [
@@ -48,8 +51,13 @@ __all__ = [
     "ServeReport",
     "ServiceClosed",
     "ServingCostModel",
+    "Slo",
+    "SloMonitor",
+    "SloStatus",
     "SlotBatchScheduler",
     "burst_arrivals",
+    "default_slos",
+    "evaluate_report",
     "poisson_arrivals",
     "uniform_arrivals",
 ]

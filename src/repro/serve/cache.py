@@ -76,7 +76,7 @@ class DesignCache:
     """Memoized ``FxHennFramework.generate`` keyed by :class:`DesignKey`."""
 
     def __init__(self, capacity: int = 32) -> None:
-        self._cache = LruCache(capacity, name="design")
+        self._cache = LruCache(capacity, name="design", flight=True)
         self._framework = FxHennFramework()
 
     def get(
@@ -116,7 +116,7 @@ class ContextCache:
     """
 
     def __init__(self, capacity: int = 8) -> None:
-        self._cache = LruCache(capacity, name="context")
+        self._cache = LruCache(capacity, name="context", flight=True)
 
     def get_or_create(
         self, key: Hashable, factory: Callable[[], Any]

@@ -26,6 +26,10 @@ class InferenceRequest:
     arrival_s: float = 0.0
     deadline_s: float | None = None
     payload: Any = field(default=None, compare=False)
+    #: End-to-end trace ID carried through scheduling, batching and every
+    #: pipeline stage; ``None`` means no caller-assigned trace (the
+    #: schedulers then derive a stable ID from ``request_id``).
+    trace_id: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:
@@ -35,3 +39,15 @@ class InferenceRequest:
 
     def expired(self, now_s: float) -> bool:
         return self.deadline_s is not None and now_s > self.deadline_s
+
+    @property
+    def trace_ref(self) -> str:
+        """The effective trace ID: assigned, or derived from the ID.
+
+        Deriving (rather than mutating the frozen request) keeps every
+        emitter — admission, batch, stage, response — agreeing on one ID
+        without the traffic generators having to know about tracing.
+        """
+        if self.trace_id is not None:
+            return self.trace_id
+        return f"req-{self.request_id:06d}"

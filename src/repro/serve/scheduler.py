@@ -28,12 +28,21 @@ from typing import Any
 
 from ..obs.probes import (
     record_batch_dispatch,
+    record_flight,
     record_queue_depth,
     record_request_latency,
     record_request_outcome,
     record_throughput,
 )
-from ..obs.tracing import trace_span
+from ..obs.tracing import emit_virtual, trace_span
+
+#: Virtual-trace track for batch events; request journeys ride on
+#: ``tid = request_id + 1`` (track 0 is the batch lane).
+BATCH_TID = 0
+
+
+def _request_tid(request_id: int) -> int:
+    return request_id + 1
 from .costmodel import ServingCostModel
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
@@ -111,9 +120,17 @@ class SlotBatchScheduler:
                         request_id=req.request_id, outcome="rejected",
                         arrival_s=req.arrival_s,
                     ))
-                    record_request_outcome("rejected")
+                    record_request_outcome(
+                        "rejected", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="serve",
+                    )
                 else:
                     queue.append(req)
+                    record_flight(
+                        "admit", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="serve",
+                        depth=len(queue),
+                    )
                 record_queue_depth(len(queue))
 
         while i < len(pending) or queue:
@@ -145,7 +162,17 @@ class SlotBatchScheduler:
                         request_id=req.request_id, outcome="expired",
                         arrival_s=req.arrival_s,
                     ))
-                    record_request_outcome("expired")
+                    record_request_outcome(
+                        "expired", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="serve",
+                    )
+                    emit_virtual(
+                        "expired", "request", req.arrival_s,
+                        dispatch_at - req.arrival_s,
+                        tid=_request_tid(req.request_id),
+                        args={"trace_id": req.trace_ref,
+                              "request_id": req.request_id},
+                    )
                 else:
                     alive.append(req)
             queue = alive
@@ -180,6 +207,15 @@ class SlotBatchScheduler:
                 finish_s=free_at,
             ))
             record_batch_dispatch(k, self.capacity, mode)
+            emit_virtual(
+                f"batch {batches[-1].batch_id} [{mode}]", "serve.batch",
+                dispatch_at, free_at - dispatch_at, tid=BATCH_TID,
+                args={
+                    "batch_id": batches[-1].batch_id, "lanes": k,
+                    "mode": mode,
+                    "trace_ids": [r.trace_ref for r in batch[:64]],
+                },
+            )
 
         results.sort(key=lambda r: r.request_id)
         report = ServeReport(
@@ -210,3 +246,14 @@ class SlotBatchScheduler:
         ))
         record_request_outcome(mode)
         record_request_latency(finish_s - req.arrival_s, mode)
+        journey = {"trace_id": req.trace_ref, "request_id": req.request_id,
+                   "batch_id": batch_id}
+        emit_virtual(
+            "queue_wait", "request", req.arrival_s,
+            start_s - req.arrival_s, tid=_request_tid(req.request_id),
+            args=journey,
+        )
+        emit_virtual(
+            "execute", "request", start_s, finish_s - start_s,
+            tid=_request_tid(req.request_id), args={**journey, "mode": mode},
+        )

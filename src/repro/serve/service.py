@@ -28,15 +28,20 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
+from ..obs.flight import FLIGHT
 from ..obs.probes import (
     record_batch_dispatch,
+    record_flight,
     record_queue_depth,
     record_request_latency,
     record_request_outcome,
 )
+from ..obs.tracectx import new_trace_id, trace_context
+from ..obs.tracing import trace_span
 from .costmodel import ServingCostModel
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
+from .slo import SloMonitor
 
 #: Executes one dispatched batch: receives the requests and the chosen
 #: mode ("batched" | "lola"), returns one result per request, in order.
@@ -71,6 +76,8 @@ class InferenceService:
         workers: int = 1,
         cost_model: ServingCostModel | None = None,
         degrade_to_lola: bool = True,
+        slo_monitor: SloMonitor | None = None,
+        flight_dump_path: Any = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -83,6 +90,12 @@ class InferenceService:
         self.batch_window_s = batch_window_s
         self.queue_capacity = queue_capacity
         self.degrade_to_lola = degrade_to_lola
+        #: Optional SLO monitor fed with every terminal request; read it
+        #: back with :meth:`slo_status`.
+        self.slo_monitor = slo_monitor
+        #: When set, a failed batch dumps the flight-recorder window here
+        #: (JSONL) before the exception is set on the futures.
+        self.flight_dump_path = flight_dump_path
         self._crossover = 1
         if degrade_to_lola and cost_model is not None:
             self._crossover = min(cost_model.crossover_lanes(), capacity)
@@ -105,10 +118,20 @@ class InferenceService:
     # -- client API -----------------------------------------------------------
 
     def submit(
-        self, payload: Any = None, deadline_s: float | None = None
+        self,
+        payload: Any = None,
+        deadline_s: float | None = None,
+        trace_id: str | None = None,
     ) -> Future:
-        """Enqueue one request; ``deadline_s`` is relative to now."""
+        """Enqueue one request; ``deadline_s`` is relative to now.
+
+        ``trace_id`` names the request's end-to-end trace (a fresh ID is
+        minted when omitted); spans the workers open while executing the
+        batch carry it, so the exported trace connects this request's
+        queue wait and execution across threads.
+        """
         now = self._now()
+        trace_id = trace_id if trace_id is not None else new_trace_id()
         with self._cond:
             if self._closed:
                 raise ServiceClosed("service is closed")
@@ -118,7 +141,11 @@ class InferenceService:
                     arrival_s=now,
                 ))
                 self._next_id += 1
-                record_request_outcome("rejected")
+                record_request_outcome(
+                    "rejected", request_id=self._next_id - 1,
+                    trace_id=trace_id, queue="service",
+                )
+                self._observe_slo("rejected")
                 raise BackpressureError(
                     f"admission queue full ({self.queue_capacity})"
                 )
@@ -127,11 +154,16 @@ class InferenceService:
                 arrival_s=now,
                 deadline_s=None if deadline_s is None else now + deadline_s,
                 payload=payload,
+                trace_id=trace_id,
             )
             self._next_id += 1
             future: Future = Future()
             self._queue.append(_Entry(request, future))
             record_queue_depth(len(self._queue))
+            record_flight(
+                "admit", request_id=request.request_id, trace_id=trace_id,
+                queue="service", depth=len(self._queue),
+            )
             self._cond.notify_all()
         return future
 
@@ -229,7 +261,11 @@ class InferenceService:
                         outcome="expired",
                         arrival_s=entry.request.arrival_s,
                     ))
-                    record_request_outcome("expired")
+                    record_request_outcome(
+                        "expired", request_id=entry.request.request_id,
+                        trace_id=entry.request.trace_ref, queue="service",
+                    )
+                    self._observe_slo("expired")
                 elif len(batch) < self.capacity:
                     batch.append(entry)
                 else:
@@ -249,8 +285,15 @@ class InferenceService:
         start = self._now()
         record_batch_dispatch(k, self.capacity, mode)
         requests = [entry.request for entry in batch]
+        trace_ids = [r.trace_ref for r in requests[:64]]
         try:
-            outputs = self.executor(requests, mode)
+            # The batch's lead trace context covers the worker-thread
+            # span, so every event it produces is tagged and filterable.
+            with trace_context(requests[0].trace_ref), trace_span(
+                "serve.batch_execute", category="serve",
+                lanes=k, mode=mode, trace_ids=trace_ids,
+            ):
+                outputs = self.executor(requests, mode)
             if len(outputs) != k:
                 raise RuntimeError(
                     f"executor returned {len(outputs)} results for "
@@ -258,13 +301,26 @@ class InferenceService:
                 )
         except Exception as exc:
             finish = self._now()
+            record_flight(
+                "batch_error", lanes=k, mode=mode, error=repr(exc),
+                trace_ids=trace_ids,
+            )
+            if self.flight_dump_path is not None:
+                try:
+                    FLIGHT.dump_jsonl(self.flight_dump_path)
+                except OSError:
+                    pass  # post-mortem must not mask the batch failure
             for entry in batch:
                 entry.future.set_exception(exc)
                 self._record(RequestResult(
                     request_id=entry.request.request_id, outcome="expired",
                     arrival_s=entry.request.arrival_s,
                 ))
-                record_request_outcome("expired")
+                record_request_outcome(
+                    "expired", request_id=entry.request.request_id,
+                    trace_id=entry.request.trace_ref, queue="service",
+                )
+                self._observe_slo("expired")
             return
         finish = self._now()
         with self._record_lock:
@@ -280,7 +336,19 @@ class InferenceService:
                 finish_s=finish, batch_id=batch_id,
             ))
             record_request_outcome(mode)
-            record_request_latency(
-                finish - entry.request.arrival_s, mode
-            )
+            latency = finish - entry.request.arrival_s
+            record_request_latency(latency, mode)
+            self._observe_slo(mode, latency)
             entry.future.set_result(output)
+
+    def _observe_slo(
+        self, outcome: str, latency_s: float | None = None
+    ) -> None:
+        if self.slo_monitor is not None:
+            self.slo_monitor.observe(outcome, latency_s)
+
+    def slo_status(self):
+        """Evaluate the attached SLO monitor (``None`` when unattached)."""
+        if self.slo_monitor is None:
+            return None
+        return self.slo_monitor.evaluate()

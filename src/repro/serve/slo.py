@@ -1,0 +1,202 @@
+"""Declarative service-level objectives over sliding request windows.
+
+An :class:`Slo` names one objective on the serving layer's terminal
+request stream::
+
+    Slo("p99 under 2s", objective="p99_latency_s", threshold=2.0)
+    Slo("miss rate", objective="deadline_miss_rate", threshold=0.01)
+    Slo("rejects", objective="reject_rate", threshold=0.05)
+
+A :class:`SloMonitor` holds a set of SLOs and a bounded sliding window of
+the most recent terminal requests (outcome + latency).  It is fed by
+:meth:`observe` — the :class:`~repro.serve.service.InferenceService`
+calls it from its worker pool, so the window is lock-protected — and
+evaluated on demand with :meth:`evaluate`, which also publishes
+``slo_value`` / ``slo_ok`` gauges and records a flight event on every
+violation *transition* (ok → violated), so the flight ring shows when an
+objective first broke, not a line per request thereafter.
+
+:func:`evaluate_report` applies the same objectives to a finished
+:class:`~repro.serve.records.ServeReport`, which is how the virtual-time
+scheduler, the cluster router and the regression bench get SLO verdicts
+without running a live monitor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from ..obs.probes import record_flight
+from ..obs.registry import REGISTRY
+from .records import ServeReport
+
+#: Objectives an :class:`Slo` may target.  Latency objectives are
+#: "measured value must stay <= threshold seconds"; rate objectives are
+#: fractions of the window in [0, 1].
+OBJECTIVES = (
+    "p50_latency_s",
+    "p95_latency_s",
+    "p99_latency_s",
+    "deadline_miss_rate",
+    "reject_rate",
+)
+
+_LATENCY_PERCENTILE = {
+    "p50_latency_s": 50.0,
+    "p95_latency_s": 95.0,
+    "p99_latency_s": 99.0,
+}
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One objective: ``measured(objective) <= threshold`` over a window."""
+
+    name: str
+    objective: str
+    threshold: float
+    #: Number of most-recent terminal requests the objective is measured
+    #: over (the monitor keeps the max across its SLOs).
+    window: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {self.objective!r}; "
+                f"choose from {OBJECTIVES}"
+            )
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "threshold": self.threshold,
+            "window": self.window,
+        }
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO's verdict at evaluation time."""
+
+    slo: Slo
+    value: float
+    ok: bool
+    samples: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            **self.slo.as_dict(),
+            "value": self.value,
+            "ok": self.ok,
+            "samples": self.samples,
+        }
+
+
+def default_slos(
+    p99_latency_s: float = 30.0,
+    deadline_miss_rate: float = 0.01,
+    reject_rate: float = 0.05,
+    window: int = 1000,
+) -> tuple[Slo, ...]:
+    """The stock serving SLO set (thresholds are per-deployment knobs)."""
+    return (
+        Slo("p99-latency", "p99_latency_s", p99_latency_s, window),
+        Slo("deadline-misses", "deadline_miss_rate", deadline_miss_rate,
+            window),
+        Slo("queue-rejects", "reject_rate", reject_rate, window),
+    )
+
+
+def _percentile(ordered: list[float], p: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = (len(ordered) - 1) * p / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _measure(slo: Slo, window: list[tuple[str, float | None]]) -> tuple[float, int]:
+    """``(value, samples)`` of one objective over a terminal-request window."""
+    tail = window[-slo.window:]
+    if slo.objective in _LATENCY_PERCENTILE:
+        lats = sorted(
+            lat for outcome, lat in tail
+            if lat is not None and outcome not in ("rejected", "expired")
+        )
+        return _percentile(lats, _LATENCY_PERCENTILE[slo.objective]), len(lats)
+    if not tail:
+        return 0.0, 0
+    if slo.objective == "deadline_miss_rate":
+        bad = sum(1 for outcome, _ in tail if outcome == "expired")
+    else:  # reject_rate
+        bad = sum(1 for outcome, _ in tail if outcome == "rejected")
+    return bad / len(tail), len(tail)
+
+
+class SloMonitor:
+    """Sliding-window SLO evaluation over a live terminal-request stream."""
+
+    def __init__(self, slos: tuple[Slo, ...] | list[Slo] | None = None) -> None:
+        self.slos = tuple(slos) if slos is not None else default_slos()
+        if not self.slos:
+            raise ValueError("monitor needs at least one SLO")
+        span = max(slo.window for slo in self.slos)
+        self._window: deque[tuple[str, float | None]] = deque(maxlen=span)
+        self._lock = threading.Lock()
+        self._violated: set[str] = set()
+
+    def observe(self, outcome: str, latency_s: float | None = None) -> None:
+        """Feed one terminal request (any worker thread)."""
+        with self._lock:
+            self._window.append((outcome, latency_s))
+
+    def observe_report(self, report: ServeReport) -> None:
+        """Feed every terminal request of a finished report, in ID order."""
+        for result in report.results:
+            self.observe(result.outcome, result.latency_s)
+
+    def evaluate(self) -> list[SloStatus]:
+        """Measure every SLO; publish gauges and violation transitions."""
+        with self._lock:
+            window = list(self._window)
+        statuses = []
+        for slo in self.slos:
+            value, samples = _measure(slo, window)
+            ok = value <= slo.threshold
+            statuses.append(SloStatus(slo=slo, value=value, ok=ok,
+                                      samples=samples))
+            REGISTRY.gauge("slo_value", slo=slo.name).set(value)
+            REGISTRY.gauge("slo_ok", slo=slo.name).set(1.0 if ok else 0.0)
+            if not ok and slo.name not in self._violated:
+                record_flight(
+                    "slo_violation", slo=slo.name,
+                    objective=slo.objective, value=value,
+                    threshold=slo.threshold, samples=samples,
+                )
+            if ok:
+                self._violated.discard(slo.name)
+            else:
+                self._violated.add(slo.name)
+        return statuses
+
+    def ok(self) -> bool:
+        return all(status.ok for status in self.evaluate())
+
+
+def evaluate_report(
+    report: ServeReport, slos: tuple[Slo, ...] | list[Slo] | None = None
+) -> list[SloStatus]:
+    """Apply SLOs to a finished serving session (virtual or threaded)."""
+    monitor = SloMonitor(slos)
+    monitor.observe_report(report)
+    return monitor.evaluate()

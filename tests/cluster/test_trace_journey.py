@@ -1,0 +1,140 @@
+"""Acceptance: one request's journey is a single connected trace.
+
+A request submitted to :class:`~repro.cluster.serving.ClusterService`
+must produce one connected flame in the exported Chrome trace — queue
+wait, the batch it rode, every pipeline stage, and the response — all
+tagged with the same ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterService
+from repro.obs.flight import FLIGHT
+from repro.serve import SchedulerConfig
+from repro.serve.request import InferenceRequest
+
+
+def _tagged(events, trace_id):
+    """Events carrying ``trace_id`` directly or in a batch's id list."""
+    out = []
+    for e in events:
+        args = e.get("args", {})
+        if args.get("trace_id") == trace_id or \
+                trace_id in args.get("trace_ids", []):
+            out.append(e)
+    return out
+
+
+@pytest.fixture()
+def exported_trace(mnist_plan, tmp_path):
+    service = ClusterService(
+        mnist_plan, batch_capacity=8,
+        config=SchedulerConfig(batch_window_s=0.05),
+    )
+    request = InferenceRequest(0, arrival_s=0.0)
+    path = tmp_path / "trace.json"
+    with obs.observed():
+        obs.reset()
+        report = service.run([request])
+        obs.get_tracer().export_chrome_trace(path)
+        handoffs = FLIGHT.events("stage_handoff")
+    assert report.completed == 1
+    return request, json.loads(path.read_text()), handoffs
+
+
+def test_single_request_renders_one_connected_journey(
+    exported_trace, mnist_plan
+):
+    request, data, _ = exported_trace
+    events = _tagged(data["traceEvents"], request.trace_ref)
+    names = {e["name"] for e in events}
+    cats = {e["cat"] for e in events}
+
+    # Every leg of the journey is present and shares the trace id.
+    assert "queue_wait" in names
+    assert "response" in names
+    assert "cluster.batch" in cats
+    stages = sorted(
+        (e for e in events if e["cat"] == "cluster.stage"),
+        key=lambda e: e["ts"],
+    )
+    assert len(stages) == len(mnist_plan.stages)
+    assert [e["args"]["stage"] for e in stages] == [
+        s.index for s in mnist_plan.stages
+    ]
+    assert [e["args"]["device"] for e in stages] == [
+        s.device.name for s in mnist_plan.stages
+    ]
+
+
+def test_journey_legs_are_contiguous_in_virtual_time(
+    exported_trace, mnist_plan
+):
+    request, data, _ = exported_trace
+    events = _tagged(data["traceEvents"], request.trace_ref)
+    by_name = {e["name"]: e for e in events}
+    batch = next(e for e in events if e["cat"] == "cluster.batch")
+
+    # Queue wait ends exactly where the batch starts.
+    queue = by_name["queue_wait"]
+    assert queue["ts"] + queue["dur"] == pytest.approx(batch["ts"])
+    # Stages (and transfers) tile the batch envelope end to end.
+    legs = sorted(
+        (e for e in events
+         if e["cat"] in ("cluster.stage", "cluster.transfer")),
+        key=lambda e: e["ts"],
+    )
+    at = batch["ts"]
+    for leg in legs:
+        assert leg["ts"] == pytest.approx(at)
+        at += leg["dur"]
+    assert at == pytest.approx(batch["ts"] + batch["dur"])
+    # The response fires when the batch drains the pipeline.
+    response = by_name["response"]
+    assert response["ts"] == pytest.approx(batch["ts"] + batch["dur"])
+    assert response["args"]["latency_s"] == pytest.approx(
+        (response["ts"] - 0.0) / 1e6
+    )
+
+
+def test_journey_events_ride_the_virtual_track(exported_trace):
+    request, data, _ = exported_trace
+    events = _tagged(data["traceEvents"], request.trace_ref)
+    assert events and all(e["pid"] == 1 for e in events)
+    assert all(e["ph"] == "X" for e in events)
+    # The wall-clock cluster.serve span still lives on pid 0.
+    assert any(
+        e["name"] == "cluster.serve" and e["pid"] == 0
+        for e in data["traceEvents"]
+    )
+
+
+def test_stage_handoffs_land_in_flight_recorder(exported_trace, mnist_plan):
+    request, _, handoffs = exported_trace
+    assert len(handoffs) == len(mnist_plan.stages)
+    assert all(request.trace_ref in h["trace_ids"] for h in handoffs)
+    assert [h["stage"] for h in handoffs] == [
+        s.index for s in mnist_plan.stages
+    ]
+
+
+def test_requests_sharing_a_batch_share_the_batch_event(mnist_plan):
+    service = ClusterService(mnist_plan, batch_capacity=8)
+    requests = [InferenceRequest(i, arrival_s=0.0) for i in range(8)]
+    with obs.observed():
+        obs.reset()
+        service.run(requests)
+        events = obs.get_tracer().events()
+    batch_events = [e for e in events if e["cat"] == "cluster.batch"]
+    assert len(batch_events) == 1
+    ids = batch_events[0]["args"]["trace_ids"]
+    assert ids == [r.trace_ref for r in requests]
+    # And each request still has its own queue_wait/response rows.
+    for r in requests:
+        mine = _tagged(events, r.trace_ref)
+        assert {"queue_wait", "response"} <= {e["name"] for e in mine}

@@ -1,0 +1,132 @@
+"""OpenMetrics exporter: golden rendering, validator, snapshotter."""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import (
+    Snapshotter,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).with_name("golden_openmetrics.txt")
+
+
+def _golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", outcome="ok").inc(3)
+    reg.counter("cache_events", cache="design", event="hit").inc(2)
+    reg.gauge("queue_depth").set(4)
+    h = reg.histogram("latency_seconds", mode="batched")
+    for v in (0.1, 0.2, 0.3, 0.4):
+        h.observe(v)
+    return reg
+
+
+def test_rendering_matches_golden_file():
+    assert render_openmetrics(_golden_registry()) == GOLDEN.read_text()
+
+
+def test_golden_file_is_valid_openmetrics():
+    validate_openmetrics(GOLDEN.read_text())
+
+
+def test_empty_registry_renders_bare_eof():
+    text = render_openmetrics(MetricsRegistry())
+    assert text == "# EOF\n"
+    validate_openmetrics(text)
+
+
+def test_counter_total_suffix_is_added_exactly_once():
+    text = render_openmetrics(_golden_registry())
+    # "requests_total" registry name -> family "requests", sample
+    # "requests_total"; plain "cache_events" gains the suffix.
+    assert "# TYPE requests counter" in text
+    assert 'requests_total{outcome="ok"} 3' in text
+    assert "requests_total_total" not in text
+    assert 'cache_events_total{cache="design",event="hit"} 2' in text
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("ops", detail='quo"te\nline').inc()
+    text = render_openmetrics(reg)
+    assert r'detail="quo\"te\nline"' in text
+    validate_openmetrics(text)
+
+
+def test_metric_names_are_sanitized():
+    reg = MetricsRegistry()
+    reg.counter("9bad name-here").inc()
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    assert "_9bad_name_here_total 1" in text
+
+
+@pytest.mark.parametrize("bad", [
+    "",                                           # no EOF
+    "# TYPE x counter\nx_total 1\n",              # no EOF
+    "# TYPE x counter\nx 1\n# EOF\n",             # counter without _total
+    "# TYPE x gauge\ny 1\n# EOF\n",               # sample outside family
+    "# TYPE x gauge\n# TYPE x gauge\n# EOF\n",    # duplicate family
+    "x 1\n# EOF\n",                               # sample before TYPE
+    "# TYPE x gauge\nx oops\n# EOF\n",            # non-numeric value
+])
+def test_validator_rejects_malformed_expositions(bad):
+    with pytest.raises(ValueError):
+        validate_openmetrics(bad)
+
+
+def test_snapshotter_writes_atomically_on_demand(tmp_path):
+    reg = _golden_registry()
+    snap = Snapshotter(tmp_path / "metrics.txt", registry=reg)
+    path = snap.write_snapshot()
+    assert path.read_text() == render_openmetrics(reg)
+    assert snap.snapshots_written == 1
+    assert not (tmp_path / "metrics.txt.tmp").exists()
+
+
+def test_snapshotter_periodic_cadence(tmp_path):
+    reg = _golden_registry()
+    with Snapshotter(tmp_path / "metrics.txt", interval_s=0.01,
+                     registry=reg) as snap:
+        deadline = time.monotonic() + 2.0
+        while snap.snapshots_written < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+    # stop() publishes one final snapshot on top of the periodic ones.
+    assert snap.snapshots_written >= 3
+    validate_openmetrics((tmp_path / "metrics.txt").read_text())
+
+
+def test_snapshotter_rejects_bad_interval(tmp_path):
+    with pytest.raises(ValueError):
+        Snapshotter(tmp_path / "m.txt", interval_s=0.0)
+
+
+def test_snapshotter_double_start_rejected(tmp_path):
+    snap = Snapshotter(tmp_path / "m.txt", interval_s=10.0)
+    snap.start()
+    try:
+        with pytest.raises(RuntimeError):
+            snap.start()
+    finally:
+        snap.stop(final_snapshot=False)
+
+
+def test_saturated_histogram_still_renders_valid_summary():
+    reg = MetricsRegistry()
+    from repro.obs.registry import Histogram
+
+    h = Histogram("lat", (), reservoir=8)
+    reg._metrics[("histogram", "lat", ())] = h
+    for i in range(100):
+        h.observe(float(i))
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    assert "lat_count 100" in text
+    assert "lat_sum 4950.0" in text

@@ -1,0 +1,120 @@
+"""Flight recorder: ring bounds, sequence numbers, dumps, error hook."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FLIGHT, FlightRecorder, dump_on_error
+
+
+def test_record_stamps_seq_and_timestamp():
+    r = FlightRecorder(capacity=8)
+    event = r.record("admit", request_id=3, queue="serve")
+    assert event["seq"] == 1
+    assert event["kind"] == "admit"
+    assert event["request_id"] == 3
+    assert event["ts_s"] >= 0.0
+
+
+def test_ring_is_bounded_and_seq_gaps_reveal_overwrite():
+    r = FlightRecorder(capacity=4)
+    for i in range(10):
+        r.record("tick", i=i)
+    assert len(r) == 4
+    assert r.total_recorded == 10
+    seqs = [e["seq"] for e in r.events()]
+    assert seqs == [7, 8, 9, 10]  # oldest six overwritten
+
+
+def test_events_filter_by_kind():
+    r = FlightRecorder()
+    r.record("admit", request_id=0)
+    r.record("dispatch", lanes=2)
+    r.record("admit", request_id=1)
+    assert [e["request_id"] for e in r.events("admit")] == [0, 1]
+    assert len(r.events()) == 3
+
+
+def test_clear_keeps_sequence_rising():
+    r = FlightRecorder()
+    r.record("a")
+    r.record("b")
+    r.clear()
+    assert len(r) == 0
+    assert r.record("c")["seq"] == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_dump_jsonl_round_trips(tmp_path):
+    r = FlightRecorder()
+    r.record("admit", request_id=0, trace_id="t-000001")
+    r.record("dispatch", lanes=4, mode="batched")
+    path = tmp_path / "flight.jsonl"
+    assert r.dump_jsonl(path) == 2
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["kind"] for e in lines] == ["admit", "dispatch"]
+    assert lines[0]["trace_id"] == "t-000001"
+
+
+def test_dump_on_error_writes_window_and_reraises(tmp_path):
+    r = FlightRecorder()
+    r.record("admit", request_id=7)
+    path = tmp_path / "crash.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        with dump_on_error(path, recorder=r):
+            raise RuntimeError("boom")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["kind"] == "admit"
+    assert lines[-1]["kind"] == "dump_on_error"
+
+
+def test_dump_on_error_is_transparent_on_success(tmp_path):
+    path = tmp_path / "never.jsonl"
+    with dump_on_error(path, recorder=FlightRecorder()) as r:
+        r.record("fine")
+    assert not path.exists()
+
+
+def test_record_flight_probe_is_gated_on_master_switch():
+    from repro.obs.probes import record_flight
+
+    record_flight("admit", request_id=0)
+    assert len(FLIGHT) == 0  # switch is off (autouse fixture)
+    with obs.observed():
+        record_flight("admit", request_id=1)
+        assert [e["request_id"] for e in FLIGHT.events("admit")] == [1]
+
+
+def test_obs_reset_clears_the_global_ring():
+    with obs.observed():
+        from repro.obs.probes import record_flight
+
+        record_flight("admit", request_id=0)
+        assert len(FLIGHT) == 1
+        obs.reset()
+        assert len(FLIGHT) == 0
+
+
+def test_concurrent_records_keep_every_sequence_number():
+    r = FlightRecorder(capacity=100_000)
+    threads = [
+        threading.Thread(
+            target=lambda: [r.record("tick") for _ in range(2000)]
+        )
+        for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert r.total_recorded == 16_000
+    seqs = [e["seq"] for e in r.events()]
+    assert sorted(seqs) == list(range(1, 16_001))

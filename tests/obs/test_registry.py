@@ -120,3 +120,121 @@ def test_concurrent_get_or_create_returns_one_instrument():
     for t in threads:
         t.join()
     assert all(c is results[0] for c in results)
+
+
+def _hammer(fn, threads=8, iterations=10_000):
+    barrier = threading.Barrier(threads)
+
+    def worker():
+        barrier.wait()
+        for _ in range(iterations):
+            fn()
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+
+
+def test_counter_inc_is_exact_under_contention():
+    """``value += 1`` is a read-modify-write; the per-instrument lock
+    must make concurrent increments lose nothing."""
+    reg = MetricsRegistry()
+    c = reg.counter("hammered")
+    _hammer(c.inc)
+    assert c.value == 80_000
+
+
+def test_gauge_add_is_exact_under_contention():
+    reg = MetricsRegistry()
+    g = reg.gauge("hammered")
+    _hammer(lambda: g.add(1.0))
+    assert g.value == 80_000.0
+
+
+def test_histogram_observe_is_exact_under_contention():
+    reg = MetricsRegistry()
+    h = reg.histogram("hammered")
+    _hammer(lambda: h.observe(1.0), threads=4, iterations=5_000)
+    assert h.count == 20_000
+    assert h.total == 20_000.0
+
+
+# -- bounded (reservoir) histograms -----------------------------------------
+
+
+def test_histogram_exact_below_reservoir_cap():
+    from repro.obs.registry import Histogram
+
+    h = Histogram("lat", (), reservoir=100)
+    for i in range(100):
+        h.observe(float(i))
+    assert not h.saturated
+    assert h.values == [float(i) for i in range(100)]
+    assert h.percentile(50) == pytest.approx(np.percentile(range(100), 50))
+    assert "sampled" not in h.summary()
+
+
+def test_histogram_memory_bounded_above_cap():
+    from repro.obs.registry import Histogram
+
+    h = Histogram("lat", (), reservoir=64)
+    for i in range(10_000):
+        h.observe(float(i))
+    assert len(h.values) == 64
+    assert h.saturated
+    assert h.count == 10_000            # exact despite sampling
+    assert h.total == pytest.approx(sum(range(10_000)))
+    assert h.summary()["sampled"] is True
+    assert h.summary()["mean"] == pytest.approx(4999.5)
+
+
+def test_reservoir_percentiles_estimate_the_stream():
+    from repro.obs.registry import Histogram
+
+    h = Histogram("lat", (), reservoir=512)
+    for i in range(20_000):
+        h.observe(float(i))
+    assert 0.0 <= h.percentile(0) <= h.percentile(50) <= h.percentile(100)
+    # A 512-sample uniform reservoir pins the median loosely but surely.
+    assert h.percentile(50) == pytest.approx(10_000, rel=0.25)
+
+
+def test_reservoir_replacement_is_deterministic():
+    from repro.obs.registry import Histogram
+
+    def fill():
+        h = Histogram("lat", (("op", "x"),), reservoir=32)
+        for i in range(5_000):
+            h.observe(float(i))
+        return h.values
+
+    assert fill() == fill()
+
+
+def test_reservoir_reset_restores_exactness_and_seed():
+    from repro.obs.registry import Histogram
+
+    h = Histogram("lat", (), reservoir=16)
+    for i in range(1_000):
+        h.observe(float(i))
+    first = list(h.values)
+    h.reset()
+    assert h.count == 0 and h.values == [] and not h.saturated
+    h.observe(3.0)
+    assert h.percentile(50) == 3.0      # exact again below the cap
+    for i in range(999):
+        h.observe(float(i))
+    # Same stream after reset -> same reservoir (RNG reseeded).
+    h.reset()
+    for i in range(1_000):
+        h.observe(float(i))
+    assert h.values == first
+
+
+def test_reservoir_validation():
+    from repro.obs.registry import Histogram
+
+    with pytest.raises(ValueError):
+        Histogram("lat", (), reservoir=0)

@@ -1,0 +1,126 @@
+"""Trace-ID context and tracer behavior under concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.obs import tracectx
+from repro.obs.tracing import TRACER, trace_span
+
+
+def test_new_trace_ids_are_unique_across_threads():
+    ids: list[str] = []
+    lock = threading.Lock()
+
+    def mint():
+        mine = [tracectx.new_trace_id() for _ in range(200)]
+        with lock:
+            ids.extend(mine)
+
+    threads = [threading.Thread(target=mint) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(ids) == len(set(ids)) == 800
+
+
+def test_trace_context_nests_and_restores():
+    assert tracectx.current_trace_id() is None
+    with tracectx.trace_context("t-outer"):
+        assert tracectx.current_trace_id() == "t-outer"
+        with tracectx.trace_context("t-inner"):
+            assert tracectx.current_trace_id() == "t-inner"
+        assert tracectx.current_trace_id() == "t-outer"
+    assert tracectx.current_trace_id() is None
+
+
+def test_trace_context_none_is_a_no_op():
+    with tracectx.trace_context(None):
+        assert tracectx.current_trace_id() is None
+
+
+def test_trace_context_is_thread_local():
+    seen: list[str | None] = []
+
+    def worker():
+        seen.append(tracectx.current_trace_id())
+
+    with tracectx.trace_context("t-main"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen == [None]
+
+
+def test_context_trace_id_lands_on_span_args():
+    with obs.observed():
+        with tracectx.trace_context("t-tagged"):
+            with trace_span("op", category="he_op"):
+                pass
+        with trace_span("untagged", category="he_op"):
+            pass
+    events = {e["name"]: e for e in TRACER.events()}
+    assert events["op"]["args"]["trace_id"] == "t-tagged"
+    assert "args" not in events["untagged"]
+
+
+def test_explicit_span_trace_id_wins_over_context():
+    with obs.observed():
+        with tracectx.trace_context("t-context"):
+            with trace_span("op", category="he_op", trace_id="t-explicit"):
+                pass
+    (event,) = TRACER.events()
+    assert event["args"]["trace_id"] == "t-explicit"
+
+
+def test_spans_on_worker_threads_get_distinct_tids_shared_epoch():
+    barrier = threading.Barrier(4)
+
+    def worker(n: int):
+        barrier.wait()
+        with trace_span(f"w{n}", category="worker"):
+            pass
+
+    with obs.observed():
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    events = TRACER.events()
+    assert len(events) == 4
+    assert len({e["tid"] for e in events}) == 4
+    # One shared epoch: every ts is a small nonnegative offset from the
+    # tracer's origin, not an absolute perf_counter reading.
+    assert all(0.0 <= e["ts"] < 60e6 for e in events)
+    assert all(e["pid"] == 0 for e in events)
+
+
+def test_reset_racing_active_spans_does_not_corrupt_events():
+    stop = threading.Event()
+
+    def churn():
+        while not stop.is_set():
+            with trace_span("churn", category="race"):
+                with trace_span("inner", category="race"):
+                    pass
+
+    with obs.observed():
+        workers = [threading.Thread(target=churn) for _ in range(3)]
+        for t in workers:
+            t.start()
+        for _ in range(50):
+            obs.reset()
+        stop.set()
+        for t in workers:
+            t.join()
+    # Whatever survived the resets is a well-formed event list: complete
+    # events with the required Chrome-trace keys and sane durations.
+    for event in TRACER.events():
+        assert event["ph"] == "X"
+        assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+        assert event["dur"] >= 0.0

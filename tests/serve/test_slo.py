@@ -1,0 +1,152 @@
+"""SLO declarations, sliding-window measurement, violation transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FLIGHT
+from repro.serve import (
+    Slo,
+    SloMonitor,
+    default_slos,
+    evaluate_report,
+)
+from repro.serve.records import RequestResult, ServeReport
+
+
+def _report(latencies, rejected=0, expired=0) -> ServeReport:
+    results = []
+    for i, lat in enumerate(latencies):
+        results.append(RequestResult(
+            request_id=i, outcome="batched", arrival_s=0.0,
+            start_s=0.0, finish_s=lat, batch_id=0,
+        ))
+    n = len(results)
+    for j in range(rejected):
+        results.append(RequestResult(
+            request_id=n + j, outcome="rejected", arrival_s=0.0,
+        ))
+    for j in range(expired):
+        results.append(RequestResult(
+            request_id=n + rejected + j, outcome="expired", arrival_s=0.0,
+        ))
+    return ServeReport(results=tuple(results), batches=(), config={})
+
+
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        Slo("x", objective="p42_latency_s", threshold=1.0)
+    with pytest.raises(ValueError):
+        Slo("x", objective="p99_latency_s", threshold=-1.0)
+    with pytest.raises(ValueError):
+        Slo("x", objective="p99_latency_s", threshold=1.0, window=0)
+    with pytest.raises(ValueError):
+        SloMonitor(())
+
+
+def test_default_slos_cover_the_three_objectives():
+    slos = default_slos()
+    assert {s.objective for s in slos} == {
+        "p99_latency_s", "deadline_miss_rate", "reject_rate"
+    }
+
+
+def test_latency_objective_ignores_rejects_and_expiries():
+    monitor = SloMonitor((Slo("p50", "p50_latency_s", 2.0),))
+    for _ in range(10):
+        monitor.observe("batched", 1.0)
+    monitor.observe("rejected")
+    monitor.observe("expired")
+    (status,) = monitor.evaluate()
+    assert status.value == pytest.approx(1.0)
+    assert status.samples == 10
+    assert status.ok
+
+
+def test_rate_objectives_count_all_terminal_requests():
+    monitor = SloMonitor((
+        Slo("miss", "deadline_miss_rate", 0.3),
+        Slo("rej", "reject_rate", 0.1),
+    ))
+    for _ in range(6):
+        monitor.observe("batched", 0.5)
+    for _ in range(2):
+        monitor.observe("expired")
+    for _ in range(2):
+        monitor.observe("rejected")
+    miss, rej = monitor.evaluate()
+    assert miss.value == pytest.approx(0.2)
+    assert miss.ok
+    assert rej.value == pytest.approx(0.2)
+    assert not rej.ok
+    assert not monitor.ok()
+
+
+def test_window_slides_old_outcomes_out():
+    monitor = SloMonitor((Slo("rej", "reject_rate", 0.5, window=4),))
+    for _ in range(4):
+        monitor.observe("rejected")
+    assert not monitor.ok()
+    for _ in range(4):
+        monitor.observe("batched", 0.1)
+    (status,) = monitor.evaluate()
+    assert status.value == 0.0
+    assert status.ok
+
+
+def test_evaluate_publishes_gauges():
+    monitor = SloMonitor((Slo("p99-latency", "p99_latency_s", 2.0),))
+    monitor.observe("batched", 1.5)
+    monitor.evaluate()
+    reg = obs.get_registry()
+    assert reg.gauge("slo_value", slo="p99-latency").value == \
+        pytest.approx(1.5)
+    assert reg.gauge("slo_ok", slo="p99-latency").value == 1.0
+
+
+def test_violation_transition_records_one_flight_event():
+    monitor = SloMonitor((Slo("p99-latency", "p99_latency_s", 1.0),))
+    with obs.observed():
+        monitor.observe("batched", 5.0)
+        monitor.evaluate()
+        monitor.evaluate()  # still violated: no second event
+        violations = FLIGHT.events("slo_violation")
+        assert len(violations) == 1
+        assert violations[0]["slo"] == "p99-latency"
+        # Recovery then re-violation produces a fresh transition event.
+        for _ in range(1000):
+            monitor.observe("batched", 0.1)
+        monitor.evaluate()
+        monitor.observe("batched", 50.0)
+        for _ in range(99):
+            monitor.observe("batched", 50.0)
+        monitor.evaluate()
+        assert len(FLIGHT.events("slo_violation")) == 2
+
+
+def test_evaluate_report_applies_slos_to_finished_session():
+    report = _report([0.5] * 95 + [3.0] * 5, rejected=10)
+    statuses = evaluate_report(report, (
+        Slo("p99", "p99_latency_s", 1.0),
+        Slo("rej", "reject_rate", 0.05),
+    ))
+    by_name = {s.slo.name: s for s in statuses}
+    assert not by_name["p99"].ok          # p99 lands in the 3.0s tail
+    assert by_name["rej"].value == pytest.approx(10 / 110)
+    assert not by_name["rej"].ok
+
+
+def test_evaluate_report_with_default_slos_passes_clean_session():
+    report = _report([0.5] * 50)
+    assert all(s.ok for s in evaluate_report(report))
+
+
+def test_status_as_dict_round_trips_the_slo():
+    slo = Slo("p99", "p99_latency_s", 2.0, window=64)
+    monitor = SloMonitor((slo,))
+    monitor.observe("batched", 1.0)
+    (status,) = monitor.evaluate()
+    d = status.as_dict()
+    assert d["name"] == "p99" and d["window"] == 64
+    assert d["ok"] is True and d["samples"] == 1

@@ -1,0 +1,82 @@
+"""The benchmark regression gate (``benchmarks/check_regression.py``)."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "benchmarks" / "check_regression.py"
+OUTPUT = REPO / "benchmarks" / "output"
+
+
+def _run(*extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *extra],
+        capture_output=True, text=True, cwd=REPO,
+    )
+
+
+def test_committed_baselines_pass_clean():
+    proc = _run()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 regressed" in proc.stdout
+
+
+def test_synthetic_20pct_latency_regression_fails(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_serve.json").read_text())
+    for row in record["curve"]:
+        row["latency_p99_s"] *= 1.2
+    (fresh / "BENCH_serve.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_serve", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "FAIL" in proc.stdout
+    assert "latency_p99_s" in proc.stdout
+
+
+def test_improvement_and_small_noise_pass(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_serve.json").read_text())
+    record["amortized_speedup"] *= 1.5          # improvement
+    for row in record["curve"]:
+        row["latency_p99_s"] *= 1.05            # within 15% tolerance
+    (fresh / "BENCH_serve.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_serve", "--fresh-dir", str(fresh))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_broken_invariant_fails(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_cluster.json").read_text())
+    record["warm_rerun"]["flat"] = False
+    (fresh / "BENCH_cluster.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_cluster", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1
+    assert "invariant BROKEN" in proc.stdout
+
+
+def test_missing_fresh_record_is_a_hard_error(tmp_path):
+    proc = _run("--fresh-dir", str(tmp_path / "nowhere"))
+    assert proc.returncode == 2
+    assert "error:" in proc.stderr
+
+
+def test_json_report_lists_every_gated_metric(tmp_path):
+    report_path = tmp_path / "report.json"
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    shutil.copy(OUTPUT / "BENCH_fhe.json", fresh / "BENCH_fhe.json")
+    proc = _run("--only", "BENCH_fhe", "--fresh-dir", str(fresh),
+                "--json", str(report_path))
+    assert proc.returncode == 0
+    report = json.loads(report_path.read_text())
+    assert report["failures"] == 0
+    metrics = {row["metric"] for row in report["rows"]}
+    assert "speedup" in metrics and "fastpath.seconds" in metrics

@@ -79,6 +79,28 @@ def test_profile_tiny(tmp_path, capsys):
     assert {"network", "layer", "he_op"} <= {e["cat"] for e in events}
 
 
+def test_profile_json_format(capsys):
+    assert main(["profile", "--network", "tiny", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["network"] == "Tiny-MNIST"
+    assert payload["wall_s"] > 0
+    assert payload["max_ckks_error"] < 1.0
+    layer = payload["layers"][0]
+    assert {"name", "kind", "wall_ms", "he_ops", "level_out",
+            "noise_bits"} <= set(layer)
+    op = payload["ops"][0]
+    assert {"op", "count", "total_ms", "p50_ms", "p95_ms"} <= set(op)
+
+
+def test_profile_unwritable_trace_out_exits_nonzero(tmp_path, capsys):
+    missing = tmp_path / "no-such-dir" / "trace.json"
+    rc = main([
+        "profile", "--network", "tiny", "--trace-out", str(missing),
+    ])
+    assert rc == 1
+    assert "cannot write Chrome trace" in capsys.readouterr().err
+
+
 def test_unknown_device_exits_nonzero():
     with pytest.raises(SystemExit) as excinfo:
         main(["generate", "--device", "bogus"])
@@ -124,6 +146,52 @@ def test_serve(capsys):
     assert "completed: 200" in out
     assert "throughput:" in out and "img/s" in out
     assert "vs single-request LoLa" in out
+
+
+def test_serve_prints_slo_verdicts(capsys):
+    assert main([
+        "serve", "--requests", "100", "--rate", "2000", "--window", "0.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SLO p99-latency" in out
+    assert "SLO queue-rejects" in out
+
+
+def test_serve_slo_strict_fails_on_violation(capsys):
+    rc = main([
+        "serve", "--requests", "100", "--rate", "2000", "--window", "0.1",
+        "--slo-p99", "0.001", "--slo-strict",
+    ])
+    assert rc == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_serve_artifact_outputs(tmp_path, capsys):
+    from repro.obs import validate_openmetrics
+
+    trace_path = tmp_path / "serve_trace.json"
+    metrics_path = tmp_path / "serve_metrics.txt"
+    assert main([
+        "serve", "--requests", "100", "--rate", "2000", "--window", "0.1",
+        "--trace-out", str(trace_path),
+        "--openmetrics-out", str(metrics_path),
+    ]) == 0
+    trace = json.loads(trace_path.read_text())
+    # Virtual request/batch journeys ride pid 1 next to wall spans.
+    assert any(e["pid"] == 1 for e in trace["traceEvents"])
+    assert any(e["name"] == "queue_wait" for e in trace["traceEvents"])
+    text = metrics_path.read_text()
+    validate_openmetrics(text)
+    assert "slo_ok" in text
+
+
+def test_serve_unwritable_trace_out_exits_nonzero(tmp_path, capsys):
+    rc = main([
+        "serve", "--requests", "50",
+        "--trace-out", str(tmp_path / "missing-dir" / "t.json"),
+    ])
+    assert rc == 1
+    assert "cannot write Chrome trace" in capsys.readouterr().err
 
 
 def test_bench_throughput_json(tmp_path, capsys):
