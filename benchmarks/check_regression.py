@@ -13,7 +13,9 @@ dotted path into the JSON record, whether higher or lower is better, and
 a relative tolerance.  Virtual-time metrics (serve, cluster) are
 deterministic and get the default 15% gate; wall-clock FHE metrics jitter
 with the runner and get a lenient 40% gate — they exist to catch "the
-fast path stopped being fast", not 5% noise.
+fast path stopped being fast", not 5% noise.  Boolean `_INVARIANTS`
+must stay true, and `_PINNED` fields (e.g. which kernel backend a
+wall-clock record was produced under) must match the baseline exactly.
 
 Usage::
 
@@ -47,6 +49,10 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
         ("op_latency_ms.Rotate.p95_ms", "lower", WALLCLOCK_TOLERANCE),
         ("op_latency_ms.Rescale.p95_ms", "lower", WALLCLOCK_TOLERANCE),
     ),
+    "BENCH_fhe_kernels": (
+        ("backends.montgomery.speedup_vs_reference", "higher",
+         WALLCLOCK_TOLERANCE),
+    ),
     "BENCH_serve": (
         ("amortized_speedup", "higher", DEFAULT_TOLERANCE),
         ("baseline.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
@@ -66,6 +72,16 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
 _INVARIANTS: dict[str, tuple[str, ...]] = {
     "BENCH_serve": ("warm_rerun.dse_skipped",),
     "BENCH_cluster": ("all_dp_beat_equal", "warm_rerun.flat"),
+    "BENCH_fhe_kernels": ("default_beats_reference",),
+}
+
+#: Non-numeric fields that must match the baseline exactly — e.g. the
+#: kernel backend a wall-clock record was produced under.  A fresh
+#: BENCH_fhe generated with a different backend than the committed
+#: baseline is an apples-to-oranges comparison; fail it loudly.
+_PINNED: dict[str, tuple[str, ...]] = {
+    "BENCH_fhe": ("fastpath.kernel_backend",),
+    "BENCH_fhe_kernels": ("default_backend",),
 }
 
 
@@ -141,6 +157,20 @@ def compare_records(
             "tolerance": 0.0,
             "ok": bool(value),
         })
+    for path in _PINNED.get(stem, ()):
+        ((concrete, base_value),) = _resolve(baseline, path)
+        ((_, fresh_value),) = _resolve(fresh, path)
+        ok = fresh_value == base_value
+        rows.append({
+            "benchmark": stem,
+            "metric": concrete,
+            "direction": "pinned",
+            "baseline": base_value,
+            "fresh": fresh_value,
+            "regression": 0.0 if ok else float("inf"),
+            "tolerance": 0.0,
+            "ok": ok,
+        })
     return rows
 
 
@@ -194,6 +224,12 @@ def main(argv: list[str] | None = None) -> int:
         name = f"{row['benchmark']}:{row['metric']}"
         if row["direction"] == "invariant":
             detail = f"invariant {'holds' if row['ok'] else 'BROKEN'}"
+        elif row["direction"] == "pinned":
+            detail = (
+                f"pinned to {row['baseline']!r}"
+                if row["ok"]
+                else f"pinned {row['baseline']!r} != {row['fresh']!r}"
+            )
         else:
             detail = (
                 f"{row['baseline']:.6g} -> {row['fresh']:.6g} "

@@ -53,6 +53,23 @@ def _device(name: str):
         raise SystemExit(str(exc)) from None
 
 
+def _select_kernel_backend(name: str | None) -> None:
+    """Activate ``--kernel-backend`` before any FHE work happens.
+
+    Layered on top of the ``REPRO_KERNEL_BACKEND`` environment variable
+    (the explicit CLI selection wins); an unknown name exits with the
+    available catalog instead of a traceback.
+    """
+    if not name:
+        return
+    from .fhe import kernels
+
+    try:
+        kernels.set_backend(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+
+
 def cmd_devices(_args: argparse.Namespace) -> int:
     rows = [
         (d.name, d.dsp_slices, d.bram_blocks, d.uram_blocks, d.tdp_watts,
@@ -138,6 +155,7 @@ def cmd_infer(args: argparse.Namespace) -> int:
     from .fhe import CkksContext, CkksParameters
     from .hecnn import synthetic_mnist_image
 
+    _select_kernel_backend(args.kernel_backend)
     if args.network == "tiny":
         from .fhe import tiny_test_params
 
@@ -200,10 +218,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
     from . import obs
-    from .fhe import CkksContext, CkksParameters
+    from .fhe import CkksContext, CkksParameters, kernels
     from .fhe.ops import OperationRecorder
     from .hecnn import synthetic_mnist_image
 
+    _select_kernel_backend(args.kernel_backend)
+    backend_name = kernels.active_backend().name
     if args.network == "tiny":
         from .fhe import tiny_test_params
 
@@ -262,6 +282,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         payload = {
             "network": model.name,
             "poly_degree": params.poly_degree,
+            "kernel_backend": backend_name,
             "wall_s": wall,
             "max_ckks_error": err,
             "layers": layer_rows,
@@ -275,7 +296,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
               r["level_out"], f"{r['noise_bits']:.1f}")
              for r in layer_rows],
             title=f"{model.name} encrypted inference profile "
-                  f"(N={params.poly_degree}, wall {wall:.2f} s)",
+                  f"(N={params.poly_degree}, kernels={backend_name}, "
+                  f"wall {wall:.2f} s)",
         ))
         print()
         print(format_table(
@@ -301,6 +323,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Simulate a slot-batched serving session and print the outcome."""
+    _select_kernel_backend(args.kernel_backend)
     from . import obs
     from .serve import (
         SchedulerConfig,
@@ -641,6 +664,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_inf.add_argument("--fast", action="store_true",
                        help="mnist only: reduced N=2048 parameters")
     p_inf.add_argument("--seed", type=int, default=4)
+    p_inf.add_argument("--kernel-backend", metavar="NAME",
+                       help="FHE kernel backend (reference, numpy-lazy, "
+                            "montgomery, parallel, ...); overrides "
+                            "REPRO_KERNEL_BACKEND")
 
     p_prof = sub.add_parser(
         "profile",
@@ -655,6 +682,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "object with the same per-layer/per-op data")
     p_prof.add_argument("--trace-out",
                         help="write Chrome-trace JSON to this file")
+    p_prof.add_argument("--kernel-backend", metavar="NAME",
+                        help="FHE kernel backend (reference, numpy-lazy, "
+                             "montgomery, parallel, ...); overrides "
+                             "REPRO_KERNEL_BACKEND; reported in the "
+                             "profile output")
 
     p_serve = sub.add_parser(
         "serve", help="simulate a slot-batched serving session"
@@ -681,6 +713,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--openmetrics-out",
                          help="write an OpenMetrics metrics snapshot of "
                               "the session to this file")
+    p_serve.add_argument("--kernel-backend", metavar="NAME",
+                         help="FHE kernel backend for any real CKKS work "
+                              "in this process (the virtual-time sim is "
+                              "unaffected); overrides REPRO_KERNEL_BACKEND")
 
     p_bt = sub.add_parser(
         "bench-throughput",

@@ -5,13 +5,19 @@ A from-scratch implementation of the CKKS scheme in its RNS variant
 workloads on encrypted data: modular kernels, negacyclic NTT, RNS
 polynomials, canonical-embedding batching, key generation and all seven HE
 operations (PCadd, PCmult, CCadd, CCmult, Rescale, Relinearize, Rotate).
+
+Low-level ring kernels (batched NTT, Galois, modular arithmetic) dispatch
+through the pluggable backend registry in :mod:`repro.fhe.kernels` —
+select with ``REPRO_KERNEL_BACKEND`` or ``kernels.set_backend``; see
+``docs/kernels.md``.
 """
 
-from . import fastpath
+from . import fastpath, kernels
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .encoder import CkksEncoder
 from .fastpath import FastPathConfig
+from .kernels import KernelBackend
 from .keys import GaloisKeys, KeyGenerator, KeySwitchKey, PublicKey, SecretKey
 from .modmath import (
     BarrettConstant,
@@ -82,6 +88,7 @@ __all__ = [
     "Evaluator",
     "FastPathConfig",
     "GaloisKeys",
+    "KernelBackend",
     "KeyGenerator",
     "KeySwitchKey",
     "NoiseBound",
@@ -113,6 +120,7 @@ __all__ = [
     "clear_caches",
     "fastpath",
     "get_batched_ntt_context",
+    "kernels",
     "registry_info",
     "depth_capacity",
     "measured_noise_bits",

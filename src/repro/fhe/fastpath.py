@@ -16,9 +16,22 @@ fast paths introduced for performance:
   .CkksContext`) instead of once per window per inference.
 * ``vectorized_keyswitch`` — lift all decomposition digits into the
   extended basis and transform them in a single batched NTT call.
+* ``hoisted_rotations`` — execute rotate-and-sum folds as Halevi-Shoup
+  hoisted groups: one digit decomposition / lift / forward NTT / rescale
+  shared by all subset-sum rotations of a group
+  (:meth:`repro.fhe.ops.Evaluator.rotate_fold`).
 
-Every fast path is bit-identical to its reference path (property-tested in
-``tests/fhe/test_fastpath.py``); toggling changes performance only.
+Every *kernel* fast path is bit-identical to its reference path
+(property-tested in ``tests/fhe/test_fastpath.py``); toggling changes
+performance only.  ``hoisted_rotations`` is the one algorithm-level fast
+path: it shares a single rescale across a rotation group, so its rounding
+differs from the sequential walk — outputs are numerically equivalent
+(within the CKKS noise budget; regression-tested end to end) but not
+bit-identical to the sequential fold.
+
+The kernel fast paths execute through whichever compute backend
+``repro.fhe.kernels`` has active — these flags choose the *algorithmic*
+path, the kernel registry chooses the *implementation* underneath it.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ class FastPathConfig:
     ntt_galois: bool = True
     plaintext_cache: bool = True
     vectorized_keyswitch: bool = True
+    hoisted_rotations: bool = True
 
     @classmethod
     def all_disabled(cls) -> "FastPathConfig":

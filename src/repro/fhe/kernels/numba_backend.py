@@ -1,0 +1,144 @@
+"""Optional numba-compiled kernel backend.
+
+Registered only when :mod:`numba` is importable — the dependency is *not*
+vendored or required; environments without it simply never see the
+``numba`` backend in :func:`repro.fhe.kernels.available_backends`.
+
+The compiled kernels are a scalar-loop port of the exact Harvey-lazy /
+Shoup arithmetic used by :class:`~repro.fhe.ntt.BatchedNttContext` (same
+tables, same reduction schedule), so outputs are bit-identical to the
+reference by construction.  All arithmetic stays in uint64 — numba follows
+numpy promotion rules, and mixing signed values into the butterflies would
+silently promote to float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ntt import count_transform
+from .base import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - broken installs count as absent
+    _numba = None
+
+
+def is_available() -> bool:
+    """True when the numba JIT is importable in this environment."""
+    return _numba is not None
+
+
+_U64 = np.uint64
+
+if _numba is not None:  # pragma: no cover - compiled path needs numba
+
+    @_numba.njit(cache=False)
+    def _fwd_kernel(flat, psi_bitrev, psi_shoup, qs):
+        rows, level, n = flat.shape
+        sh = _U64(32)
+        for r in range(rows):
+            for i in range(level):
+                q = qs[i]
+                two_q = q + q
+                a = flat[r, i]
+                t = n
+                m = 1
+                while m < n:
+                    t //= 2
+                    for b in range(m):
+                        w = psi_bitrev[i, m + b]
+                        ws = psi_shoup[i, m + b]
+                        base = b * 2 * t
+                        for j in range(base, base + t):
+                            u = a[j]
+                            v = a[j + t]
+                            hi = (v * ws) >> sh
+                            tv = v * w - hi * q
+                            if u >= two_q:
+                                u -= two_q
+                            a[j] = u + tv
+                            a[j + t] = u - tv + two_q
+                    m *= 2
+                for j in range(n):
+                    x = a[j]
+                    if x >= two_q:
+                        x -= two_q
+                    if x >= q:
+                        x -= q
+                    a[j] = x
+
+    @_numba.njit(cache=False)
+    def _inv_kernel(flat, psi_inv_bitrev, psi_inv_shoup, qs, n_inv, n_inv_shoup):
+        rows, level, n = flat.shape
+        sh = _U64(32)
+        for r in range(rows):
+            for i in range(level):
+                q = qs[i]
+                two_q = q + q
+                a = flat[r, i]
+                t = 1
+                m = n
+                while m > 1:
+                    h = m // 2
+                    for b in range(h):
+                        w = psi_inv_bitrev[i, h + b]
+                        ws = psi_inv_shoup[i, h + b]
+                        base = b * 2 * t
+                        for j in range(base, base + t):
+                            u = a[j]
+                            v = a[j + t]
+                            s = u + v
+                            if s >= two_q:
+                                s -= two_q
+                            d = u - v + two_q
+                            hi = (d * ws) >> sh
+                            a[j + t] = d * w - hi * q
+                            a[j] = s
+                    t *= 2
+                    m = h
+                ninv = n_inv[i]
+                ninv_s = n_inv_shoup[i]
+                for j in range(n):
+                    x = a[j]
+                    hi = (x * ninv_s) >> sh
+                    x = x * ninv - hi * q
+                    if x >= q:
+                        x -= q
+                    a[j] = x
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled scalar butterflies (requires the optional numba dep)."""
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        if _numba is None:
+            raise RuntimeError(
+                "numba is not importable; the 'numba' kernel backend is "
+                "unavailable in this environment"
+            )
+
+    def forward(self, n, primes, values):  # pragma: no cover - needs numba
+        ctx = self.context(n, primes)
+        flat, shape = self._residue_copy(n, ctx.primes, values)
+        count_transform("forward", flat.shape[0] * ctx.level, self.name)
+        _fwd_kernel(flat, ctx.psi_bitrev, ctx.psi_shoup, ctx.qs.ravel())
+        return flat.reshape(shape)
+
+    def inverse(self, n, primes, values):  # pragma: no cover - needs numba
+        ctx = self.context(n, primes)
+        flat, shape = self._residue_copy(n, ctx.primes, values)
+        count_transform("inverse", flat.shape[0] * ctx.level, self.name)
+        _inv_kernel(
+            flat,
+            ctx.psi_inv_bitrev,
+            ctx.psi_inv_shoup,
+            ctx.qs.ravel(),
+            ctx.n_inv.ravel(),
+            ctx.n_inv_shoup.ravel(),
+        )
+        return flat.reshape(shape)

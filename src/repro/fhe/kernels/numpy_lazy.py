@@ -1,0 +1,22 @@
+"""Numpy lazy-reduction kernel backend.
+
+Thin adapter over :class:`~repro.fhe.ntt.BatchedNttContext` — the stacked
+Harvey-lazy/Shoup fast path that predates the kernel interface.  All L RNS
+rows are transformed in one numpy call per butterfly stage.
+"""
+
+from __future__ import annotations
+
+from .base import KernelBackend
+
+
+class NumpyLazyBackend(KernelBackend):
+    """Stacked Harvey-lazy transforms with Shoup twiddle quotients."""
+
+    name = "numpy-lazy"
+
+    def forward(self, n, primes, values):
+        return self.context(n, primes).forward(values)
+
+    def inverse(self, n, primes, values):
+        return self.context(n, primes).inverse(values)

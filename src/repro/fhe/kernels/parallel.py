@@ -1,0 +1,194 @@
+"""Process-pool kernel backend: shard transform work across workers.
+
+Python-level numpy kernels hold the GIL between passes, so thread pools
+buy nothing; this backend ships independent slices of the residue matrix
+to a :class:`~concurrent.futures.ProcessPoolExecutor` instead.  Two
+sharding axes are used:
+
+* batches with several ``(rows)`` entries are split along the batch axis —
+  each worker transforms complete ``(chunk, L, N)`` sub-batches;
+* single-row batches are split along the **limb** (RNS prime) axis — the
+  NTT is independent per prime, so each worker gets a contiguous slice of
+  the chain and builds a Montgomery plan for just those primes.  Outputs
+  are bit-identical because the per-prime math never mixes limbs.
+
+Workers run the same :mod:`~repro.fhe.kernels.montgomery` plan kernels and
+cache plans per process, so the first call per (worker, chain) pays the
+plan build.  When the pool cannot help — one usable CPU, workloads below
+:data:`MIN_POOL_ELEMS`, or pool creation fails (restricted sandboxes) —
+the backend falls back to inline execution on the parent's plans; results
+are identical either way.
+
+Tunables (read at backend construction):
+
+* ``REPRO_KERNEL_WORKERS`` — worker count (default: ``os.cpu_count()``).
+* ``REPRO_KERNEL_PARALLEL_MIN_ELEMS`` — minimum residue-matrix element
+  count before the pool is used (default: ``1 << 16``); below it the
+  per-task pickling overhead dominates.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..ntt import count_transform
+from . import montgomery as _mont
+from .base import KernelBackend
+
+_U64 = np.uint64
+
+#: Below this many uint64 elements the serialization overhead of the pool
+#: outweighs any parallel speedup; run inline.
+MIN_POOL_ELEMS = 1 << 16
+
+ENV_WORKERS = "REPRO_KERNEL_WORKERS"
+ENV_MIN_ELEMS = "REPRO_KERNEL_PARALLEL_MIN_ELEMS"
+
+#: Per-worker-process plan cache (populated lazily inside workers).
+_WORKER_PLANS: dict[tuple[int, tuple[int, ...]], _mont.MontgomeryPlan] = {}
+
+
+def _pool_transform(
+    direction: str, n: int, primes: tuple[int, ...], chunk: np.ndarray
+) -> np.ndarray:
+    """Worker entry point: transform one ``(rows, L', N)`` slice."""
+    key = (n, primes)
+    plan = _WORKER_PLANS.get(key)
+    if plan is None:
+        plan = _WORKER_PLANS[key] = _mont.MontgomeryPlan(n, primes)
+    flat = np.array(chunk, dtype=_U64, order="C", copy=True)
+    if direction == "forward":
+        return _mont.plan_forward(plan, flat)
+    return _mont.plan_inverse(plan, flat)
+
+
+def _chunk_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` near-equal contiguous slices."""
+    parts = max(1, min(parts, total))
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class ParallelBackend(KernelBackend):
+    """Montgomery kernels sharded over a process pool."""
+
+    name = "parallel"
+
+    def __init__(
+        self, max_workers: int | None = None, min_elems: int | None = None
+    ) -> None:
+        if max_workers is None:
+            max_workers = int(os.environ.get(ENV_WORKERS, 0) or 0)
+            if max_workers <= 0:
+                max_workers = os.cpu_count() or 1
+        if min_elems is None:
+            min_elems = int(os.environ.get(ENV_MIN_ELEMS, 0) or 0)
+            if min_elems <= 0:
+                min_elems = MIN_POOL_ELEMS
+        self.max_workers = max_workers
+        self.min_elems = min_elems
+        self._plans: dict[tuple[int, tuple[int, ...]], _mont.MontgomeryPlan] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+        self._lock = threading.Lock()
+
+    # -- pool management -----------------------------------------------------
+
+    def _get_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool_broken or self.max_workers < 2:
+            return None
+        with self._lock:
+            if self._pool is None and not self._pool_broken:
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+                    atexit.register(self.shutdown)
+                except (OSError, ValueError, RuntimeError):
+                    # Restricted environments (no /dev/shm, fork limits).
+                    self._pool_broken = True
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- plan cache ----------------------------------------------------------
+
+    def _plan(self, n: int, primes: tuple[int, ...]) -> _mont.MontgomeryPlan:
+        key = (n, primes)
+        plan = self._plans.get(key)
+        if plan is None:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is None:
+                    plan = self._plans[key] = _mont.MontgomeryPlan(n, primes)
+        return plan
+
+    def plan_keys(self) -> list[tuple]:
+        return sorted(self._plans)
+
+    def clear_plans(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    # -- transforms ----------------------------------------------------------
+
+    def _transform(self, direction: str, n, primes, values) -> np.ndarray:
+        primes = tuple(int(q) for q in primes)
+        flat, shape = self._residue_copy(n, primes, values)
+        rows, level = flat.shape[0], len(primes)
+        count_transform(direction, rows * level, self.name)
+        pool = self._get_pool() if flat.size >= self.min_elems else None
+        if pool is None:
+            plan = self._plan(n, primes)
+            fn = _mont.plan_forward if direction == "forward" else _mont.plan_inverse
+            return fn(plan, flat).reshape(shape)
+        try:
+            if rows >= 2:
+                bounds = _chunk_bounds(rows, self.max_workers)
+                futures = [
+                    pool.submit(_pool_transform, direction, n, primes, flat[a:b])
+                    for a, b in bounds
+                ]
+                out = np.concatenate([f.result() for f in futures], axis=0)
+            else:
+                # Single batch row: shard the RNS limbs instead.
+                bounds = _chunk_bounds(level, self.max_workers)
+                futures = [
+                    pool.submit(
+                        _pool_transform, direction, n, primes[a:b], flat[:, a:b]
+                    )
+                    for a, b in bounds
+                ]
+                out = np.concatenate([f.result() for f in futures], axis=1)
+        except (OSError, RuntimeError):  # pragma: no cover - pool died
+            self._pool_broken = True
+            self.shutdown()
+            plan = self._plan(n, primes)
+            fn = _mont.plan_forward if direction == "forward" else _mont.plan_inverse
+            return fn(plan, flat).reshape(shape)
+        return np.ascontiguousarray(out).reshape(shape)
+
+    def forward(self, n, primes, values):
+        return self._transform("forward", n, primes, values)
+
+    def inverse(self, n, primes, values):
+        return self._transform("inverse", n, primes, values)
+
+    def describe(self) -> dict[str, object]:
+        info = super().describe()
+        info["workers"] = self.max_workers
+        return info

@@ -1,0 +1,46 @@
+"""Reference kernel backend: per-prime fully-reduced transforms.
+
+Delegates every RNS row to :class:`~repro.fhe.ntt.NttContext` — the
+correctness oracle every other backend is bit-compared against.  This is
+the same code path the seed repository ran before batching landed, kept
+selectable so regressions can be bisected to the kernel layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ntt import get_ntt_context
+from .base import KernelBackend
+
+_U64 = np.uint64
+
+
+class ReferenceBackend(KernelBackend):
+    """Per-prime reference transforms (slow, canonical)."""
+
+    name = "reference"
+
+    def forward(self, n, primes, values):
+        vals = np.asarray(values, dtype=_U64)
+        level = len(primes)
+        if vals.ndim < 2 or vals.shape[-1] != n or vals.shape[-2] != level:
+            raise ValueError(
+                f"expected trailing shape {(level, n)}, got {vals.shape}"
+            )
+        out = np.empty_like(vals)
+        for i, q in enumerate(primes):
+            out[..., i, :] = get_ntt_context(n, q).forward(vals[..., i, :])
+        return out
+
+    def inverse(self, n, primes, values):
+        vals = np.asarray(values, dtype=_U64)
+        level = len(primes)
+        if vals.ndim < 2 or vals.shape[-1] != n or vals.shape[-2] != level:
+            raise ValueError(
+                f"expected trailing shape {(level, n)}, got {vals.shape}"
+            )
+        out = np.empty_like(vals)
+        for i, q in enumerate(primes):
+            out[..., i, :] = get_ntt_context(n, q).inverse(vals[..., i, :])
+        return out

@@ -21,7 +21,7 @@ from functools import cached_property
 
 import numpy as np
 
-from .modmath import mod_inverse
+from .modmath import mod_inverse, shoup_precompute
 from .poly import RnsBasis, RnsPolynomial
 from .sampling import sample_gaussian, sample_ternary, sample_uniform
 
@@ -68,15 +68,49 @@ class KeySwitchKey:
     a: tuple[RnsPolynomial, ...]
 
     @cached_property
+    def stacked_ba(self) -> np.ndarray:
+        """Both key halves stacked to ``(2, level, ext_level, N)`` so one
+        broadcast Shoup multiply covers the whole KeySwitch inner product."""
+        return np.stack(
+            [
+                np.stack([p.residues for p in self.b]),
+                np.stack([p.residues for p in self.a]),
+            ]
+        )
+
+    @property
     def stacked_b(self) -> np.ndarray:
-        """All ``b[i]`` residues stacked to ``(level, ext_level, N)`` for the
-        vectorized KeySwitch inner product."""
-        return np.stack([p.residues for p in self.b])
+        """All ``b[i]`` residues stacked to ``(level, ext_level, N)`` (a view
+        into :attr:`stacked_ba`)."""
+        return self.stacked_ba[0]
+
+    @property
+    def stacked_a(self) -> np.ndarray:
+        """All ``a[i]`` residues stacked to ``(level, ext_level, N)`` (a view
+        into :attr:`stacked_ba`)."""
+        return self.stacked_ba[1]
 
     @cached_property
-    def stacked_a(self) -> np.ndarray:
-        """All ``a[i]`` residues stacked to ``(level, ext_level, N)``."""
-        return np.stack([p.residues for p in self.a])
+    def _ext_qs(self) -> np.ndarray:
+        """Extended-chain moduli shaped ``(1, ext_level, 1)`` for broadcasts."""
+        return np.array(self.basis.primes, dtype=_U64).reshape(1, -1, 1)
+
+    @cached_property
+    def stacked_ba_shoup(self) -> np.ndarray:
+        """Shoup quotients of :attr:`stacked_ba` — the key rows are fixed
+        multiplicands, so the KeySwitch inner product can use division-free
+        lazy multiplies instead of per-element Barrett reductions."""
+        return shoup_precompute(self.stacked_ba, self._ext_qs[None])
+
+    @property
+    def stacked_b_shoup(self) -> np.ndarray:
+        """Shoup quotients of :attr:`stacked_b` (a view)."""
+        return self.stacked_ba_shoup[0]
+
+    @property
+    def stacked_a_shoup(self) -> np.ndarray:
+        """Shoup quotients of :attr:`stacked_a` (a view)."""
+        return self.stacked_ba_shoup[1]
 
 
 #: Sentinel step used to index complex-conjugation keys (element 2N - 1).

@@ -195,6 +195,103 @@ def batched_mod_mul(a: np.ndarray, b: np.ndarray, bb: BatchedBarrett) -> np.ndar
     return batched_barrett_reduce(prod, bb)
 
 
+# ---------------------------------------------------------------------------
+# Division-free RNS helpers
+#
+# The base-conversion steps of Rescale and KeySwitch lift centered values
+# into new moduli, and the key inner product multiplies NTT residues by
+# fixed key rows.  Both are hot enough that the integer divisions hidden in
+# ``np.mod`` / Barrett are worth eliminating when precomputation allows.
+
+
+def centered_lift_fits(source_q: int, target_primes: tuple[int, ...]) -> bool:
+    """True when :func:`centered_lift` is exact for values centered mod
+    ``source_q`` lifted into every prime of ``target_primes``.
+
+    A centered value satisfies ``|x| <= (source_q - 1) // 2``; the
+    division-free lift is valid iff that magnitude is below every target
+    modulus (so ``x`` or ``x + q_j`` is already the reduced residue).
+    """
+    return (int(source_q) - 1) // 2 < min(int(q) for q in target_primes)
+
+
+def centered_lift(signed: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Division-free lift of centered int64 values into target moduli.
+
+    ``signed`` holds centered representatives (``|x| < min(qs)``); ``qs``
+    is an int64 modulus array broadcastable against it.  Negative values
+    map to ``x + q_j``, non-negative ones are returned as-is — no ``np.mod``
+    division.  Callers must check :func:`centered_lift_fits` (or an
+    equivalent bound) first.
+    """
+    s = np.asarray(signed)
+    return np.where(s < 0, s + qs, s).astype(_U64)
+
+
+#: Shoup quotients for :func:`shoup_mul_lazy` use beta = 32, matching the
+#: NTT twiddle tables — valid for any modulus below 2**30.
+_SHOUP_SHIFT = _U64(32)
+
+
+def shoup_precompute(b: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """Quotients ``floor(b * 2**32 / q)`` for a fixed multiplicand ``b``.
+
+    ``b`` must hold reduced residues; ``qs`` broadcasts against it (e.g.
+    shaped ``(L, 1)`` against ``(..., L, N)``).
+    """
+    return (np.asarray(b, dtype=_U64) << _SHOUP_SHIFT) // np.asarray(qs, dtype=_U64)
+
+
+def shoup_mul_lazy(
+    a: np.ndarray, b: np.ndarray, b_shoup: np.ndarray, qs: np.ndarray
+) -> np.ndarray:
+    """Lazy Shoup product ``a * b mod q`` in ``[0, 2q)`` — no division.
+
+    ``b_shoup`` comes from :func:`shoup_precompute`; ``a`` may be any value
+    below ``2**32`` (it multiplies the 32-bit quotient inside uint64).
+    Useful for inner products: accumulate the ``[0, 2q)`` outputs and
+    reduce the sum once.
+    """
+    a64 = np.asarray(a, dtype=_U64)
+    hi = np.multiply(a64, np.asarray(b_shoup, dtype=_U64))
+    hi >>= _SHOUP_SHIFT
+    hi *= np.asarray(qs, dtype=_U64)
+    out = np.multiply(a64, np.asarray(b, dtype=_U64))
+    out -= hi
+    return out
+
+
+def shoup_mul(
+    a: np.ndarray, b: np.ndarray, b_shoup: np.ndarray, qs: np.ndarray
+) -> np.ndarray:
+    """Canonical Shoup product ``a * b mod q`` in ``[0, q)``.
+
+    The lazy product plus one conditional subtract — bit-identical to the
+    Barrett route for any inputs in range, without the integer division.
+    """
+    r = shoup_mul_lazy(a, b, b_shoup, qs)
+    return np.where(r >= qs, r - qs, r)
+
+
+def batched_barrett_reduce_tiled(
+    x: np.ndarray, qs_full: np.ndarray, mus_full: np.ndarray, k: int
+) -> np.ndarray:
+    """Barrett reduction against pre-tiled contiguous ``(L, N)`` constants.
+
+    Requires every prime in the batch to share bit length ``k`` (so the
+    shifts are scalars).  Bit-identical to :func:`batched_barrett_reduce`;
+    the tiled operands just avoid stride-0 broadcast passes on the hot
+    KeySwitch inner-product reduction.
+    """
+    arr = np.asarray(x, dtype=_U64)
+    q1 = arr >> _U64(k - 1)
+    q3 = (q1 * mus_full) >> _U64(k + 1)
+    r = arr - q3 * qs_full
+    r = np.where(r >= qs_full, r - qs_full, r)
+    r = np.where(r >= qs_full, r - qs_full, r)
+    return r
+
+
 def mod_pow(base: int, exp: int, q: int) -> int:
     """Scalar modular exponentiation ``base**exp mod q``."""
     return pow(int(base) % q, int(exp), q)

@@ -19,6 +19,11 @@ Two implementations coexist:
   forward / ``[0, 2q)`` inverse; the final correction is folded into one
   pass after the last stage).  Bit-identical to the reference.
 
+Both are also exposed as swappable *kernel backends* (``reference`` /
+``numpy-lazy``) through :mod:`repro.fhe.kernels`, alongside the faster
+Montgomery, process-pool and optional numba implementations; HE call
+sites dispatch through :func:`repro.fhe.kernels.active_backend`.
+
 Contexts are cached in an explicit, inspectable registry
 (:func:`get_ntt_context` / :func:`get_batched_ntt_context`,
 :func:`clear_caches`, :func:`registry_info`), and every transform counts
@@ -73,6 +78,38 @@ _INV_CALLS = _OBS_REGISTRY.counter("ntt_transform_calls", direction="inverse")
 _FWD_ROWS = _OBS_REGISTRY.counter("ntt_transform_rows", direction="forward")
 _INV_ROWS = _OBS_REGISTRY.counter("ntt_transform_rows", direction="inverse")
 
+#: Per-(direction, backend) labelled counter handles, created lazily the
+#: first time a kernel backend performs a transform.
+_BACKEND_COUNTERS: dict[tuple[str, str], tuple] = {}
+
+
+def count_transform(direction: str, rows: int, backend: str) -> None:
+    """Count one transform call covering ``rows`` length-N rows.
+
+    Increments both the direction-only totals (the long-standing
+    :data:`TRANSFORM_STATS` contract) and ``backend``-labelled counters so
+    metrics snapshots attribute NTT pressure to the kernel backend that
+    actually executed it.
+    """
+    pair = _BACKEND_COUNTERS.get((direction, backend))
+    if pair is None:
+        pair = _BACKEND_COUNTERS[(direction, backend)] = (
+            _OBS_REGISTRY.counter(
+                "ntt_transform_calls", direction=direction, backend=backend
+            ),
+            _OBS_REGISTRY.counter(
+                "ntt_transform_rows", direction=direction, backend=backend
+            ),
+        )
+    pair[0].inc()
+    pair[1].inc(rows)
+    if direction == "forward":
+        _FWD_CALLS.inc()
+        _FWD_ROWS.inc(rows)
+    else:
+        _INV_CALLS.inc()
+        _INV_ROWS.inc(rows)
+
 
 class TransformStats:
     """Counts NTT invocations: one *row* is one length-N transform.
@@ -111,6 +148,9 @@ class TransformStats:
     def reset(self) -> None:
         for counter in (_FWD_CALLS, _INV_CALLS, _FWD_ROWS, _INV_ROWS):
             counter.reset()
+        for calls, rows in _BACKEND_COUNTERS.values():
+            calls.reset()
+            rows.reset()
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -176,8 +216,7 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
-        _FWD_CALLS.inc()
-        _FWD_ROWS.inc(a.shape[0])
+        count_transform("forward", a.shape[0], "reference")
         q, bc = self.q, self.barrett
         t = self.n
         m = 1
@@ -200,8 +239,7 @@ class NttContext:
             raise ValueError(f"last axis must be {self.n}, got {a.shape[-1]}")
         batch_shape = a.shape[:-1]
         a = a.reshape(-1, self.n)
-        _INV_CALLS.inc()
-        _INV_ROWS.inc(a.shape[0])
+        count_transform("inverse", a.shape[0], "reference")
         q, bc = self.q, self.barrett
         t = 1
         m = self.n
@@ -267,9 +305,25 @@ class BatchedNttContext:
         ).reshape(level, 1)
         self.n_inv_shoup = (self.n_inv << _SHOUP_SHIFT) // self.qs
         self.barrett = BatchedBarrett.for_primes(self.primes)
+        # Fully-tiled (L, N) copies of the per-prime constants.  Broadcasting
+        # an ``(L, 1)`` column over the slot axis forces stride-0 inner loops
+        # in numpy (1.5-2x slower per pass on this substrate); the hot
+        # KeySwitch/Rescale element-wise kernels use these contiguous tiles
+        # instead.  Values are identical, so outputs stay bit-identical.
+        self.qs_full = np.ascontiguousarray(np.broadcast_to(self.qs, (level, n)))
+        self.qs_full_i64 = self.qs_full.astype(np.int64)
+        self.barrett_mus_full = np.ascontiguousarray(
+            np.broadcast_to(self.barrett.mus, (level, n))
+        )
+        bits = [q.bit_length() for q in self.primes]
+        #: Uniform Barrett shift when every prime has the same bit length
+        #: (the common case for generated chains); ``None`` disables the
+        #: tiled Barrett fast path.
+        self.barrett_k: int | None = bits[0] if len(set(bits)) == 1 else None
         self._galois_perms: dict[int, np.ndarray] = {}
         self._index_exponents: np.ndarray | None = None
         self._rescale_inverses: np.ndarray | None = None
+        self._rescale_inv_tiled: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def level(self) -> int:
@@ -299,8 +353,7 @@ class BatchedNttContext:
         a = self._check(values)
         shape = a.shape
         flat = a.reshape(-1, self.level, self.n)
-        _FWD_CALLS.inc()
-        _FWD_ROWS.inc(flat.shape[0] * self.level)
+        count_transform("forward", flat.shape[0] * self.level, "numpy-lazy")
         n, level = self.n, self.level
         rows = flat.shape[0]
         qs4 = self.qs.reshape(1, level, 1, 1)
@@ -349,8 +402,7 @@ class BatchedNttContext:
         a = self._check(values)
         shape = a.shape
         flat = a.reshape(-1, self.level, self.n)
-        _INV_CALLS.inc()
-        _INV_ROWS.inc(flat.shape[0] * self.level)
+        count_transform("inverse", flat.shape[0] * self.level, "numpy-lazy")
         n, level = self.n, self.level
         rows = flat.shape[0]
         qs4 = self.qs.reshape(1, level, 1, 1)
@@ -452,6 +504,20 @@ class BatchedNttContext:
             ).reshape(-1, 1)
         return self._rescale_inverses
 
+    def rescale_inverses_tiled(self) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`rescale_inverses` plus their Shoup quotients, tiled to
+        contiguous ``(L-1, N)`` arrays for the division-free Rescale
+        constant multiply."""
+        if self._rescale_inv_tiled is None:
+            inv = self.rescale_inverses()
+            shoup = (inv << _SHOUP_SHIFT) // self.qs[:-1]
+            shape = (self.level - 1, self.n)
+            self._rescale_inv_tiled = (
+                np.ascontiguousarray(np.broadcast_to(inv, shape)),
+                np.ascontiguousarray(np.broadcast_to(shoup, shape)),
+            )
+        return self._rescale_inv_tiled
+
 
 # ---------------------------------------------------------------------------
 # Context registry
@@ -481,16 +547,28 @@ def get_batched_ntt_context(n: int, primes: tuple[int, ...]) -> BatchedNttContex
 
 
 def clear_caches() -> None:
-    """Drop every cached NTT context (reference and batched) — test helper."""
+    """Drop every cached NTT context and kernel-backend plan — test helper.
+
+    Covers both the context registries owned by this module and the
+    per-backend precomputed plans owned by ``repro.fhe.kernels`` (imported
+    lazily; kernels imports this module at load time).
+    """
     _NTT_REGISTRY.clear()
     _BATCHED_REGISTRY.clear()
+    from . import kernels
+
+    kernels.clear_plans()
 
 
-def registry_info() -> dict[str, list[tuple]]:
-    """Keys currently held by the context registries (for inspection)."""
+def registry_info() -> dict[str, object]:
+    """Keys currently held by the context registries and backend plan
+    caches (for inspection)."""
+    from . import kernels
+
     return {
         "ntt": sorted(_NTT_REGISTRY),
         "batched": sorted(_BATCHED_REGISTRY),
+        "kernel_plans": kernels.plans_info(),
     }
 
 

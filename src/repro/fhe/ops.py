@@ -23,12 +23,18 @@ from ..obs import config as obs_config
 from ..obs import probes
 from ..obs.tracing import trace_span
 from ..optypes import HeOp
-from . import fastpath
+from . import fastpath, kernels
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
-from .modmath import batched_barrett_reduce, batched_mod_mul
+from .modmath import (
+    batched_barrett_reduce,
+    batched_barrett_reduce_tiled,
+    centered_lift,
+    centered_lift_fits,
+    shoup_mul_lazy,
+)
 from .ntt import get_batched_ntt_context
-from .poly import RnsPolynomial
+from .poly import RnsPolynomial, rescale_polys
 
 _RELATIVE_SCALE_TOLERANCE = 1e-9
 
@@ -49,6 +55,7 @@ def _probed(op_name: str):
             if not obs_config.enabled():
                 return fn(self, *args, **kwargs)
             with trace_span(op_name, category="he_op") as span:
+                span.set(backend=kernels.active_backend().name)
                 out = fn(self, *args, **kwargs)
                 if isinstance(out, Ciphertext):
                     span.set(level=out.level, scale=out.scale)
@@ -224,7 +231,9 @@ class Evaluator:
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Rescale: divide by the last chain prime, dropping one level."""
         q_last = ct.basis.primes[-1]
-        comps = tuple(c.rescale() for c in ct.components)
+        # Stacked rescale: all components share the transforms of one
+        # batched kernel call (falls back to per-component internally).
+        comps = rescale_polys(ct.components)
         self._note(HeOp.RESCALE)
         return Ciphertext(components=comps, scale=ct.scale / q_last)
 
@@ -372,12 +381,191 @@ class Evaluator:
         """
         if width <= 0 or width & (width - 1):
             raise ValueError("width must be a positive power of two")
-        acc = ct
+        steps = []
         step = width // 2
         while step >= 1:
-            acc = self.add(acc, self.rotate(acc, step))
+            steps.append(step)
             step //= 2
+        return self.rotate_fold(ct, steps)
+
+    def rotate_fold(self, ct: Ciphertext, steps) -> Ciphertext:
+        """Sequential rotate-and-accumulate: ``acc = add(acc, rotate(acc, s))``
+        for each step, executed with *hoisted* groups where possible.
+
+        A group of ``k`` consecutive fold steps expands to ``2**k - 1``
+        rotations of the group's input — one per non-empty subset sum of the
+        steps — which all share a single digit decomposition, basis lift and
+        forward NTT (Halevi-Shoup hoisting) plus a single rescale inside
+        :func:`_key_switch_hoisted`.  Group size is capped at
+        :data:`_FOLD_GROUP`: the per-group fixed cost is amortized over
+        ``k`` steps while the per-rotation inner products grow as
+        ``(2**k - 1) / k``, which makes ``k = 3`` the sweet spot on this
+        substrate.
+
+        Falls back to the plain rotate/add sequence when either the
+        ``hoisted_rotations`` or ``vectorized_keyswitch`` fast path is off
+        (keeping the bit-exact sequential baseline intact — a hoisted group
+        shares one rescale, so its rounding differs from the sequential
+        walk) or when a composite Galois key was not provisioned.  Recorded
+        operation counts are the *logical* ones — ``k`` KeySwitch and ``k``
+        CCadd per group — so analytic layer traces and the FPGA cost model
+        are unaffected by the execution strategy.
+        """
+        slots = self.context.slot_count
+        seq = [s % slots for s in steps]
+        cfg = fastpath.get_config()
+        hoist = cfg.vectorized_keyswitch and cfg.hoisted_rotations
+        acc = ct
+        i = 0
+        while i < len(seq):
+            if hoist and acc.is_linear:
+                grouped = False
+                for size in range(min(_FOLD_GROUP, len(seq) - i), 1, -1):
+                    group = seq[i : i + size]
+                    subs = _subset_steps(group, slots)
+                    if subs is None:
+                        continue
+                    try:
+                        rotations = self._fold_rotations(acc, subs)
+                    except KeyError:
+                        continue
+                    acc = self._rotate_fold_group(acc, size, rotations)
+                    i += size
+                    grouped = True
+                    break
+                if grouped:
+                    continue
+            acc = self.add(acc, self.rotate(acc, seq[i]))
+            i += 1
         return acc
+
+    def _fold_rotations(self, ct: Ciphertext, steps):
+        """Resolve ``(galois_element, key)`` pairs for a hoisted group.
+
+        Raises ``KeyError`` if any key is missing, letting the caller fall
+        back to a smaller group or the sequential path.
+        """
+        n = self.context.params.poly_degree
+        return tuple(
+            (pow(5, s, 2 * n), self.context.galois_keys.get(s, ct.level))
+            for s in steps
+        )
+
+    @_probed("RotateFold")
+    def _rotate_fold_group(
+        self, ct: Ciphertext, logical: int, rotations
+    ) -> Ciphertext:
+        """One hoisted fold group: ``acc + sum(rot_c(acc))`` over every
+        non-empty subset sum ``c`` of the group's ``logical`` steps.
+
+        The ``c1`` component is key-switched once for all rotations via
+        :func:`_key_switch_hoisted`; the ``c0`` side only needs the (cheap)
+        NTT-domain Galois permutations and additions.
+        """
+        c0 = ct.components[0].to_ntt()
+        c1 = ct.components[1].to_ntt()
+        k0, k1 = _key_switch_hoisted(c1, rotations)
+        # Lazily accumulate c0 and its NTT-domain Galois permutations with
+        # plain adds (canonical inputs, so the sum of 2**k terms stays far
+        # below 2**64) and canonicalize once — bit-identical to a chain of
+        # modular adds at a third of the passes.
+        basis = c0.basis
+        ntt_ctx = get_batched_ntt_context(basis.n, basis.primes)
+        acc = c0.residues.copy()
+        for g, _key in rotations:
+            perm = ntt_ctx.galois_permutation(g)
+            np.add(acc, c0.residues[..., perm], out=acc)
+        sum0 = RnsPolynomial(basis, _reduce_ext(acc, ntt_ctx), is_ntt=True)
+        # Logical accounting: a k-step group performs k Rotate (KeySwitch)
+        # and k CCadd operations, regardless of the hoisted execution.
+        self._note(HeOp.KEY_SWITCH, logical)
+        self._note(HeOp.CC_ADD, logical)
+        return Ciphertext(components=(sum0 + k0, c1 + k1), scale=ct.scale)
+
+
+def _reduce_ext(acc: np.ndarray, ext_ctx) -> np.ndarray:
+    """Barrett-reduce a lazy inner-product accumulator against the extended
+    chain, preferring the contiguous tiled-constant kernel."""
+    if ext_ctx.barrett_k is not None:
+        return batched_barrett_reduce_tiled(
+            acc, ext_ctx.qs_full, ext_ctx.barrett_mus_full, ext_ctx.barrett_k
+        )
+    return batched_barrett_reduce(acc, ext_ctx.barrett)
+
+
+def _forward_for_products(backend, n: int, primes: tuple[int, ...], rows):
+    """Forward-transform key-switch digits destined for Shoup products.
+
+    Uses the backend's *lazy-exit* forward when offered (outputs in
+    ``[0, 4q)`` instead of canonical ``[0, q)``): the lazy Shoup product
+    only needs its left operand below ``2**32`` and is exact modulo ``q``
+    for any representative, so the deferred Barrett reduction of the inner
+    product yields bit-identical results while the transform skips its
+    final correction pass.
+    """
+    lazy = getattr(backend, "forward_lazy", None)
+    if lazy is not None:
+        return lazy(n, primes, rows)
+    return backend.forward(n, primes, rows)
+
+
+def _lift_digits_ntt(component: RnsPolynomial, ext, ext_ctx) -> np.ndarray:
+    """Decompose ``component`` into per-prime digits, centre-lift them into
+    the extended basis and forward-transform: the ``(L, ext_L, N)`` matrix
+    every key-switch inner product consumes.
+
+    Applies the *diagonal skip*: digit ``i`` reduced modulo its own prime
+    ``q_i`` is the component's residue row ``i`` unchanged (centred
+    extraction and the lift are the identity there), so when the component
+    is already NTT-resident its resident row *is* the transform of the
+    diagonal entry.  Only the ``L * ext_L - L`` off-diagonal rows are
+    transformed — the diagonal is spliced in from the live residues,
+    trimming the dominant forward-NTT batch by ``1/ext_L``.  Mixing the
+    canonical diagonal rows with lazy-exit off-diagonal rows is safe: the
+    downstream Shoup product accepts any representative below ``2**32``.
+    """
+    basis = component.basis
+    d = component.to_coefficient()
+    qs = np.array(basis.primes, dtype=np.int64).reshape(-1, 1)
+    rows = d.residues.astype(np.int64)
+    signed = np.where(rows > qs // 2, rows - qs, rows)  # (L, N)
+    ext_qs = ext_ctx.qs_full_i64  # (ext_L, N) contiguous tile
+    if centered_lift_fits(max(basis.primes), ext.primes):
+        # Every centered digit fits below each extended prime, so the
+        # lift is a conditional add — no integer division.
+        lifted = centered_lift(signed[:, None, :], ext_qs)
+    else:  # pragma: no cover - requires a prime gap > 2x in the chain
+        lifted = np.mod(signed[:, None, :], ext_qs).astype(np.uint64)
+    backend = kernels.active_backend()
+    level, ext_level, n = lifted.shape
+    if not (
+        component.is_ntt
+        and ext_level == level + 1
+        and ext.primes[:level] == basis.primes
+    ):
+        return _forward_for_products(backend, ext.n, ext.primes, lifted)
+    out = np.empty_like(lifted)
+    out[np.arange(level), np.arange(level)] = component.residues
+    if level > 1:
+        # Chain columns: column j takes every digit except j, one uniform
+        # (L-1, L, N) batch over the chain primes.
+        idx = np.array(
+            [[i for i in range(level) if i != j] for j in range(level)]
+        ).T  # (L-1, L)
+        chain = out[:, :level, :]
+        gathered = np.take_along_axis(
+            lifted[:, :level, :], idx[:, :, None], axis=0
+        )
+        transformed = _forward_for_products(
+            backend, ext.n, ext.primes[:level], gathered
+        )
+        np.put_along_axis(chain, idx[:, :, None], transformed, axis=0)
+    # Special column: all L digits, one (L, 1, N) batch over the special
+    # prime (it reduces no digit, so it has no diagonal to splice).
+    out[:, level:, :] = _forward_for_products(
+        backend, ext.n, ext.primes[level:], lifted[:, level:, :]
+    )
+    return out
 
 
 def _key_switch(
@@ -395,34 +583,28 @@ def _key_switch(
             f"key generated for level {key.level}, ciphertext at {basis.level}"
         )
     ext = key.basis
-    d = component.to_coefficient()
     if fastpath.get_config().vectorized_keyswitch:
         # Lift every decomposition digit into the extended basis at once
-        # ((L, ext_L, N) signed mod) and run all L forward NTTs in a single
-        # batched call; the inner product with the stacked key follows as
-        # one multiply + one lazy sum + one Barrett pass per key half.
-        qs = np.array(basis.primes, dtype=np.int64).reshape(-1, 1)
-        rows = d.residues.astype(np.int64)
-        signed = np.where(rows > qs // 2, rows - qs, rows)  # (L, N)
-        ext_qs = np.array(ext.primes, dtype=np.int64).reshape(1, -1, 1)
-        lifted = np.mod(signed[:, None, :], ext_qs).astype(np.uint64)
+        # ((L, ext_L, N) signed mod) and run all forward NTTs in a single
+        # batched call (minus the spliced diagonal — see _lift_digits_ntt);
+        # the inner product with the stacked key follows as one multiply +
+        # one lazy sum + one Barrett pass per key half.
         ext_ctx = get_batched_ntt_context(ext.n, ext.primes)
-        lifted_ntt = ext_ctx.forward(lifted)  # (L, ext_L, N)
-        # Products are < q < 2**30; summing L <= 8 of them stays far below
-        # the Barrett input bound, so one deferred reduction suffices.
-        prod0 = batched_mod_mul(lifted_ntt, key.stacked_b, ext_ctx.barrett)
-        prod1 = batched_mod_mul(lifted_ntt, key.stacked_a, ext_ctx.barrett)
-        acc0 = RnsPolynomial(
-            ext,
-            batched_barrett_reduce(prod0.sum(axis=0), ext_ctx.barrett),
-            is_ntt=True,
+        lifted_ntt = _lift_digits_ntt(component, ext, ext_ctx)  # (L, ext_L, N)
+        # Inner product against the fixed key rows via division-free lazy
+        # Shoup multiplies: each term lands in [0, 2q), summing L <= 8 of
+        # them stays far below the Barrett input bound, so one deferred
+        # reduction per key half suffices.  Broadcasting the digits over the
+        # stacked (b, a) pair covers both key halves in a single call.
+        qs_u64 = ext_ctx.qs_full  # (ext_L, N) contiguous tile
+        prod = shoup_mul_lazy(
+            lifted_ntt[None], key.stacked_ba, key.stacked_ba_shoup, qs_u64
         )
-        acc1 = RnsPolynomial(
-            ext,
-            batched_barrett_reduce(prod1.sum(axis=0), ext_ctx.barrett),
-            is_ntt=True,
-        )
+        red = _reduce_ext(prod.sum(axis=1), ext_ctx)  # (2, ext_L, N)
+        acc0 = RnsPolynomial(ext, red[0], is_ntt=True)
+        acc1 = RnsPolynomial(ext, red[1], is_ntt=True)
     else:
+        d = component.to_coefficient()
         acc0 = RnsPolynomial.zero(ext, is_ntt=True)
         acc1 = RnsPolynomial.zero(ext, is_ntt=True)
         for i, q_i in enumerate(basis.primes):
@@ -434,5 +616,110 @@ def _key_switch(
             lifted = RnsPolynomial(ext, rows, is_ntt=False).to_ntt()
             acc0 = acc0 + lifted * key.b[i]
             acc1 = acc1 + lifted * key.a[i]
-    # Divide by the special prime (last in the extended basis).
-    return acc0.rescale(), acc1.rescale()
+    # Divide by the special prime (last in the extended basis); both halves
+    # share one stacked rescale.
+    out0, out1 = rescale_polys((acc0, acc1))
+    return out0, out1
+
+
+def _key_switch_hoisted(
+    component: RnsPolynomial, rotations
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Hoisted key switch: one decomposition/lift/forward-NTT shared by
+    several rotations of the same component (Halevi-Shoup hoisting).
+
+    ``rotations`` is a sequence of ``(galois_element, key)`` pairs.  Because
+    the Galois automorphism commutes with the per-prime digit decomposition,
+    the centered lift and the NTT (where it is a pure permutation of
+    evaluation points), the digits of ``galois_g(d)`` equal the permuted
+    digits of ``d`` bit-for-bit — so the expensive lift + batched forward
+    NTT run once and each rotation costs only an index permutation plus a
+    lazy Shoup inner product.  All lazy products are accumulated before a
+    single Barrett reduction per key half (at most ``(2**k - 1) * L`` terms
+    for a ``k``-step fold group, each below ``2q`` — still orders of
+    magnitude under the Barrett input bound of ``2**(2*barrett_k)``) and one
+    shared rescale by the special prime.
+    """
+    basis = component.basis
+    ext = rotations[0][1].basis
+    for _g, key in rotations:
+        if key.level != basis.level:
+            raise ValueError(
+                f"key generated for level {key.level}, "
+                f"ciphertext at {basis.level}"
+            )
+    ext_ctx = get_batched_ntt_context(ext.n, ext.primes)
+    lifted_ntt = _lift_digits_ntt(component, ext, ext_ctx)  # (L, ext_L, N)
+    qs_u64 = ext_ctx.qs_full  # (ext_L, N) contiguous tile
+    acc = None
+    for g, key in rotations:
+        perm = ext_ctx.galois_permutation(g)
+        dig = lifted_ntt[..., perm]
+        # One broadcast lazy Shoup call covers both key halves.
+        p = shoup_mul_lazy(
+            dig[None], key.stacked_ba, key.stacked_ba_shoup, qs_u64
+        )
+        s = p.sum(axis=1)  # (2, ext_L, N)
+        if acc is None:
+            acc = s
+        else:
+            np.add(acc, s, out=acc)
+    red = _reduce_ext(acc, ext_ctx)  # (2, ext_L, N)
+    out0 = RnsPolynomial(ext, red[0], is_ntt=True)
+    out1 = RnsPolynomial(ext, red[1], is_ntt=True)
+    return rescale_polys((out0, out1))
+
+
+#: Maximum logical fold steps hoisted into one KeySwitch group.  Each group
+#: shares one decomposition/lift/forward-NTT/rescale among ``2**k - 1``
+#: subset-sum rotations; ``k = 3`` balances that fixed cost against the
+#: ``(2**k - 1)/k`` growth of the per-rotation inner products.
+_FOLD_GROUP = 3
+
+
+def _subset_steps(group, slot_count: int) -> list[int] | None:
+    """All non-empty subset sums of a fold group, reduced mod ``slot_count``.
+
+    Returns ``None`` when any sum (or step) degenerates to a zero rotation —
+    the group then cannot be hoisted as one KeySwitch batch.
+    """
+    if 0 in group:
+        return None
+    sums = []
+    for mask in range(1, 1 << len(group)):
+        total = 0
+        for j, s in enumerate(group):
+            if mask >> j & 1:
+                total += s
+        total %= slot_count
+        if total == 0:
+            return None
+        sums.append(total)
+    return sums
+
+
+def fold_composite_steps(steps, slot_count: int) -> list[int]:
+    """Rotation steps :meth:`Evaluator.rotate_fold` will need keys for,
+    mirroring its grouping walk exactly (subset sums of each hoisted group).
+
+    Layers advertise these alongside their base rotation steps so key
+    provisioning covers the hoisted execution; a missing composite key only
+    costs the fallback to a smaller group or the sequential path, never an
+    error.
+    """
+    seq = [s % slot_count for s in steps]
+    out: list[int] = []
+    i = 0
+    while i < len(seq):
+        advanced = False
+        for size in range(min(_FOLD_GROUP, len(seq) - i), 1, -1):
+            subs = _subset_steps(seq[i : i + size], slot_count)
+            if subs is None:
+                continue
+            out.extend(subs)
+            i += size
+            advanced = True
+            break
+        if not advanced:
+            i += 1
+    return out

@@ -18,13 +18,11 @@ from typing import Sequence
 
 import numpy as np
 
-from . import fastpath
+from . import fastpath, kernels
 from .modmath import (
     BarrettConstant,
-    batched_mod_add,
-    batched_mod_mul,
-    batched_mod_neg,
-    batched_mod_sub,
+    centered_lift,
+    centered_lift_fits,
     mod_inverse,
 )
 from .ntt import get_batched_ntt_context, get_ntt_context
@@ -150,8 +148,13 @@ class RnsPolynomial:
         if self.is_ntt:
             return self
         if fastpath.get_config().batched_ntt:
-            rows = self.basis.ntt().forward(self.residues)
+            rows = kernels.active_backend().forward(
+                self.basis.n, self.basis.primes, self.residues
+            )
         else:
+            # fastpath.batched_ntt=False pins the seed per-prime reference
+            # path regardless of the active kernel backend (the baseline
+            # every speedup is measured against).
             rows = np.empty_like(self.residues)
             for i, q in enumerate(self.basis.primes):
                 ctx = get_ntt_context(self.basis.n, q)
@@ -162,7 +165,9 @@ class RnsPolynomial:
         if not self.is_ntt:
             return self
         if fastpath.get_config().batched_ntt:
-            rows = self.basis.ntt().inverse(self.residues)
+            rows = kernels.active_backend().inverse(
+                self.basis.n, self.basis.primes, self.residues
+            )
         else:
             rows = np.empty_like(self.residues)
             for i, q in enumerate(self.basis.primes):
@@ -180,18 +185,22 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._require_same_form(other)
-        ctx = self.basis.ntt()
-        rows = batched_mod_add(self.residues, other.residues, ctx.qs)
+        rows = kernels.active_backend().modadd(
+            self.basis.n, self.basis.primes, self.residues, other.residues
+        )
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._require_same_form(other)
-        ctx = self.basis.ntt()
-        rows = batched_mod_sub(self.residues, other.residues, ctx.qs)
+        rows = kernels.active_backend().modsub(
+            self.basis.n, self.basis.primes, self.residues, other.residues
+        )
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __neg__(self) -> "RnsPolynomial":
-        rows = batched_mod_neg(self.residues, self.basis.ntt().qs)
+        rows = kernels.active_backend().modneg(
+            self.basis.n, self.basis.primes, self.residues
+        )
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -199,17 +208,19 @@ class RnsPolynomial:
         self._require_same_form(other)
         if not self.is_ntt:
             raise ValueError("polynomial multiplication requires NTT domain")
-        ctx = self.basis.ntt()
-        rows = batched_mod_mul(self.residues, other.residues, ctx.barrett)
+        rows = kernels.active_backend().modmul(
+            self.basis.n, self.basis.primes, self.residues, other.residues
+        )
         return RnsPolynomial(self.basis, rows, is_ntt=True)
 
     def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
         """Multiply every coefficient by an integer scalar."""
-        ctx = self.basis.ntt()
         s = np.array(
             [int(scalar) % q for q in self.basis.primes], dtype=_U64
         ).reshape(-1, 1)
-        rows = batched_mod_mul(self.residues, s, ctx.barrett)
+        rows = kernels.active_backend().modmul(
+            self.basis.n, self.basis.primes, self.residues, s
+        )
         return RnsPolynomial(self.basis, rows, self.is_ntt)
 
     # -- level management -----------------------------------------------------
@@ -235,24 +246,9 @@ class RnsPolynomial:
         new_ctx = new_basis.ntt()
         if self.is_ntt and fastpath.get_config().batched_ntt:
             # NTT-resident rescale: only the dropped row ever leaves the
-            # evaluation domain.  Inverse-transform that single row, lift its
-            # centered form into the remaining primes, forward-transform the
-            # lift (L-1 rows), and finish with pure NTT-domain arithmetic —
-            # instead of a full L-row inverse + (L-1)-row forward round trip.
-            last_row = get_ntt_context(self.basis.n, q_last).inverse(
-                self.residues[-1]
-            )
-            half = q_last // 2
-            signed = last_row.astype(np.int64)
-            signed = np.where(last_row > half, signed - np.int64(q_last), signed)
-            lifted = np.mod(
-                signed[None, :], new_ctx.qs.astype(np.int64)
-            ).astype(_U64)
-            lifted = new_ctx.forward(lifted)
-            diff = batched_mod_sub(self.residues[:-1], lifted, new_ctx.qs)
-            inv = self.basis.ntt().rescale_inverses()
-            rows = batched_mod_mul(diff, inv, new_ctx.barrett)
-            return RnsPolynomial(new_basis, rows, is_ntt=True)
+            # evaluation domain — see :func:`rescale_polys` for the shared
+            # single-component implementation.
+            return rescale_polys((self,))[0]
         was_ntt = self.is_ntt
         coeff = self.to_coefficient()
         last_row = coeff.residues[-1]
@@ -264,9 +260,12 @@ class RnsPolynomial:
         lifted = np.mod(
             signed[None, :], new_ctx.qs.astype(np.int64)
         ).astype(_U64)
-        diff = batched_mod_sub(coeff.residues[:-1], lifted, new_ctx.qs)
+        backend = kernels.active_backend()
+        diff = backend.modsub(
+            new_basis.n, new_basis.primes, coeff.residues[:-1], lifted
+        )
         inv = self.basis.ntt().rescale_inverses()
-        rows = batched_mod_mul(diff, inv, new_ctx.barrett)
+        rows = backend.modmul(new_basis.n, new_basis.primes, diff, inv)
         out = RnsPolynomial(new_basis, rows, is_ntt=False)
         return out.to_ntt() if was_ntt else out
 
@@ -286,15 +285,17 @@ class RnsPolynomial:
         if self.is_ntt and fastpath.get_config().ntt_galois:
             # In the NTT domain the automorphism is a pure permutation of
             # evaluation points — no inverse/forward round trip needed.
-            perm = self.basis.ntt().galois_permutation(g)
-            return RnsPolynomial(self.basis, self.residues[:, perm], is_ntt=True)
+            rows = kernels.active_backend().apply_galois(
+                n, self.basis.primes, self.residues, g
+            )
+            return RnsPolynomial(self.basis, rows, is_ntt=True)
         was_ntt = self.is_ntt
         coeff = self.to_coefficient()
         idx = (np.arange(n, dtype=np.int64) * g) % (2 * n)
         target = np.where(idx < n, idx, idx - n)
         negate = idx >= n
         vals = coeff.residues
-        negated = batched_mod_neg(vals, self.basis.ntt().qs)
+        negated = kernels.active_backend().modneg(n, self.basis.primes, vals)
         rows = np.empty_like(vals)
         rows[:, target] = np.where(negate[None, :], negated, vals)
         out_poly = RnsPolynomial(self.basis, rows, is_ntt=False)
@@ -321,3 +322,53 @@ class RnsPolynomial:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         domain = "ntt" if self.is_ntt else "coeff"
         return f"RnsPolynomial(L={self.basis.level}, N={self.basis.n}, {domain})"
+
+
+def rescale_polys(polys: tuple["RnsPolynomial", ...]) -> tuple["RnsPolynomial", ...]:
+    """Rescale several same-basis polynomials with shared transforms.
+
+    The NTT-resident rescale transforms one dropped row per polynomial and
+    forward-transforms the ``(L-1)``-row lift; stacking the ``C``
+    components of a ciphertext into one ``(C, L, N)`` batch halves the
+    kernel-call count relative to per-component rescaling (the dominant
+    per-call overhead at small ``N``), while the arithmetic — and therefore
+    every output bit — is unchanged.
+
+    Falls back to per-polynomial :meth:`RnsPolynomial.rescale` whenever the
+    stacked fast path does not apply (coefficient-domain inputs, mixed
+    bases, or ``fastpath.batched_ntt`` disabled).
+    """
+    if not polys:
+        return ()
+    basis = polys[0].basis
+    stackable = (
+        fastpath.get_config().batched_ntt
+        and basis.level > 1
+        and all(p.is_ntt and p.basis == basis for p in polys)
+    )
+    if not stackable:
+        return tuple(p.rescale() for p in polys)
+    n = basis.n
+    q_last = basis.primes[-1]
+    new_basis = basis.drop_last()
+    new_ctx = new_basis.ntt()
+    backend = kernels.active_backend()
+    stacked = np.stack([p.residues for p in polys])  # (C, L, N)
+    # Inverse-transform only the dropped rows (C rows, single-prime chain).
+    last_rows = backend.inverse(n, (q_last,), stacked[:, -1:, :])
+    half = q_last // 2
+    signed = last_rows.astype(np.int64)
+    signed = np.where(last_rows > half, signed - np.int64(q_last), signed)
+    qs_i64 = new_ctx.qs_full_i64
+    if centered_lift_fits(q_last, new_basis.primes):
+        lifted = centered_lift(signed, qs_i64)
+    else:
+        lifted = np.mod(signed, qs_i64).astype(_U64)
+    lifted = backend.forward(n, new_basis.primes, lifted)
+    diff = backend.modsub(n, new_basis.primes, stacked[:, :-1, :], lifted)
+    inv_full, inv_shoup = basis.ntt().rescale_inverses_tiled()
+    rows = backend.modmul_const(n, new_basis.primes, diff, inv_full, inv_shoup)
+    return tuple(
+        RnsPolynomial(new_basis, np.ascontiguousarray(rows[c]), is_ntt=True)
+        for c in range(len(polys))
+    )

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..fhe.ciphertext import Ciphertext
 from ..fhe.noise import NoiseBound, NoiseEstimator
-from ..fhe.ops import Evaluator
+from ..fhe.ops import Evaluator, fold_composite_steps
 from ..optypes import HeOp
 from .packing import ConvPacking, DensePacking, SlotLayout
 from .reference import PoolSpec
@@ -226,12 +226,22 @@ class PackedDense(PackedLayer):
         return 2 if self.packing.needs_mask else 1
 
     def rotation_steps(self) -> list[int]:
-        return self.packing.rotation_steps_needed()
+        """Rotation steps to provision keys for.
+
+        Includes the pairwise-composite steps the evaluator's hoisted
+        rotate-fold uses at runtime; the layer's *analytic* trace keeps the
+        logical schedule (``packing.rotation_steps_needed()``) unchanged.
+        """
+        pk = self.packing
+        steps = set(pk.rotation_steps_needed())
+        steps.update(fold_composite_steps(pk.replication_steps(), pk.slot_count))
+        for phase in pk.rotation_phases():
+            steps.update(fold_composite_steps(phase.steps, pk.slot_count))
+        return sorted(steps)
 
     def _rotate_sum(self, evaluator: Evaluator, ct: Ciphertext) -> Ciphertext:
         for phase in self.packing.rotation_phases():
-            for step in phase.steps:
-                ct = evaluator.add(ct, evaluator.rotate(ct, step))
+            ct = evaluator.rotate_fold(ct, phase.steps)
         return ct
 
     def forward(self, evaluator: Evaluator, cts: list[Ciphertext]) -> list[Ciphertext]:
@@ -242,9 +252,7 @@ class PackedDense(PackedLayer):
             )
         inputs = list(cts)
         if pk.replicated and pk.copies > 1:
-            base = inputs[0]
-            for step in pk.replication_steps():
-                base = evaluator.add(base, evaluator.rotate(base, step))
+            base = evaluator.rotate_fold(inputs[0], pk.replication_steps())
             inputs = [base]
 
         chunk_results: list[Ciphertext] = []

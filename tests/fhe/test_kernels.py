@@ -1,0 +1,270 @@
+"""Property tests: every registered kernel backend is bit-identical.
+
+The kernel registry's hard contract is that swapping backends changes
+wall-clock time, never bits.  These tests pin every registered backend —
+including optional ones like ``numba`` when present — to the per-prime
+reference transforms, exercise the registry's selection precedence, and
+hammer mid-flight backend swaps from a second thread to show in-flight
+work is never torn.  No tolerances anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import kernels
+from repro.fhe.modmath import generate_ntt_primes, shoup_precompute
+from repro.fhe.ntt import get_batched_ntt_context
+
+_U64 = np.uint64
+
+N = 64
+PRIMES = tuple(generate_ntt_primes(24, 3, N))
+REFERENCE = kernels.get_backend("reference")
+
+
+def _rows(seed: int, batch: int = 2) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [
+            np.stack(
+                [
+                    rng.integers(0, q, N, dtype=np.int64).astype(_U64)
+                    for q in PRIMES
+                ]
+            )
+            for _ in range(batch)
+        ]
+    )
+
+
+def _backends() -> list[str]:
+    return kernels.available_backends()
+
+
+# -- bit-identity against the reference backend ------------------------------------
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_forward_bit_identical_to_reference(name, seed):
+    rows = _rows(seed)
+    backend = kernels.get_backend(name)
+    got = backend.forward(N, PRIMES, rows)
+    expected = REFERENCE.forward(N, PRIMES, rows)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_inverse_bit_identical_to_reference(name, seed):
+    rows = _rows(seed)
+    backend = kernels.get_backend(name)
+    got = backend.inverse(N, PRIMES, rows)
+    expected = REFERENCE.inverse(N, PRIMES, rows)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_roundtrip_is_identity(name, seed):
+    rows = _rows(seed)
+    backend = kernels.get_backend(name)
+    back = backend.inverse(N, PRIMES, backend.forward(N, PRIMES, rows))
+    assert np.array_equal(back, rows)
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_negacyclic_multiply_matches_reference(name, seed):
+    a = _rows(seed, batch=1)[0]
+    b = _rows(seed ^ 0xA5A5, batch=1)[0]
+    backend = kernels.get_backend(name)
+    got = backend.negacyclic_multiply(N, PRIMES, a, b)
+    expected = REFERENCE.negacyclic_multiply(N, PRIMES, a, b)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    step=st.integers(min_value=1, max_value=N // 2 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_apply_galois_matches_reference(name, seed, step):
+    g = pow(5, step, 2 * N)
+    ntt_rows = REFERENCE.forward(N, PRIMES, _rows(seed, batch=1)[0])
+    backend = kernels.get_backend(name)
+    got = backend.apply_galois(N, PRIMES, ntt_rows, g)
+    expected = REFERENCE.apply_galois(N, PRIMES, ntt_rows, g)
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("name", _backends())
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_modular_elementwise_kernels(name, seed):
+    a = _rows(seed, batch=1)[0]
+    b = _rows(seed ^ 0x5A5A, batch=1)[0]
+    backend = kernels.get_backend(name)
+    qs = np.array(PRIMES, dtype=_U64).reshape(-1, 1)
+    assert np.array_equal(backend.modadd(N, PRIMES, a, b), (a + b) % qs)
+    assert np.array_equal(
+        backend.modsub(N, PRIMES, a, b), (a + qs - b) % qs
+    )
+    assert np.array_equal(backend.modneg(N, PRIMES, a), (qs - a) % qs)
+    expected_mul = (
+        a.astype(object) * b.astype(object) % qs.astype(object)
+    ).astype(_U64)
+    assert np.array_equal(backend.modmul(N, PRIMES, a, b), expected_mul)
+
+
+@pytest.mark.parametrize("name", _backends())
+def test_modmul_const_matches_modmul(name):
+    rng = np.random.default_rng(7)
+    a = _rows(11, batch=1)[0]
+    qs = np.array(PRIMES, dtype=_U64).reshape(-1, 1)
+    consts = np.stack(
+        [rng.integers(0, q, N, dtype=np.int64).astype(_U64) for q in PRIMES]
+    )
+    backend = kernels.get_backend(name)
+    got = backend.modmul_const(
+        N, PRIMES, a, consts, shoup_precompute(consts, qs)
+    )
+    assert np.array_equal(got, backend.modmul(N, PRIMES, a, consts))
+
+
+def test_montgomery_forward_lazy_congruent():
+    """The lazy-exit forward agrees with the canonical forward modulo q and
+    stays within the documented ``[0, 2**32)`` Shoup input domain."""
+    backend = kernels.get_backend("montgomery")
+    rows = _rows(3)
+    canonical = backend.forward(N, PRIMES, rows)
+    lazy = backend.forward_lazy(N, PRIMES, rows)
+    qs = np.array(PRIMES, dtype=_U64).reshape(-1, 1)
+    assert np.array_equal(lazy % qs, canonical)
+    assert int(lazy.max()) < 2**32
+
+
+# -- registry selection ------------------------------------------------------------
+
+
+def test_default_backend_is_registered():
+    assert kernels.DEFAULT_BACKEND in kernels.available_backends()
+    assert kernels.active_backend().name == kernels.DEFAULT_BACKEND
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "reference")
+    assert kernels.active_backend().name == "reference"
+
+
+def test_explicit_selection_beats_env(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "reference")
+    kernels.set_backend("numpy-lazy")
+    try:
+        assert kernels.active_backend().name == "numpy-lazy"
+    finally:
+        kernels.set_backend(None)
+    assert kernels.active_backend().name == "reference"
+
+
+def test_using_backend_restores_previous():
+    with kernels.using_backend("reference"):
+        assert kernels.active_backend().name == "reference"
+        with kernels.using_backend("numpy-lazy"):
+            assert kernels.active_backend().name == "numpy-lazy"
+        assert kernels.active_backend().name == "reference"
+    assert kernels.active_backend().name == kernels.DEFAULT_BACKEND
+
+
+def test_unknown_backend_raises_with_catalog():
+    with pytest.raises(KeyError, match="montgomery"):
+        kernels.get_backend("no-such-backend")
+    with pytest.raises(KeyError):
+        kernels.set_backend("no-such-backend")
+
+
+def test_register_rejects_duplicates_and_abstract():
+    backend = kernels.MontgomeryBackend()
+    with pytest.raises(ValueError, match="already registered"):
+        kernels.register_backend(backend)
+    abstract = kernels.KernelBackend()
+    with pytest.raises(ValueError, match="concrete name"):
+        kernels.register_backend(abstract)
+
+
+def test_plans_info_and_clear_plans():
+    backend = kernels.get_backend("montgomery")
+    backend.forward(N, PRIMES, _rows(1, batch=1))
+    assert (N, PRIMES) in backend.plan_keys()
+    assert "montgomery" in kernels.plans_info()
+    kernels.clear_plans()
+    assert backend.plan_keys() == []
+
+
+def test_describe_marks_compiled_backends():
+    for name in kernels.available_backends():
+        desc = kernels.get_backend(name).describe()
+        assert desc["name"] == name
+        assert isinstance(desc["compiled"], bool)
+
+
+# -- mid-swap concurrency ----------------------------------------------------------
+
+
+def test_concurrent_backend_swaps_never_tear_results():
+    """Worker threads run forward/inverse round trips while the main thread
+    flips the active backend; every result must stay bit-identical."""
+    rows = _rows(42)
+    expected = REFERENCE.forward(N, PRIMES, rows)
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def worker():
+        while not stop.is_set():
+            backend = kernels.active_backend()
+            got = backend.forward(N, PRIMES, rows)
+            if not np.array_equal(got, expected):
+                failures.append(backend.name)
+                return
+            back = backend.inverse(N, PRIMES, got)
+            if not np.array_equal(back, rows):
+                failures.append(f"{backend.name}:roundtrip")
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        names = kernels.available_backends()
+        for i in range(60):
+            kernels.set_backend(names[i % len(names)])
+    finally:
+        kernels.set_backend(None)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+    assert not failures
+    assert kernels.active_backend().name == kernels.DEFAULT_BACKEND
+
+
+def test_parallel_backend_pool_path_bit_identical(monkeypatch):
+    """Force the process pool on (no inline fallback threshold) and check
+    sharded execution still matches the reference bit for bit."""
+    monkeypatch.setenv("REPRO_KERNEL_PARALLEL_MIN_ELEMS", "1")
+    backend = kernels.ParallelBackend()
+    rows = _rows(9, batch=3)
+    got = backend.forward(N, PRIMES, rows)
+    assert np.array_equal(got, REFERENCE.forward(N, PRIMES, rows))
+    back = backend.inverse(N, PRIMES, got)
+    assert np.array_equal(back, rows)

@@ -152,6 +152,56 @@ def test_rotate_and_sum_rejects_non_power_of_two(ctx, evaluator):
         evaluator.rotate_and_sum(ctx.encrypt_values(np.ones(4)), 6)
 
 
+def test_rotate_fold_hoisted_matches_sequential(ctx, evaluator):
+    from repro.fhe import fastpath
+    from repro.fhe.ops import fold_composite_steps
+
+    steps = [4, 2, 1]
+    composites = fold_composite_steps(steps, ctx.slot_count)
+    assert composites  # the grouping walk must find at least one group
+    ctx.ensure_galois_keys(sorted(set(steps) | set(composites)))
+    a = _vals(ctx, 40)
+    ct = ctx.encrypt_values(a)
+    hoisted = evaluator.rotate_fold(ct, steps)
+    with fastpath.overridden(hoisted_rotations=False):
+        sequential = evaluator.rotate_fold(ct, steps)
+    expected = a.copy()
+    for s in steps:
+        expected = expected + np.roll(expected, -s)
+    assert np.allclose(ctx.decrypt_values(hoisted), expected, atol=ATOL)
+    assert np.allclose(ctx.decrypt_values(sequential), expected, atol=ATOL)
+
+
+def test_rotate_fold_falls_back_without_composite_keys(ctx, evaluator):
+    # Powers of two whose pairwise sums (12, 3, ...) were never provisioned:
+    # every group attempt raises KeyError and the sequential walk must kick
+    # in transparently.
+    steps = [8, 4, 2, 1]
+    a = _vals(ctx, 41)
+    expected = a.copy()
+    for s in steps:
+        expected = expected + np.roll(expected, -s)
+    out = ctx.decrypt_values(
+        evaluator.rotate_fold(ctx.encrypt_values(a), steps)
+    )
+    assert np.allclose(out, expected, atol=ATOL)
+
+
+def test_fold_composite_steps_mirrors_grouping():
+    from repro.fhe.ops import _subset_steps, fold_composite_steps
+
+    # A 3-step group advertises all non-empty subset sums.
+    assert _subset_steps((4, 2, 1), 256) == [4, 2, 6, 1, 5, 3, 7]
+    # Zero steps (or zero subset sums) kill the group.
+    assert _subset_steps((0, 2), 256) is None
+    assert _subset_steps((128, 128), 256) is None
+    # The provisioning walk matches rotate_fold's greedy grouping: one
+    # triple from [4, 2, 1], then the trailing single adds nothing.
+    assert fold_composite_steps([4, 2, 1, 16], 256) == [4, 2, 6, 1, 5, 3, 7]
+    # Steps congruent to zero are skipped exactly like the runtime walk.
+    assert fold_composite_steps([256, 8], 256) == []
+
+
 # -- guards --------------------------------------------------------------------------
 
 

@@ -62,6 +62,30 @@ def test_broken_invariant_fails(tmp_path):
     assert "invariant BROKEN" in proc.stdout
 
 
+def test_pinned_kernel_backend_mismatch_fails(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_fhe.json").read_text())
+    record["fastpath"]["kernel_backend"] = "numpy-lazy"
+    (fresh / "BENCH_fhe.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_fhe", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "pinned 'montgomery' != 'numpy-lazy'" in proc.stdout
+
+
+def test_kernel_matrix_invariant_and_ratio_gated(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_fhe_kernels.json").read_text())
+    record["default_beats_reference"] = False
+    record["backends"]["montgomery"]["speedup_vs_reference"] *= 0.4
+    (fresh / "BENCH_fhe_kernels.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_fhe_kernels", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1
+    assert "invariant BROKEN" in proc.stdout
+    assert "speedup_vs_reference" in proc.stdout
+
+
 def test_missing_fresh_record_is_a_hard_error(tmp_path):
     proc = _run("--fresh-dir", str(tmp_path / "nowhere"))
     assert proc.returncode == 2
