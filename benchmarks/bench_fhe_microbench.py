@@ -302,27 +302,36 @@ def test_bench_kernel_backend_matrix(save_report):
 
 
 def test_bench_obs_overhead_disabled(bench_ctx, bench_ct):
-    """With observability off, the ``_probed`` wrapper must cost < 2 %.
+    """With observability off, the ``_probed`` wrapper must cost < 2 % —
+    even with a lineage tracker installed.
 
     Interleaved min-of-N timing of the decorated CCadd against its
     undecorated original (``__wrapped__``) on the N=2048 ring; min-of-N
-    discards scheduler noise, interleaving discards thermal drift.
+    discards scheduler noise, interleaving discards thermal drift.  The
+    probed runs happen inside an (ambient, but dormant) lineage context:
+    the PR-7 lineage hook lives on the enabled path only, so an
+    installed tracker must neither slow the disabled path nor record
+    anything.
     """
     assert not obs.enabled()
     ev = Evaluator(bench_ctx)
     raw_add = Evaluator.add.__wrapped__
+    tracker = obs.LineageTracker()
     reps, rounds = 200, 7
     best_probed = best_raw = float("inf")
-    for _ in range(rounds):
-        start = time.perf_counter()
-        for _ in range(reps):
-            ev.add(bench_ct, bench_ct)
-        best_probed = min(best_probed, time.perf_counter() - start)
-        start = time.perf_counter()
-        for _ in range(reps):
-            raw_add(ev, bench_ct, bench_ct)
-        best_raw = min(best_raw, time.perf_counter() - start)
+    with obs.lineage_context(tracker):
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(reps):
+                ev.add(bench_ct, bench_ct)
+            best_probed = min(best_probed, time.perf_counter() - start)
+            start = time.perf_counter()
+            for _ in range(reps):
+                raw_add(ev, bench_ct, bench_ct)
+            best_raw = min(best_raw, time.perf_counter() - start)
     overhead = best_probed / best_raw - 1.0
     print(f"disabled-obs overhead on CCadd: {overhead:+.3%} "
           f"({best_raw * 1e6 / reps:.1f} us/op raw)")
+    # Obs disabled => the lineage hook never ran: an empty DAG.
+    assert not tracker.nodes
     assert overhead < 0.02

@@ -37,6 +37,10 @@ HERE = Path(__file__).resolve().parent
 DEFAULT_TOLERANCE = 0.15
 #: Wall-clock metrics (BENCH_fhe) jitter with the CI runner.
 WALLCLOCK_TOLERANCE = 0.40
+#: Noise bits are log-scale: 15% of a -16-bit final precision would wave
+#: through a >2-bit loss.  The record is fully deterministic (closed-form
+#: propagation, seeded audit), so gate it at 5%.
+NOISE_TOLERANCE = 0.05
 
 #: file stem -> ((dotted path, direction, tolerance), ...).  ``direction``
 #: is "higher" (regression = value dropped) or "lower" (regression =
@@ -66,6 +70,17 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
          DEFAULT_TOLERANCE),
         ("fleets.*.plan.fill_latency_seconds", "lower", DEFAULT_TOLERANCE),
     ),
+    # Analytic noise propagation is closed-form and the audit inputs are
+    # seeded, so the whole record is deterministic: tight tolerance.  A
+    # packing/estimator change that costs per-layer precision (analytic
+    # bits dropped) or erodes the conservativeness margin (audit gap
+    # shrank) is a real regression even though no wall clock moved.
+    "BENCH_noise": (
+        ("networks.*.final_analytic_bits", "higher", NOISE_TOLERANCE),
+        ("networks.*.layers.*.analytic_bits", "higher", NOISE_TOLERANCE),
+        ("networks.0.min_gap_bits", "higher", NOISE_TOLERANCE),
+        ("networks.0.layers.*.measured_bits", "higher", NOISE_TOLERANCE),
+    ),
 }
 
 #: Boolean invariants that must stay true in the fresh record.
@@ -73,6 +88,7 @@ _INVARIANTS: dict[str, tuple[str, ...]] = {
     "BENCH_serve": ("warm_rerun.dse_skipped",),
     "BENCH_cluster": ("all_dp_beat_equal", "warm_rerun.flat"),
     "BENCH_fhe_kernels": ("default_beats_reference",),
+    "BENCH_noise": ("networks.0.audit_ok",),
 }
 
 #: Non-numeric fields that must match the baseline exactly — e.g. the
@@ -82,6 +98,9 @@ _INVARIANTS: dict[str, tuple[str, ...]] = {
 _PINNED: dict[str, tuple[str, ...]] = {
     "BENCH_fhe": ("fastpath.kernel_backend",),
     "BENCH_fhe_kernels": ("default_backend",),
+    "BENCH_noise": (
+        "kernel_backend", "networks.0.name", "networks.1.name",
+    ),
 }
 
 

@@ -10,8 +10,11 @@ Subcommands mirror the framework's workflow:
 * ``infer``   — run a real encrypted inference and verify it against the
   plaintext reference;
 * ``profile`` — run an encrypted inference under the observability layer
-  and print per-layer / per-op latency and noise-budget breakdowns,
-  optionally exporting a Chrome-trace / Perfetto JSON.
+  and print per-layer / per-op latency, noise-budget and noise-headroom
+  breakdowns, optionally exporting a Chrome-trace / Perfetto JSON;
+* ``explain`` — reconstruct a request's ciphertext lineage DAG (per-op
+  noise accounting) with a per-layer noise waterfall, the dominant noise
+  spenders, and JSON / Graphviz DOT exports.
 
 Unknown networks and devices exit with a message and a nonzero status —
 never a raw traceback.
@@ -151,31 +154,46 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_infer(args: argparse.Namespace) -> int:
-    from .fhe import CkksContext, CkksParameters
+def _inference_setup(network: str, seed: int, full: bool, command: str):
+    """``(params, model, image)`` for the encrypted-inference commands.
+
+    ``tiny`` is the N=512 test network; ``mnist`` defaults to the reduced
+    N=2048 parameters unless ``full`` asks for the paper's.
+    """
+    from .fhe import CkksParameters
     from .hecnn import synthetic_mnist_image
 
-    _select_kernel_backend(args.kernel_backend)
-    if args.network == "tiny":
+    if network == "tiny":
         from .fhe import tiny_test_params
 
         params = tiny_test_params(poly_degree=512, level=7)
         model = tiny_mnist_model(seed=0, params=params)
-        image = np.random.default_rng(args.seed).uniform(0, 1, (1, 8, 8))
-    elif args.network == "mnist":
-        if args.fast:
-            params = CkksParameters(
-                poly_degree=2048, prime_bits=28, level=7, scale_bits=26
-            )
-        else:
+        image = np.random.default_rng(seed).uniform(0, 1, (1, 8, 8))
+    elif network == "mnist":
+        if full:
             from .fhe import fxhenn_mnist_params
 
             params = fxhenn_mnist_params()
+        else:
+            params = CkksParameters(
+                poly_degree=2048, prime_bits=28, level=7, scale_bits=26
+            )
         model = fxhenn_mnist_model(seed=0, params=params)
-        image = synthetic_mnist_image(seed=args.seed)
+        image = synthetic_mnist_image(seed=seed)
     else:
-        raise SystemExit("infer supports networks: tiny, mnist")
+        raise SystemExit(
+            f"{command} supports networks: tiny, mnist (got {network!r})"
+        )
+    return params, model, image
 
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    from .fhe import CkksContext
+
+    _select_kernel_backend(args.kernel_backend)
+    params, model, image = _inference_setup(
+        args.network, args.seed, full=not args.fast, command="infer",
+    )
     context = CkksContext(params, seed=1)
     model.provision_keys(context)
     encrypted = model.infer(context, image)
@@ -218,34 +236,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import time
 
     from . import obs
-    from .fhe import CkksContext, CkksParameters, kernels
+    from .fhe import CkksContext, kernels
     from .fhe.ops import OperationRecorder
-    from .hecnn import synthetic_mnist_image
 
     _select_kernel_backend(args.kernel_backend)
     backend_name = kernels.active_backend().name
-    if args.network == "tiny":
-        from .fhe import tiny_test_params
-
-        params = tiny_test_params(poly_degree=512, level=7)
-        model = tiny_mnist_model(seed=0, params=params)
-        image = np.random.default_rng(args.seed).uniform(0, 1, (1, 8, 8))
-    elif args.network == "mnist":
-        if args.full:
-            from .fhe import fxhenn_mnist_params
-
-            params = fxhenn_mnist_params()
-        else:
-            params = CkksParameters(
-                poly_degree=2048, prime_bits=28, level=7, scale_bits=26
-            )
-        model = fxhenn_mnist_model(seed=0, params=params)
-        image = synthetic_mnist_image(seed=args.seed)
-    else:
-        raise SystemExit(
-            f"profile supports networks: tiny, mnist (got {args.network!r})"
-        )
-
+    params, model, image = _inference_setup(
+        args.network, args.seed, full=args.full, command="profile",
+    )
     context = CkksContext(params, seed=1)
     model.provision_keys(context)
     recorder = OperationRecorder()
@@ -271,6 +269,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "he_ops": op_count,
             "level_out": bound.level,
             "noise_bits": bound.error_bits,
+            "headroom_bits": bound.error_bits - args.headroom_floor_bits,
         })
     op_rows = [
         {"op": r["name"], "count": r["count"], "total_ms": r["total_ms"],
@@ -285,19 +284,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "kernel_backend": backend_name,
             "wall_s": wall,
             "max_ckks_error": err,
+            "headroom_floor_bits": args.headroom_floor_bits,
             "layers": layer_rows,
             "ops": op_rows,
         }
         print(json.dumps(payload, indent=2))
     else:
         print(format_table(
-            ["layer", "kind", "wall ms", "HE ops", "level out", "noise bits"],
+            ["layer", "kind", "wall ms", "HE ops", "level out", "noise bits",
+             "headroom"],
             [(r["name"], r["kind"], f"{r['wall_ms']:.1f}", r["he_ops"],
-              r["level_out"], f"{r['noise_bits']:.1f}")
+              r["level_out"], f"{r['noise_bits']:.1f}",
+              f"{r['headroom_bits']:+.1f}")
              for r in layer_rows],
             title=f"{model.name} encrypted inference profile "
                   f"(N={params.poly_degree}, kernels={backend_name}, "
-                  f"wall {wall:.2f} s)",
+                  f"wall {wall:.2f} s, headroom floor "
+                  f"{args.headroom_floor_bits:g} bits)",
         ))
         print()
         print(format_table(
@@ -319,6 +322,113 @@ def cmd_profile(args: argparse.Namespace) -> int:
             print(f"Chrome trace written to {args.trace_out} "
                   f"(open in chrome://tracing or ui.perfetto.dev)")
     return 0
+
+
+def _fmt_bits(bits: float | None) -> str:
+    return "-" if bits is None else f"{bits:.2f}"
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct an encrypted inference's ciphertext lineage DAG.
+
+    Runs one inference with a :class:`~repro.obs.lineage.LineageTracker`
+    installed, then reports where the noise budget went: the per-layer
+    noise waterfall (entry/exit/spent analytic bits at every layer
+    boundary), the dominant per-op noise spenders, and the DAG's shape.
+    ``--json-out`` / ``--dot`` export the full per-op record for offline
+    tooling (the DOT file renders with Graphviz); ``--audit`` addition-
+    ally decrypts at every layer boundary (client-side debug — needs the
+    secret key) and cross-checks measured noise against the analytic
+    bounds, failing hard on any under-estimate.
+    """
+    import json
+
+    from . import obs
+    from .fhe import CkksContext, kernels
+    from .fhe.noise import NoiseEstimator
+
+    _select_kernel_backend(args.kernel_backend)
+    backend_name = kernels.active_backend().name
+    params, model, image = _inference_setup(
+        args.network, args.seed, full=args.full, command="explain",
+    )
+    context = CkksContext(params, seed=1)
+    model.provision_keys(context)
+    trace_id = obs.new_trace_id("explain")
+    tracker = obs.LineageTracker(
+        estimator=NoiseEstimator.for_context(context),
+        trace_id=trace_id,
+        headroom_threshold_bits=args.headroom_bits,
+    )
+    with obs.observed():
+        obs.reset()
+        with obs.trace_context(trace_id), obs.lineage_context(tracker):
+            model.infer(context, image)
+        audit_rows = model.audit_noise(context, image) if args.audit else None
+
+    record = tracker.to_json()
+    record["network"] = model.name
+    record["poly_degree"] = params.poly_degree
+    record["kernel_backend"] = backend_name
+    if audit_rows is not None:
+        record["audit"] = audit_rows
+
+    ok = True
+    if args.json_out:
+        ok &= _write_or_fail(
+            args.json_out, json.dumps(record, indent=2) + "\n",
+            "lineage JSON",
+        )
+    if args.dot:
+        ok &= _write_or_fail(args.dot, tracker.to_dot(), "lineage DOT")
+
+    if args.format == "json":
+        print(json.dumps(record, indent=2))
+        return 0 if ok else 1
+
+    print(format_table(
+        ["layer", "entry bits", "exit bits", "spent bits", "worst ct"],
+        [(r["layer"], _fmt_bits(r["entry_bits"]), _fmt_bits(r["exit_bits"]),
+          _fmt_bits(r["spent_bits"]), r["worst_lineage_id"] or "-")
+         for r in tracker.waterfall()],
+        title=f"{model.name} noise waterfall (trace {trace_id}, "
+              f"N={params.poly_degree}, kernels={backend_name})",
+    ))
+    print()
+    print(format_table(
+        ["ciphertext", "op", "layer", "spent bits", "exit bits"],
+        [(n["lineage_id"], n["op"], n["layer"] or "-",
+          _fmt_bits(n["spent_bits"]), _fmt_bits(n["exit_bits"]))
+         for n in tracker.dominant_spenders(args.top)],
+        title=f"top {args.top} noise spenders",
+    ))
+    edges = tracker.edges()
+    print(f"\nDAG: {len(tracker.nodes)} ciphertexts, {len(edges)} edges, "
+          f"{len(tracker.roots())} inputs; connected: "
+          f"{tracker.is_connected()}")
+    initial, final = tracker.initial_bits, tracker.final_bits
+    if initial is not None and final is not None:
+        print(f"analytic precision: {initial:.2f} -> {final:.2f} bits "
+              f"(spent {initial - final:.2f})")
+    print(f"headroom threshold {args.headroom_bits:g} bits: "
+          f"{tracker.headroom_crossings} crossing(s)")
+    if audit_rows is not None:
+        print()
+        print(format_table(
+            ["layer", "analytic bits", "measured bits", "gap bits"],
+            [(r["layer"], f"{r['analytic_bits']:.2f}",
+              f"{r['measured_bits']:.2f}", f"{r['gap_bits']:+.2f}")
+             for r in audit_rows],
+            title="noise audit (measured vs analytic, decrypted "
+                  "boundaries)",
+        ))
+        print("audit OK: measured noise never exceeded the analytic bound")
+    if args.json_out:
+        print(f"lineage record written to {args.json_out}")
+    if args.dot:
+        print(f"lineage DAG written to {args.dot} "
+              f"(render: dot -Tsvg {args.dot})")
+    return 0 if ok else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -682,11 +792,50 @@ def build_parser() -> argparse.ArgumentParser:
                              "object with the same per-layer/per-op data")
     p_prof.add_argument("--trace-out",
                         help="write Chrome-trace JSON to this file")
+    p_prof.add_argument("--headroom-floor-bits", type=float, default=8.0,
+                        help="precision floor subtracted from each layer's "
+                             "analytic noise bits to form the headroom "
+                             "column (default 8)")
     p_prof.add_argument("--kernel-backend", metavar="NAME",
                         help="FHE kernel backend (reference, numpy-lazy, "
                              "montgomery, parallel, ...); overrides "
                              "REPRO_KERNEL_BACKEND; reported in the "
                              "profile output")
+
+    p_expl = sub.add_parser(
+        "explain",
+        help="reconstruct an inference's ciphertext lineage DAG and "
+             "noise waterfall",
+    )
+    p_expl.add_argument("--network", default="mnist")
+    p_expl.add_argument("--full", action="store_true",
+                        help="mnist only: full paper parameters (slow)")
+    p_expl.add_argument("--seed", type=int, default=4)
+    p_expl.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="human tables or the full lineage record as "
+                             "one JSON object")
+    p_expl.add_argument("--audit", action="store_true",
+                        help="decrypt at layer boundaries and check "
+                             "measured noise against the analytic bounds "
+                             "(debug; uses the secret key)")
+    p_expl.add_argument("--headroom-bits", type=float, default=8.0,
+                        help="noise-headroom threshold: layer boundaries "
+                             "whose analytic bits fall below this emit a "
+                             "flight-recorder violation event (default 8)")
+    p_expl.add_argument("--top", type=int, default=5,
+                        help="dominant noise spenders to list")
+    p_expl.add_argument("--json-out",
+                        help="write the lineage DAG record (JSON) to this "
+                             "file")
+    p_expl.add_argument("--dot",
+                        help="write the lineage DAG (Graphviz DOT) to "
+                             "this file")
+    p_expl.add_argument("--kernel-backend", metavar="NAME",
+                        help="FHE kernel backend (reference, numpy-lazy, "
+                             "montgomery, parallel, ...); overrides "
+                             "REPRO_KERNEL_BACKEND; recorded per op in "
+                             "the lineage DAG")
 
     p_serve = sub.add_parser(
         "serve", help="simulate a slot-batched serving session"
@@ -780,6 +929,7 @@ _COMMANDS = {
     "explore": cmd_explore,
     "infer": cmd_infer,
     "profile": cmd_profile,
+    "explain": cmd_explain,
     "serve": cmd_serve,
     "bench-throughput": cmd_bench_throughput,
     "cluster": cmd_cluster,

@@ -56,6 +56,17 @@ class Ciphertext:
         return len(self.components)
 
     @property
+    def lineage_id(self) -> str | None:
+        """Provenance ID attached by :mod:`repro.obs.lineage`.
+
+        ``None`` unless an active :class:`~repro.obs.lineage
+        .LineageTracker` has seen this ciphertext.  Stored as a side-band
+        attribute so untracked ciphertexts pay nothing and equality/
+        hashing of the frozen dataclass are unaffected.
+        """
+        return getattr(self, "_lineage_id", None)
+
+    @property
     def is_linear(self) -> bool:
         """True when the ciphertext has two components (no pending relin)."""
         return len(self.components) == 2

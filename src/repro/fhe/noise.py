@@ -151,6 +151,22 @@ class NoiseEstimator:
             scale=a.scale * q_last,
         )
 
+    def multiply(self, a: NoiseBound, b: NoiseBound) -> NoiseBound:
+        """CCmult of two distinct ciphertexts.
+
+        ``(m_a + e_a)(m_b + e_b)`` carries the cross terms
+        ``e_a m_b + e_b m_a + e_a e_b``; :meth:`square` is the ``a = b``
+        special case.  Operands are aligned to the minimum level first
+        (mirroring the evaluator's implicit mod switch).
+        """
+        level = min(a.level, b.level)
+        return NoiseBound(
+            error=a.error * b.message + b.error * a.message + a.error * b.error,
+            message=a.message * b.message,
+            level=level,
+            scale=a.scale * b.scale,
+        )
+
     def square(self, a: NoiseBound) -> NoiseBound:
         return NoiseBound(
             error=2 * a.error * a.message + a.error**2,

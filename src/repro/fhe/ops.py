@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs import config as obs_config
-from ..obs import probes
+from ..obs import lineage, probes
 from ..obs.tracing import trace_span
 from ..optypes import HeOp
 from . import fastpath, kernels
@@ -43,10 +43,14 @@ def _probed(op_name: str):
     """Wrap an evaluator op in an obs span + post-op ciphertext probes.
 
     With observability disabled the wrapper is a single flag check and a
-    tail call — the < 2 % overhead budget of ``docs/observability.md``.
-    Enabled, each call becomes one ``he_op`` span (nested inside whatever
-    layer/inference span is open) and records the result ciphertext's
-    level and scale so precision evolution is visible per op.
+    tail call — the < 2 % overhead budget of ``docs/observability.md``
+    (asserted in CI with a lineage tracker installed, so lineage can
+    never leak cost into the disabled path).  Enabled, each call becomes
+    one ``he_op`` span (nested inside whatever layer/inference span is
+    open), records the result ciphertext's level and scale, and — when a
+    :class:`repro.obs.lineage.LineageTracker` is installed — records the
+    op into the request's provenance DAG (parent lineage IDs, backend,
+    analytic noise delta).
     """
 
     def decorate(fn):
@@ -63,6 +67,9 @@ def _probed(op_name: str):
                                         scale=out.scale)
                 else:
                     probes.record_he_op(op_name)
+            tracker = lineage.current_tracker()
+            if tracker is not None:
+                tracker.observe(op_name, self, args, kwargs, out)
             return out
 
         return wrapper

@@ -10,6 +10,7 @@ intermediate results — and returns the encrypted logits.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,7 +19,8 @@ from ..fhe.ciphertext import Ciphertext
 from ..fhe.context import CkksContext
 from ..fhe.noise import NoiseBound, NoiseEstimator, publish_noise_budget
 from ..fhe.ops import Evaluator, OperationRecorder
-from ..obs import probes
+from ..obs import lineage, probes
+from ..obs.lineage import NoiseAuditError
 from ..obs.tracing import trace_span
 from .layers import PackedConv, PackedLayer
 from .packing import ConvPacking
@@ -153,12 +155,24 @@ class HeCnn:
         cts: list[Ciphertext],
         recorder: OperationRecorder | None = None,
     ) -> list[Ciphertext]:
-        """Server side: run every layer on ciphertexts."""
+        """Server side: run every layer on ciphertexts.
+
+        When a :class:`~repro.obs.lineage.LineageTracker` is installed
+        (:func:`repro.obs.lineage.lineage_context`), the inputs are
+        registered as DAG roots, every op is attributed to its layer, and
+        each layer exit marks a noise-waterfall boundary (publishing the
+        per-layer ``noise_headroom_bits`` gauge and the threshold watch).
+        """
         state = cts
+        tracker = lineage.current_tracker()
         with trace_span("inference", category="network", network=self.name):
+            if tracker is not None:
+                tracker.begin_inputs(cts)
             for layer in self.layers:
                 if recorder is not None:
                     recorder.set_phase(layer.name)
+                if tracker is not None:
+                    tracker.set_layer(layer.name)
                 with trace_span(
                     layer.name, category="layer",
                     layer_type=type(layer).__name__,
@@ -169,6 +183,10 @@ class HeCnn:
                     layer.name, type(layer).__name__, len(state),
                     state[0].level,
                 )
+                if tracker is not None:
+                    tracker.mark_boundary(layer.name, state)
+            if tracker is not None:
+                tracker.set_layer(None)
         if recorder is not None:
             recorder.set_phase(None)
         return state
@@ -191,6 +209,74 @@ class HeCnn:
     def infer_plain(self, image: np.ndarray) -> np.ndarray:
         """The cleartext oracle on the same image."""
         return self.plain_reference.forward(image)
+
+    def audit_noise(
+        self,
+        context: CkksContext,
+        image: np.ndarray,
+        message_bound: float = 1.0,
+        estimator: NoiseEstimator | None = None,
+    ) -> list[dict[str, float | str]]:
+        """Debug noise audit: decrypt at every layer boundary and compare
+        the measured error against the analytic bound.
+
+        Requires the secret key — a client-side/debugging facility, never
+        available to the accelerator.  For each layer the packed output
+        is decrypted, its value slots (via the layer's
+        :class:`~repro.hecnn.packing.SlotLayout`) are compared against
+        the plain reference run to the same depth, and the measured
+        precision is checked against the analytic
+        :class:`~repro.fhe.noise.NoiseBound`.  The measured-vs-analytic
+        gap feeds the ``noise_gap_bits`` histogram; an analytic
+        *under-estimate* raises :class:`~repro.obs.lineage
+        .NoiseAuditError` — a hard error, since every precision guarantee
+        downstream rests on the bound being conservative.
+
+        Returns one row per layer:
+        ``{"layer", "analytic_bits", "measured_bits", "gap_bits"}``.
+        """
+        self._check_context(context)
+        est = estimator if estimator is not None else \
+            NoiseEstimator.for_context(context)
+        evaluator = Evaluator(context)
+        state = self.encrypt_input(context, image)
+        bound = est.fresh(message_bound, level=self.base_level)
+        x = image
+        rows: list[dict[str, float | str]] = []
+        for layer, plain_layer in zip(self.layers,
+                                      self.plain_reference.layers):
+            state = layer.forward(evaluator, state)
+            bound = layer.propagate_noise(est, bound)
+            x = plain_layer.forward(x)
+            expected = np.asarray(x, dtype=float).reshape(-1)
+            layout = layer.output_layout
+            slot_vectors = [context.decrypt_values(ct) for ct in state]
+            got = layout.extract(slot_vectors)
+            if len(got) != len(expected):
+                raise NoiseAuditError(
+                    f"layer {layer.name}: layout carries {len(got)} values "
+                    f"but the reference produced {len(expected)}"
+                )
+            err = float(np.max(np.abs(got - expected)))
+            measured_bits = float("inf") if err == 0 else -math.log2(err)
+            analytic_bits = bound.error_bits
+            gap = measured_bits - analytic_bits
+            probes.record_noise_gap(gap, layer=layer.name)
+            if err > bound.error * (1 + 1e-9):
+                worst = getattr(state[0], "lineage_id", None)
+                raise NoiseAuditError(
+                    f"layer {layer.name}: measured error {err:.3e} exceeds "
+                    f"the analytic bound {bound.error:.3e} "
+                    f"({measured_bits:.2f} < {analytic_bits:.2f} bits"
+                    + (f", lineage {worst}" if worst else "") + ")"
+                )
+            rows.append({
+                "layer": layer.name,
+                "analytic_bits": analytic_bits,
+                "measured_bits": measured_bits,
+                "gap_bits": gap,
+            })
+        return rows
 
     def _check_context(self, context: CkksContext) -> None:
         if context.params.poly_degree != self.poly_degree:

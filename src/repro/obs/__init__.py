@@ -13,6 +13,9 @@ Pillars (all zero-dependency, all off by default):
   dump and a dump-on-error hook (the post-mortem for a failed request);
 * :mod:`repro.obs.export` — OpenMetrics text rendering, grammar
   validation, and a periodic atomic snapshotter;
+* :mod:`repro.obs.lineage` — per-ciphertext provenance: lineage IDs,
+  a request-scoped op DAG with per-op analytic noise deltas, layer
+  noise waterfalls and headroom threshold watches;
 * :mod:`repro.obs.probes` — the hooks the evaluator, HE-CNN layers,
   noise estimator, simulator, DSE, serving and cluster layers call.
 
@@ -24,6 +27,14 @@ asserted in CI).  See ``docs/observability.md``.
 from .config import disable, enable, enabled, observed, set_enabled
 from .export import Snapshotter, render_openmetrics, validate_openmetrics
 from .flight import FLIGHT, FlightRecorder, dump_on_error, get_flight_recorder
+from .lineage import (
+    HeadroomWatch,
+    LineageNode,
+    LineageTracker,
+    NoiseAuditError,
+    current_tracker,
+    lineage_context,
+)
 from .probes import (
     DseProgress,
     record_batch_dispatch,
@@ -31,6 +42,8 @@ from .probes import (
     record_he_op,
     record_layer,
     record_noise_budget,
+    record_noise_gap,
+    record_noise_headroom,
     record_queue_depth,
     record_request_latency,
     record_request_outcome,
@@ -75,14 +88,19 @@ __all__ = [
     "FLIGHT",
     "FlightRecorder",
     "Gauge",
+    "HeadroomWatch",
     "Histogram",
+    "LineageNode",
+    "LineageTracker",
     "MetricsRegistry",
+    "NoiseAuditError",
     "REGISTRY",
     "Snapshotter",
     "Span",
     "TRACER",
     "Tracer",
     "current_trace_id",
+    "current_tracker",
     "disable",
     "dump_on_error",
     "emit_virtual",
@@ -91,6 +109,7 @@ __all__ = [
     "get_flight_recorder",
     "get_registry",
     "get_tracer",
+    "lineage_context",
     "new_trace_id",
     "observed",
     "record_batch_dispatch",
@@ -98,6 +117,8 @@ __all__ = [
     "record_he_op",
     "record_layer",
     "record_noise_budget",
+    "record_noise_gap",
+    "record_noise_headroom",
     "record_queue_depth",
     "record_request_latency",
     "record_request_outcome",

@@ -25,6 +25,7 @@ zero-dependency stand-in for an HTTP ``/metrics`` endpoint.
 
 from __future__ import annotations
 
+import math
 import os
 import re
 import threading
@@ -65,13 +66,42 @@ def _format_value(value: float) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    out = float(value)
+    if math.isnan(out):
+        return "NaN"
+    if math.isinf(out):
+        return "+Inf" if out > 0 else "-Inf"
+    return repr(out)
+
+
+def _dedupe(name: str, used: set[str]) -> str:
+    """``name``, suffixed ``_2``/``_3``/... if sanitization collided.
+
+    Distinct raw names can sanitize to the same string (``layer-a`` and
+    ``layer a`` both become ``layer_a``); emitting both verbatim would
+    produce a sample with duplicate label names or a family declared
+    twice — both rejected by :func:`validate_openmetrics`.  Insertion
+    order makes the suffixes deterministic.
+    """
+    if name not in used:
+        used.add(name)
+        return name
+    for i in range(2, len(used) + 2):
+        candidate = f"{name}_{i}"
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+    raise AssertionError("unreachable: more suffixes than names")
 
 
 def _labelset(labels: tuple[tuple[str, Any], ...],
               extra: tuple[tuple[str, str], ...] = ()) -> str:
+    # Reserve the exporter-owned names (e.g. ``quantile``) first so a
+    # user label that sanitizes onto one gets suffixed, not the reverse.
+    used = {k for k, _ in extra}
     parts = [
-        f'{_sanitize_label(k)}="{_escape(v)}"' for k, v in labels
+        f'{_dedupe(_sanitize_label(k), used)}="{_escape(v)}"'
+        for k, v in labels
     ] + [f'{k}="{v}"' for k, v in extra]
     return "{" + ",".join(parts) + "}" if parts else ""
 
@@ -84,10 +114,17 @@ def render_openmetrics(registry: MetricsRegistry | None = None) -> str:
         families.setdefault((kind, name), []).append(metric)
 
     lines: list[str] = []
+    used_families: set[str] = set()
     for (kind, name), metrics in families.items():
         base = _sanitize_name(name)
         if kind == "counter":
-            family = base[: -len("_total")] if base.endswith("_total") else base
+            base = base[: -len("_total")] if base.endswith("_total") else base
+        # Distinct registry names can sanitize to one family name (and a
+        # gauge can collide with a counter or histogram family) — each
+        # final family name must be declared exactly once.
+        base = _dedupe(base, used_families)
+        if kind == "counter":
+            family = base
             lines.append(f"# TYPE {family} counter")
             for m in metrics:
                 lines.append(
@@ -130,8 +167,11 @@ def render_openmetrics(registry: MetricsRegistry | None = None) -> str:
 _LABEL_RE = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    rf"(?:\{{{_LABEL_RE}(?:,{_LABEL_RE})*\}})?"
-    r" (?P<value>-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|Inf)|NaN)$"
+    rf"(?:\{{(?P<labels>{_LABEL_RE}(?:,{_LABEL_RE})*)\}})?"
+    r" (?P<value>[-+]?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|Inf)|NaN)$"
+)
+_LABEL_ITEM_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
 )
 _TYPE_RE = re.compile(
     r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
@@ -149,7 +189,8 @@ def validate_openmetrics(text: str) -> None:
 
     Checks line shapes, family/sample name agreement (counter samples
     must carry ``_total``; summary samples the summary suffixes), unique
-    family declarations, and the mandatory final ``# EOF``.
+    family declarations, unique label names within each sample, and the
+    mandatory final ``# EOF``.
     """
     lines = text.split("\n")
     if lines and lines[-1] == "":
@@ -178,6 +219,16 @@ def validate_openmetrics(text: str) -> None:
         if m is None:
             raise ValueError(f"line {i}: malformed sample {line!r}")
         name = m.group("name")
+        labels_text = m.group("labels")
+        if labels_text:
+            label_names = _LABEL_ITEM_RE.findall(labels_text)
+            if len(label_names) != len(set(label_names)):
+                dupes = sorted(
+                    {n for n in label_names if label_names.count(n) > 1}
+                )
+                raise ValueError(
+                    f"line {i}: duplicate label name(s) {dupes} in sample"
+                )
         if family is None:
             raise ValueError(f"line {i}: sample before any # TYPE")
         suffixes = _SUFFIXES.get(family_type, ("",))

@@ -51,6 +51,27 @@ def record_noise_budget(bits: float, **labels: Any) -> None:
     REGISTRY.gauge("noise_budget_bits", **labels).set(bits)
 
 
+def record_noise_headroom(bits: float, **labels: Any) -> None:
+    """Publish the analytic noise headroom (bits remaining) at a layer
+    boundary — the gauge the lineage tracker's threshold watch reads."""
+    if not config.enabled() or not math.isfinite(bits):
+        return
+    REGISTRY.gauge("noise_headroom_bits", **labels).set(bits)
+
+
+def record_noise_gap(gap_bits: float, **labels: Any) -> None:
+    """Observe one measured-vs-analytic noise gap (audit mode).
+
+    ``gap_bits = measured_bits - analytic_bits``; positive means the
+    analytic bound was conservative (as it must be).  Non-finite gaps
+    (an exactly-zero measured error) are skipped — they carry no width
+    information and would poison the histogram sum.
+    """
+    if not config.enabled() or not math.isfinite(gap_bits):
+        return
+    REGISTRY.histogram("noise_gap_bits", **labels).observe(gap_bits)
+
+
 def record_layer(name: str, kind: str, num_cts: int, level: int) -> None:
     """Per-layer stream facts, published as the layer finishes."""
     if not config.enabled():

@@ -35,7 +35,15 @@ from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
 from .scheduler import SchedulerConfig, SlotBatchScheduler
 from .service import BackpressureError, InferenceService, ServiceClosed
-from .slo import Slo, SloMonitor, SloStatus, default_slos, evaluate_report
+from .slo import (
+    FLOOR_OBJECTIVES,
+    OBJECTIVES,
+    Slo,
+    SloMonitor,
+    SloStatus,
+    default_slos,
+    evaluate_report,
+)
 from .traffic import burst_arrivals, poisson_arrivals, uniform_arrivals
 
 __all__ = [
@@ -56,6 +64,8 @@ __all__ = [
     "SloStatus",
     "SlotBatchScheduler",
     "burst_arrivals",
+    "FLOOR_OBJECTIVES",
+    "OBJECTIVES",
     "default_slos",
     "evaluate_report",
     "poisson_arrivals",

@@ -35,14 +35,22 @@ from .records import ServeReport
 
 #: Objectives an :class:`Slo` may target.  Latency objectives are
 #: "measured value must stay <= threshold seconds"; rate objectives are
-#: fractions of the window in [0, 1].
+#: fractions of the window in [0, 1]; ``noise_headroom_bits`` is the
+#: one *floor* objective — the minimum analytic precision headroom over
+#: the window must stay >= the threshold (fed per request from the
+#: lineage tracker's final waterfall boundary).
 OBJECTIVES = (
     "p50_latency_s",
     "p95_latency_s",
     "p99_latency_s",
     "deadline_miss_rate",
     "reject_rate",
+    "noise_headroom_bits",
 )
+
+#: Objectives where *higher* measured values are better (``ok`` means
+#: ``value >= threshold`` instead of ``<=``).
+FLOOR_OBJECTIVES = frozenset({"noise_headroom_bits"})
 
 _LATENCY_PERCENTILE = {
     "p50_latency_s": 50.0,
@@ -53,7 +61,8 @@ _LATENCY_PERCENTILE = {
 
 @dataclass(frozen=True)
 class Slo:
-    """One objective: ``measured(objective) <= threshold`` over a window."""
+    """One objective over a sliding window: ``measured <= threshold``
+    (or ``>=`` for the floor objectives in :data:`FLOOR_OBJECTIVES`)."""
 
     name: str
     objective: str
@@ -125,21 +134,31 @@ def _percentile(ordered: list[float], p: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-def _measure(slo: Slo, window: list[tuple[str, float | None]]) -> tuple[float, int]:
+def _measure(
+    slo: Slo, window: list[tuple[str, float | None, float | None]]
+) -> tuple[float, int]:
     """``(value, samples)`` of one objective over a terminal-request window."""
     tail = window[-slo.window:]
     if slo.objective in _LATENCY_PERCENTILE:
         lats = sorted(
-            lat for outcome, lat in tail
+            lat for outcome, lat, _ in tail
             if lat is not None and outcome not in ("rejected", "expired")
         )
         return _percentile(lats, _LATENCY_PERCENTILE[slo.objective]), len(lats)
+    if slo.objective == "noise_headroom_bits":
+        # Worst headroom over the window; with no headroom samples the
+        # floor objective is vacuously met (value pinned to the
+        # threshold so the gauge stays finite and the verdict is ok).
+        bits = [h for _, _, h in tail if h is not None]
+        if not bits:
+            return slo.threshold, 0
+        return min(bits), len(bits)
     if not tail:
         return 0.0, 0
     if slo.objective == "deadline_miss_rate":
-        bad = sum(1 for outcome, _ in tail if outcome == "expired")
+        bad = sum(1 for outcome, _, _ in tail if outcome == "expired")
     else:  # reject_rate
-        bad = sum(1 for outcome, _ in tail if outcome == "rejected")
+        bad = sum(1 for outcome, _, _ in tail if outcome == "rejected")
     return bad / len(tail), len(tail)
 
 
@@ -151,14 +170,27 @@ class SloMonitor:
         if not self.slos:
             raise ValueError("monitor needs at least one SLO")
         span = max(slo.window for slo in self.slos)
-        self._window: deque[tuple[str, float | None]] = deque(maxlen=span)
+        self._window: deque[tuple[str, float | None, float | None]] = deque(
+            maxlen=span
+        )
         self._lock = threading.Lock()
         self._violated: set[str] = set()
 
-    def observe(self, outcome: str, latency_s: float | None = None) -> None:
-        """Feed one terminal request (any worker thread)."""
+    def observe(
+        self,
+        outcome: str,
+        latency_s: float | None = None,
+        noise_headroom_bits: float | None = None,
+    ) -> None:
+        """Feed one terminal request (any worker thread).
+
+        ``noise_headroom_bits`` is the request's analytic precision
+        headroom (e.g. the lineage tracker's final boundary bits minus
+        the deployment's precision floor); omit it for callers that do
+        not track noise.
+        """
         with self._lock:
-            self._window.append((outcome, latency_s))
+            self._window.append((outcome, latency_s, noise_headroom_bits))
 
     def observe_report(self, report: ServeReport) -> None:
         """Feed every terminal request of a finished report, in ID order."""
@@ -172,7 +204,10 @@ class SloMonitor:
         statuses = []
         for slo in self.slos:
             value, samples = _measure(slo, window)
-            ok = value <= slo.threshold
+            if slo.objective in FLOOR_OBJECTIVES:
+                ok = value >= slo.threshold
+            else:
+                ok = value <= slo.threshold
             statuses.append(SloStatus(slo=slo, value=value, ok=ok,
                                       samples=samples))
             REGISTRY.gauge("slo_value", slo=slo.name).set(value)

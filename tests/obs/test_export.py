@@ -25,6 +25,18 @@ def _golden_registry() -> MetricsRegistry:
     h = reg.histogram("latency_seconds", mode="batched")
     for v in (0.1, 0.2, 0.3, 0.4):
         h.observe(v)
+    # Sanitization collisions: two raw label names that collapse to one
+    # sanitized name, and two raw metric names that collapse to one
+    # family name, must stay distinguishable in the exposition.
+    reg.gauge("fleet_load", **{"device-id": "a", "device id": "b"}).set(1)
+    reg.gauge("noise.bits").set(-14.5)
+    reg.gauge("noise bits").set(7.25)
+    # Cross-kind family collision: a counter and a gauge sharing a name.
+    reg.counter("evictions").inc(1)
+    reg.gauge("evictions").set(5)
+    # Non-finite values must render as +Inf / -Inf / NaN.
+    reg.gauge("headroom_bits", layer="fresh").set(float("inf"))
+    reg.gauge("headroom_bits", layer="drained").set(float("-inf"))
     return reg
 
 
@@ -76,10 +88,67 @@ def test_metric_names_are_sanitized():
     "# TYPE x gauge\n# TYPE x gauge\n# EOF\n",    # duplicate family
     "x 1\n# EOF\n",                               # sample before TYPE
     "# TYPE x gauge\nx oops\n# EOF\n",            # non-numeric value
+    '# TYPE x gauge\nx{a="1",a="2"} 1\n# EOF\n',  # duplicate label name
+    '# TYPE x gauge\nx{a="1",b="2",a="3"} 1\n# EOF\n',
 ])
 def test_validator_rejects_malformed_expositions(bad):
     with pytest.raises(ValueError):
         validate_openmetrics(bad)
+
+
+def test_validator_accepts_signed_infinities_and_nan():
+    validate_openmetrics(
+        "# TYPE x gauge\n"
+        'x{a="1"} +Inf\nx{a="2"} -Inf\nx{a="3"} NaN\n'
+        "# EOF\n"
+    )
+
+
+def test_nonfinite_values_render_as_openmetrics_infinities():
+    reg = MetricsRegistry()
+    reg.gauge("bits", layer="a").set(float("inf"))
+    reg.gauge("bits", layer="b").set(float("-inf"))
+    reg.gauge("bits", layer="c").set(float("nan"))
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    assert 'bits{layer="a"} +Inf' in text
+    assert 'bits{layer="b"} -Inf' in text
+    assert 'bits{layer="c"} NaN' in text
+    assert "inf" not in text  # repr(float("inf")) must never leak
+
+
+def test_colliding_label_names_are_deduped():
+    reg = MetricsRegistry()
+    reg.gauge("util", **{"node-a": "x", "node a": "y"}).set(1)
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    assert "node_a=" in text
+    assert "node_a_2=" in text
+
+
+def test_colliding_family_names_are_deduped():
+    reg = MetricsRegistry()
+    reg.gauge("noise.bits").set(1)
+    reg.gauge("noise bits").set(2)
+    reg.counter("evictions").inc()
+    reg.gauge("evictions").set(3)
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    assert "# TYPE noise_bits gauge" in text
+    assert "# TYPE noise_bits_2 gauge" in text
+    assert "# TYPE evictions counter" in text
+    assert "# TYPE evictions_2 gauge" in text
+
+
+def test_user_label_cannot_shadow_quantile():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", quantile="user-supplied")
+    h.observe(1.0)
+    text = render_openmetrics(reg)
+    validate_openmetrics(text)
+    # The exporter-owned quantile label keeps its name; the user label
+    # is the one that gets suffixed on the quantile samples.
+    assert 'quantile_2="user-supplied",quantile="0.5"' in text
 
 
 def test_snapshotter_writes_atomically_on_demand(tmp_path):

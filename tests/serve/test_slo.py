@@ -125,6 +125,60 @@ def test_violation_transition_records_one_flight_event():
         assert len(FLIGHT.events("slo_violation")) == 2
 
 
+def test_headroom_floor_objective_ok_above_threshold():
+    monitor = SloMonitor((Slo("headroom", "noise_headroom_bits", 8.0),))
+    for bits in (12.0, 10.5, 9.0):
+        monitor.observe("batched", 1.0, noise_headroom_bits=bits)
+    (status,) = monitor.evaluate()
+    assert status.value == pytest.approx(9.0)  # worst over the window
+    assert status.samples == 3
+    assert status.ok  # floor objective: value >= threshold is ok
+
+
+def test_headroom_floor_violation_is_a_transition_event():
+    monitor = SloMonitor((Slo("headroom", "noise_headroom_bits", 8.0),))
+    with obs.observed():
+        monitor.observe("batched", 1.0, noise_headroom_bits=12.0)
+        monitor.evaluate()
+        assert not FLIGHT.events("slo_violation")
+        monitor.observe("batched", 1.0, noise_headroom_bits=3.5)
+        (status,) = monitor.evaluate()
+        assert not status.ok
+        monitor.evaluate()  # still violated: no second event
+        violations = FLIGHT.events("slo_violation")
+        assert len(violations) == 1
+        assert violations[0]["slo"] == "headroom"
+        assert violations[0]["objective"] == "noise_headroom_bits"
+        assert violations[0]["value"] == pytest.approx(3.5)
+
+
+def test_headroom_floor_with_no_samples_is_vacuously_met():
+    """Callers that never feed headroom (e.g. plain serving traffic) must
+    not trip the floor — and the published gauge must stay finite."""
+    monitor = SloMonitor((Slo("headroom", "noise_headroom_bits", 8.0),))
+    for _ in range(5):
+        monitor.observe("batched", 1.0)  # no noise_headroom_bits
+    (status,) = monitor.evaluate()
+    assert status.ok
+    assert status.samples == 0
+    assert status.value == 8.0  # pinned to the threshold, never inf
+
+
+def test_headroom_rides_alongside_latency_objectives():
+    monitor = SloMonitor((
+        Slo("p50", "p50_latency_s", 2.0),
+        Slo("headroom", "noise_headroom_bits", 8.0),
+    ))
+    monitor.observe("batched", 1.0, noise_headroom_bits=11.0)
+    monitor.observe("batched", 1.5)
+    p50, headroom = monitor.evaluate()
+    assert p50.value == pytest.approx(1.25)
+    assert p50.samples == 2
+    assert headroom.value == pytest.approx(11.0)
+    assert headroom.samples == 1
+    assert monitor.ok()
+
+
 def test_evaluate_report_applies_slos_to_finished_session():
     report = _report([0.5] * 95 + [3.0] * 5, rejected=10)
     statuses = evaluate_report(report, (

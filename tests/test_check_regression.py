@@ -86,6 +86,46 @@ def test_kernel_matrix_invariant_and_ratio_gated(tmp_path):
     assert "speedup_vs_reference" in proc.stdout
 
 
+def test_noise_baseline_regression_fails(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_noise.json").read_text())
+    # Lose two bits of final analytic precision on the tiny network.
+    record["networks"][0]["final_analytic_bits"] -= 2.0
+    (fresh / "BENCH_noise.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_noise", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "FAIL" in proc.stdout
+    assert "final_analytic_bits" in proc.stdout
+
+
+def test_noise_audit_invariant_breaks_the_gate(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    record = json.loads((OUTPUT / "BENCH_noise.json").read_text())
+    record["networks"][0]["audit_ok"] = False
+    (fresh / "BENCH_noise.json").write_text(json.dumps(record))
+    proc = _run("--only", "BENCH_noise", "--fresh-dir", str(fresh))
+    assert proc.returncode == 1
+    assert "invariant BROKEN" in proc.stdout
+    assert "audit_ok" in proc.stdout
+
+
+def test_noise_per_layer_metrics_are_gated(tmp_path):
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    shutil.copy(OUTPUT / "BENCH_noise.json", fresh / "BENCH_noise.json")
+    report_path = tmp_path / "report.json"
+    proc = _run("--only", "BENCH_noise", "--fresh-dir", str(fresh),
+                "--json", str(report_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(report_path.read_text())
+    metrics = {row["metric"] for row in report["rows"]}
+    # The per-layer fan-out gates every layer of both networks.
+    assert any("layers" in m and "analytic_bits" in m for m in metrics)
+    assert "networks.0.min_gap_bits" in metrics
+
+
 def test_missing_fresh_record_is_a_hard_error(tmp_path):
     proc = _run("--fresh-dir", str(tmp_path / "nowhere"))
     assert proc.returncode == 2

@@ -92,6 +92,82 @@ def test_profile_json_format(capsys):
     assert {"op", "count", "total_ms", "p50_ms", "p95_ms"} <= set(op)
 
 
+def test_profile_reports_noise_headroom(capsys):
+    assert main([
+        "profile", "--network", "tiny", "--format", "json",
+        "--headroom-floor-bits", "6",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["headroom_floor_bits"] == 6.0
+    for layer in payload["layers"]:
+        assert layer["headroom_bits"] == pytest.approx(
+            layer["noise_bits"] - 6.0
+        )
+
+
+def test_profile_text_shows_headroom_column(capsys):
+    assert main(["profile", "--network", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "headroom" in out
+    assert "headroom floor 8 bits" in out
+
+
+def test_explain_tiny_text(capsys):
+    assert main(["explain", "--network", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "noise waterfall" in out
+    assert "Cnv1" in out and "Fc2" in out
+    assert "noise spenders" in out
+    assert "connected" in out
+    assert "headroom threshold" in out and "crossing" in out
+
+
+def test_explain_json_format_is_a_lineage_record(capsys):
+    assert main(["explain", "--network", "tiny", "--format", "json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["network"] == "Tiny-MNIST"
+    assert record["connected"] is True
+    assert record["node_count"] == len(record["nodes"])
+    assert record["waterfall"][0]["layer"] == "Cnv1"
+    spent = sum(r["spent_bits"] for r in record["waterfall"])
+    assert spent == pytest.approx(
+        record["initial_bits"] - record["final_bits"], abs=1e-9
+    )
+
+
+def test_explain_writes_json_and_dot_artifacts(tmp_path, capsys):
+    json_path = tmp_path / "lineage.json"
+    dot_path = tmp_path / "lineage.dot"
+    assert main([
+        "explain", "--network", "tiny",
+        "--json-out", str(json_path), "--dot", str(dot_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "lineage record written" in out
+    assert "lineage DAG written" in out
+    record = json.loads(json_path.read_text())
+    assert record["connected"] is True
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph lineage {")
+    assert "->" in dot
+
+
+def test_explain_audit_checks_measured_noise(capsys):
+    assert main(["explain", "--network", "tiny", "--audit"]) == 0
+    out = capsys.readouterr().out
+    assert "measured" in out
+    assert "audit OK" in out
+
+
+def test_explain_unwritable_json_out_exits_nonzero(tmp_path, capsys):
+    rc = main([
+        "explain", "--network", "tiny",
+        "--json-out", str(tmp_path / "no-such-dir" / "lineage.json"),
+    ])
+    assert rc == 1
+    assert "cannot write" in capsys.readouterr().err
+
+
 def test_profile_unwritable_trace_out_exits_nonzero(tmp_path, capsys):
     missing = tmp_path / "no-such-dir" / "trace.json"
     rc = main([
@@ -116,7 +192,7 @@ def test_unknown_network_exits_nonzero(command):
     assert "unknown network" in str(excinfo.value)
 
 
-@pytest.mark.parametrize("command", ["infer", "profile"])
+@pytest.mark.parametrize("command", ["infer", "profile", "explain"])
 def test_unknown_network_exits_nonzero_fhe_commands(command):
     with pytest.raises(SystemExit) as excinfo:
         main([command, "--network", "cifar10"])
