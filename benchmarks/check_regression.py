@@ -63,6 +63,12 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
         ("curve.*.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
         ("curve.*.latency_p99_s", "lower", DEFAULT_TOLERANCE),
     ),
+    "BENCH_tenants": (
+        ("single_tenant_throughput", "higher", DEFAULT_TOLERANCE),
+        ("curve.*.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
+        ("curve.*.latency_p99_s", "lower", DEFAULT_TOLERANCE),
+        ("curve.*.mean_fill_ratio", "higher", DEFAULT_TOLERANCE),
+    ),
     "BENCH_cluster": (
         ("fleets.*.plan.steady_state_throughput", "higher",
          DEFAULT_TOLERANCE),
@@ -86,6 +92,10 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
 #: Boolean invariants that must stay true in the fresh record.
 _INVARIANTS: dict[str, tuple[str, ...]] = {
     "BENCH_serve": ("warm_rerun.dse_skipped",),
+    # Cross-tenant isolation (no batch mixes key groups) and zero-keygen
+    # warm reruns are correctness properties, not perf numbers: any
+    # regression is a bug regardless of throughput.
+    "BENCH_tenants": ("isolation_ok", "warm_rerun.keygen_skipped"),
     "BENCH_cluster": ("all_dp_beat_equal", "warm_rerun.flat"),
     "BENCH_fhe_kernels": ("default_beats_reference",),
     "BENCH_noise": ("networks.0.audit_ok",),
@@ -101,6 +111,10 @@ _PINNED: dict[str, tuple[str, ...]] = {
     "BENCH_noise": (
         "kernel_backend", "networks.0.name", "networks.1.name",
     ),
+    # The swept tenant populations are part of the record's identity: a
+    # fresh curve over different population sizes is not comparable to
+    # the committed baseline point-by-point.
+    "BENCH_tenants": ("tenant_counts", "curve.0.key_groups"),
 }
 
 

@@ -10,10 +10,11 @@ cache.  Both need the identical semantics:
   entry is evicted when a put would exceed capacity;
 * **thread-safe**: the serving worker pool hits one shared cache from
   many threads, so every operation takes the cache's lock;
-* **observable**: hits, misses and evictions publish to the
-  ``repro.obs`` registry (``cache_events_total{cache=..., event=...}``)
-  when observability is enabled, and :meth:`LruCache.stats` is always
-  available for reports.
+* **observable**: hits, misses, evictions and explicit removals
+  (``pop``/``clear``) publish to the ``repro.obs`` registry
+  (``cache_events_total{cache=..., event=...}`` plus the ``cache_size``
+  gauge, kept in lock-step with the true size) when observability is
+  enabled, and :meth:`LruCache.stats` is always available for reports.
 
 Kept dependency-free (only ``repro.obs``, itself zero-dependency) so the
 FHE layer can import it without cycles.
@@ -40,6 +41,8 @@ class CacheStats:
     size: int
     hits: int
     misses: int
+    #: Entries removed for any reason: capacity pressure, ``pop``, and
+    #: ``clear`` all count — the gauge-vs-stats parity tests rely on it.
     evictions: int
 
     @property
@@ -64,11 +67,11 @@ class LruCache:
 
     ``get``/``__getitem__`` refresh recency; ``put``/``__setitem__``
     insert and evict the oldest entry once ``capacity`` is exceeded.
-    ``get_or_create`` runs ``factory`` on a miss — note the factory is
-    invoked *outside* the lock, so two racing threads may both build the
-    value; the first store wins and the loser's value is returned to it
-    without being cached (builds are pure in this codebase, so this only
-    costs duplicate work, never correctness).
+    ``get_or_create`` runs ``factory`` on a miss under a *per-key*
+    in-flight lock: two threads warming the same key run the factory
+    exactly once (the loser blocks briefly and gets the winner's value).
+    Factories for *different* keys still build concurrently, and the
+    cache's own lock is never held across a factory call.
     """
 
     def __init__(
@@ -87,6 +90,9 @@ class LruCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        # Per-key build locks for get_or_create; guarded by _inflight_lock.
+        self._inflight: dict[Hashable, threading.Lock] = {}
+        self._inflight_lock = threading.Lock()
 
     # -- core operations ------------------------------------------------------
 
@@ -109,23 +115,47 @@ class LruCache:
                 self._data.popitem(last=False)
                 self._evictions += 1
                 self._publish("eviction")
+            self._publish_size()
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         sentinel = object()
         value = self.get(key, sentinel)
         if value is not sentinel:
             return value
-        value = factory()
-        self.put(key, value)
+        with self._inflight_lock:
+            build_lock = self._inflight.setdefault(key, threading.Lock())
+        with build_lock:
+            # Double-check under the key's build lock: the thread that
+            # lost the race finds the winner's value and never builds.
+            # Peek without touching hit/miss stats — this re-check is an
+            # implementation detail of one logical lookup, not a second
+            # cache access.
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    return self._data[key]
+            value = factory()
+            self.put(key, value)
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
         return value
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
-            return self._data.pop(key, default)
+            if key not in self._data:
+                return default
+            value = self._data.pop(key)
+            self._evictions += 1
+            self._publish("pop")
+            return value
 
     def clear(self) -> None:
         with self._lock:
+            dropped = len(self._data)
             self._data.clear()
+            if dropped:
+                self._evictions += dropped
+                self._publish("clear")
 
     # -- dict compatibility ---------------------------------------------------
 
@@ -166,6 +196,12 @@ class LruCache:
                     "cache", cache=self.name, event=event,
                     size=len(self._data),
                 )
+
+    def _publish_size(self) -> None:
+        # Keep the size gauge in lock-step with every mutation (put, pop,
+        # clear) — it used to lag behind explicit removals forever.
+        if obs_config.enabled():
+            REGISTRY.gauge("cache_size", cache=self.name).set(len(self._data))
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -442,7 +442,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_slos,
         evaluate_report,
     )
-    from .serve.traffic import poisson_arrivals
+    from .serve.tenants import TenantRegistry
+    from .serve.traffic import poisson_arrivals, zipf_tenant_arrivals
 
     device = _device(args.device)
     cost_model = ServingCostModel.cryptonets_mnist(device)
@@ -454,10 +455,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
         ),
     )
-    requests = poisson_arrivals(
-        args.requests, args.rate, seed=args.seed,
-        deadline_s=args.deadline,
-    )
+    registry = None
+    if args.tenants is not None:
+        if args.tenants < 1:
+            raise SystemExit("--tenants must be >= 1")
+        registry = TenantRegistry()
+        requests = zipf_tenant_arrivals(
+            args.requests, args.rate, tenant_count=args.tenants,
+            s=args.zipf_s, seed=args.seed, deadline_s=args.deadline,
+            registry=registry,
+        )
+    else:
+        requests = poisson_arrivals(
+            args.requests, args.rate, seed=args.seed,
+            deadline_s=args.deadline,
+        )
     with obs.observed():
         obs.reset()
         report = scheduler.run(requests)
@@ -482,6 +494,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"expired: {report.expired}")
     print(f"throughput: {report.throughput_images_per_s:.1f} img/s "
           f"amortized over {report.makespan_s:.2f} s")
+    if registry is not None:
+        per_group = report.per_key_group()
+        print()
+        print(format_table(
+            ["key group", "tier", "requests", "done", "p50 s", "p99 s"],
+            [(group, registry.get(
+                  group.rsplit(":k", 1)[0]).tier,
+              row["requests"], row["completed"],
+              f"{row['latency_p50_s']:.2f}", f"{row['latency_p99_s']:.2f}")
+             for group, row in sorted(per_group.items())],
+            title=f"{len(per_group)} tenant key groups "
+                  f"(zipf s={args.zipf_s:g})",
+        ))
+        print(f"cross-tenant isolation: "
+              f"{'OK' if report.isolation_ok() else 'VIOLATED'} "
+              f"(no batch mixes key groups)")
     print(f"latency: p50 {latency['p50']:.2f} s, p95 {latency['p95']:.2f} s, "
           f"p99 {latency['p99']:.2f} s")
     single = cost_model.single_request_seconds()
@@ -852,6 +880,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-capacity", type=int, default=1_000_000)
     p_serve.add_argument("--deadline", type=float, default=None,
                          help="per-request deadline in seconds")
+    p_serve.add_argument("--tenants", type=int, default=None,
+                         help="simulate a multi-tenant population of N "
+                              "distinct keys (zipf-ranked traffic; batches "
+                              "never mix key groups)")
+    p_serve.add_argument("--zipf-s", type=float, default=1.1,
+                         help="zipf skew exponent for --tenants traffic")
     p_serve.add_argument("--slo-p99", type=float, default=30.0,
                          help="p99 latency SLO threshold in seconds")
     p_serve.add_argument("--slo-strict", action="store_true",

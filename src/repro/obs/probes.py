@@ -137,6 +137,16 @@ def record_request_outcome(outcome: str, **fields: Any) -> None:
         FLIGHT.record(outcome, **fields)
 
 
+def record_tenant_event(event: str) -> None:
+    """Count one tenant lifecycle transition: registered / key_rotation /
+    evicted.  The matching flight events carry the tenant identity; this
+    counter answers "how much key churn" without unbounded label
+    cardinality (no per-tenant labels)."""
+    if not config.enabled():
+        return
+    REGISTRY.counter("tenant_events_total", event=event).inc()
+
+
 def record_throughput(images_per_second: float) -> None:
     """Publish amortized serving throughput over the run so far."""
     if not config.enabled():

@@ -11,8 +11,12 @@ This package provides the pieces between "a request arrived" and "the
 accelerator ran a trace":
 
 * :mod:`~repro.serve.request` — request/result records;
+* :mod:`~repro.serve.tenants` — the multi-tenant key universe: tenant
+  registry with stable key-group IDs, key rotation/eviction lifecycle
+  events, and per-tenant cache shards with bounded quotas;
 * :mod:`~repro.serve.cache`   — LRU design / context caches so repeated
-  requests skip DSE and key generation;
+  requests skip DSE and key generation (tenant-sharded variants for the
+  per-key universe);
 * :mod:`~repro.serve.costmodel` — per-mode cost facts derived from the
   DSE'd designs (LoLa single vs slot-batched);
 * :mod:`~repro.serve.traffic` — deterministic arrival processes;
@@ -29,7 +33,13 @@ accelerator ran a trace":
 See ``docs/serving.md`` for the design discussion.
 """
 
-from .cache import ContextCache, DesignCache, DesignKey
+from .cache import (
+    ContextCache,
+    DesignCache,
+    DesignKey,
+    TenantContextCache,
+    TenantDesignCache,
+)
 from .costmodel import ServingCostModel
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
@@ -44,7 +54,15 @@ from .slo import (
     default_slos,
     evaluate_report,
 )
-from .traffic import burst_arrivals, poisson_arrivals, uniform_arrivals
+from .tenants import TIERS, Tenant, TenantRegistry, TenantShardedCache
+from .traffic import (
+    burst_arrivals,
+    poisson_arrivals,
+    tier_of_rank,
+    uniform_arrivals,
+    zipf_shares,
+    zipf_tenant_arrivals,
+)
 
 __all__ = [
     "BackpressureError",
@@ -63,11 +81,20 @@ __all__ = [
     "SloMonitor",
     "SloStatus",
     "SlotBatchScheduler",
+    "Tenant",
+    "TenantContextCache",
+    "TenantDesignCache",
+    "TenantRegistry",
+    "TenantShardedCache",
+    "TIERS",
     "burst_arrivals",
     "FLOOR_OBJECTIVES",
     "OBJECTIVES",
     "default_slos",
     "evaluate_report",
     "poisson_arrivals",
+    "tier_of_rank",
     "uniform_arrivals",
+    "zipf_shares",
+    "zipf_tenant_arrivals",
 ]

@@ -23,6 +23,7 @@ from ..caching import CacheStats, LruCache
 from ..core.framework import AcceleratorDesign, FxHennFramework
 from ..fpga.device import FpgaDevice
 from ..hecnn.trace import NetworkTrace
+from .tenants import TenantShardedCache
 
 
 @dataclass(frozen=True)
@@ -131,3 +132,101 @@ class ContextCache:
 
     def __len__(self) -> int:
         return len(self._cache)
+
+
+class TenantContextCache:
+    """:class:`ContextCache` sharded by tenant key group.
+
+    Each tenant's provisioned contexts (CKKS keys are *per tenant* in a
+    multi-key deployment — the single most expensive warm-up op) live in
+    their own bounded shard, so one noisy tenant cannot evict every other
+    tenant's key material; the long tail of tenants is itself bounded by
+    ``max_tenants`` (coldest shard evicted whole, with a flight event).
+    All shards publish under ``cache="context"``, so the warm-rerun
+    acceptance check — ``cache_events_total{cache="context",
+    event="miss"}`` stays flat on a warm per-tenant rerun — aggregates
+    across the population.
+    """
+
+    def __init__(
+        self, per_tenant_capacity: int = 4, max_tenants: int = 64
+    ) -> None:
+        self._shards = TenantShardedCache(
+            "context", per_tenant_capacity=per_tenant_capacity,
+            max_tenants=max_tenants, flight=True,
+        )
+
+    def get_or_create(
+        self, key_group: str, key: Hashable, factory: Callable[[], Any]
+    ) -> Any:
+        """The tenant's provisioned state for ``key``, built once."""
+        return self._shards.get_or_create(key_group, key, factory)
+
+    def invalidate_tenant(self, key_group: str) -> int:
+        """Drop a tenant's shard after key rotation; returns entries lost."""
+        return self._shards.invalidate(key_group)
+
+    def stats(self) -> CacheStats:
+        return self._shards.stats()
+
+    def tenant_count(self) -> int:
+        return self._shards.tenant_count()
+
+    def clear(self) -> None:
+        self._shards.clear()
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+
+class TenantDesignCache:
+    """:class:`DesignCache` sharded by tenant key group.
+
+    Accelerator designs are pure functions of ``(network, device,
+    params)`` — not of key material — but a configurable deployment lets
+    tenants bring their own models and parameter sets, so quota
+    isolation matters here too: a tenant sweeping design points must not
+    evict the hot tenants' designs.  Shards publish under
+    ``cache="design"``; the DSE framework is shared across shards (it is
+    stateless between ``generate`` calls).
+    """
+
+    def __init__(
+        self, per_tenant_capacity: int = 8, max_tenants: int = 64
+    ) -> None:
+        self._shards = TenantShardedCache(
+            "design", per_tenant_capacity=per_tenant_capacity,
+            max_tenants=max_tenants, flight=True,
+        )
+        self._framework = FxHennFramework()
+
+    def get(
+        self,
+        key_group: str,
+        trace: NetworkTrace,
+        device: FpgaDevice,
+        dsp_limit: int | None = None,
+        bram_limit: int | None = None,
+    ) -> AcceleratorDesign:
+        key = DesignKey.of(trace, device, dsp_limit, bram_limit)
+        return self._shards.get_or_create(
+            key_group, key,
+            lambda: self._framework.generate(
+                trace, device, dsp_limit=dsp_limit, bram_limit=bram_limit
+            ),
+        )
+
+    def invalidate_tenant(self, key_group: str) -> int:
+        return self._shards.invalidate(key_group)
+
+    def stats(self) -> CacheStats:
+        return self._shards.stats()
+
+    def tenant_count(self) -> int:
+        return self._shards.tenant_count()
+
+    def clear(self) -> None:
+        self._shards.clear()
+
+    def __len__(self) -> int:
+        return len(self._shards)

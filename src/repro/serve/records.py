@@ -20,7 +20,8 @@ class RequestResult:
     (completed in that mode), ``"expired"`` (deadline passed before
     dispatch) or ``"rejected"`` (bounded admission queue was full).
     ``start_s`` / ``finish_s`` / ``batch_id`` are ``None`` unless the
-    request completed.
+    request completed.  ``key_group`` carries the tenant key identity
+    through to per-tenant reporting (``None`` = single-key universe).
     """
 
     request_id: int
@@ -29,6 +30,7 @@ class RequestResult:
     start_s: float | None = None
     finish_s: float | None = None
     batch_id: int | None = None
+    key_group: str | None = None
 
     OUTCOMES = ("batched", "lola", "cluster", "expired", "rejected")
 
@@ -55,6 +57,7 @@ class RequestResult:
             "start_s": self.start_s,
             "finish_s": self.finish_s,
             "batch_id": self.batch_id,
+            "key_group": self.key_group,
         }
 
     @classmethod
@@ -69,6 +72,8 @@ class RequestResult:
             else float(data["finish_s"]),
             batch_id=None if data.get("batch_id") is None
             else int(data["batch_id"]),
+            key_group=None if data.get("key_group") is None
+            else str(data["key_group"]),
         )
 
 
@@ -82,6 +87,9 @@ class BatchRecord:
     capacity: int
     start_s: float
     finish_s: float
+    #: The single key group every lane of this batch belongs to (the
+    #: cross-tenant isolation invariant: a batch never mixes keys).
+    key_group: str | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("batched", "lola", "cluster"):
@@ -105,6 +113,7 @@ class BatchRecord:
             "capacity": self.capacity,
             "start_s": self.start_s,
             "finish_s": self.finish_s,
+            "key_group": self.key_group,
         }
 
     @classmethod
@@ -116,6 +125,8 @@ class BatchRecord:
             capacity=int(data["capacity"]),
             start_s=float(data["start_s"]),
             finish_s=float(data["finish_s"]),
+            key_group=None if data.get("key_group") is None
+            else str(data["key_group"]),
         )
 
 
@@ -183,6 +194,43 @@ class ServeReport:
             "max": lats[-1] if lats else 0.0,
         }
 
+    @property
+    def key_groups(self) -> tuple[str, ...]:
+        """Distinct key groups seen, sorted (``None`` is excluded)."""
+        return tuple(sorted({
+            r.key_group for r in self.results if r.key_group is not None
+        }))
+
+    def isolation_ok(self) -> bool:
+        """The cross-tenant invariant: no batch ever mixed key groups."""
+        batch_groups: dict[int, set[str | None]] = {}
+        for r in self.results:
+            if r.batch_id is not None:
+                batch_groups.setdefault(r.batch_id, set()).add(r.key_group)
+        return all(len(groups) == 1 for groups in batch_groups.values())
+
+    def per_key_group(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant-key serving summary (completion counts, p50/p99)."""
+        by_group: dict[str, list[RequestResult]] = {}
+        for r in self.results:
+            if r.key_group is not None:
+                by_group.setdefault(r.key_group, []).append(r)
+        out: dict[str, dict[str, Any]] = {}
+        for group in sorted(by_group):
+            rs = by_group[group]
+            lats = sorted(
+                r.latency_s for r in rs if r.latency_s is not None
+            )
+            out[group] = {
+                "requests": len(rs),
+                "completed": sum(1 for r in rs if r.completed),
+                "rejected": sum(1 for r in rs if r.outcome == "rejected"),
+                "expired": sum(1 for r in rs if r.outcome == "expired"),
+                "latency_p50_s": _percentile(lats, 50),
+                "latency_p99_s": _percentile(lats, 99),
+            }
+        return out
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "config": self.config,
@@ -194,6 +242,8 @@ class ServeReport:
                 "throughput_images_per_s": self.throughput_images_per_s,
                 "mean_fill_ratio": self.mean_fill_ratio,
                 "latency": self.latency_percentiles(),
+                "key_groups": len(self.key_groups),
+                "isolation_ok": self.isolation_ok(),
             },
             "results": [r.to_dict() for r in self.results],
             "batches": [b.to_dict() for b in self.batches],

@@ -30,6 +30,12 @@ class InferenceRequest:
     #: pipeline stage; ``None`` means no caller-assigned trace (the
     #: schedulers then derive a stable ID from ``request_id``).
     trace_id: str | None = field(default=None, compare=False)
+    #: The tenant key group this request's ciphertexts live under (see
+    #: :mod:`repro.serve.tenants`).  Requests only share a slot batch
+    #: with requests of the *same* key group — lanes of one ciphertext
+    #: stream all decrypt under one key.  ``None`` is the legacy
+    #: single-key universe: all ``None`` requests batch together.
+    key_group: str | None = None
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0:

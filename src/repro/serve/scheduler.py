@@ -12,7 +12,14 @@ requests under the slot-batching policy:
   wasting lanes;
 * an under-filled batch **degrades to LoLa**: if ``k`` serialized
   single-image runs are cheaper than one batched run
-  (``k < crossover``), the scheduler runs them unbatched.
+  (``k < crossover``), the scheduler runs them unbatched;
+* admission is **key-aware**: a batch only ever carries requests of one
+  tenant :attr:`~repro.serve.request.InferenceRequest.key_group` (slot
+  lanes of one ciphertext stream share one secret key).  A key group
+  dispatches when it fills a batch, and a rare key's partial batch ages
+  out when its oldest request's window closes rather than stranding —
+  ``key_group=None`` requests form the legacy single-key universe and
+  the policy reduces exactly to the original scheduler.
 
 Virtual time makes the policy exactly reproducible — batch latencies come
 from the DSE'd designs via :class:`~repro.serve.costmodel
@@ -118,38 +125,66 @@ class SlotBatchScheduler:
                 if len(queue) >= self.config.queue_capacity:
                     results.append(RequestResult(
                         request_id=req.request_id, outcome="rejected",
-                        arrival_s=req.arrival_s,
+                        arrival_s=req.arrival_s, key_group=req.key_group,
                     ))
                     record_request_outcome(
                         "rejected", request_id=req.request_id,
                         trace_id=req.trace_ref, queue="serve",
+                    )
+                    # Mirror the "admit" flight event so dump-on-error
+                    # windows show backpressure, not just acceptances.
+                    record_flight(
+                        "reject", request_id=req.request_id,
+                        trace_id=req.trace_ref, queue="serve",
+                        depth=len(queue), key_group=req.key_group,
                     )
                 else:
                     queue.append(req)
                     record_flight(
                         "admit", request_id=req.request_id,
                         trace_id=req.trace_ref, queue="serve",
-                        depth=len(queue),
+                        depth=len(queue), key_group=req.key_group,
                     )
                 record_queue_depth(len(queue))
+
+        def full_group_head() -> InferenceRequest | None:
+            """Oldest member of the first key group that fills a batch.
+
+            FIFO scan keeps the choice deterministic: among groups that
+            can dispatch full right now, the one that has waited longest
+            goes first.  Returning the member (not the group) keeps
+            ``key_group=None`` — a valid legacy group — distinguishable
+            from "no group is full".
+            """
+            counts: dict[str | None, int] = {}
+            for req in queue:
+                counts[req.key_group] = counts.get(req.key_group, 0) + 1
+            for req in queue:
+                if counts[req.key_group] >= self.capacity:
+                    return req
+            return None
 
         while i < len(pending) or queue:
             if not queue:
                 admit_until(pending[i].arrival_s)
                 continue
             oldest = queue[0]
-            window_close = oldest.arrival_s + self.config.batch_window_s
-            if len(queue) < self.capacity and (
-                i < len(pending) and pending[i].arrival_s <= window_close
-            ):
-                # The batch is still open and more lane-mates arrive
-                # before the window closes: wait for them.
-                admit_until(pending[i].arrival_s)
-                continue
-            if len(queue) >= self.capacity:
-                dispatch_at = max(free_at, oldest.arrival_s)
-            else:
+            full_head = full_group_head()
+            if full_head is None:
+                # No key group fills a batch yet.  The oldest request's
+                # window bounds how long its group may wait for key-mates;
+                # rare keys age out at window close instead of stranding.
+                group = oldest.key_group
+                window_close = oldest.arrival_s + self.config.batch_window_s
+                if i < len(pending) and pending[i].arrival_s <= window_close:
+                    # The batch is still open and more arrivals land
+                    # before the window closes: wait for them.
+                    admit_until(pending[i].arrival_s)
+                    continue
                 dispatch_at = max(free_at, window_close)
+            else:
+                group = full_head.key_group
+                dispatch_at = max(free_at, full_head.arrival_s)
             # Arrivals while the accelerator drains still make this batch.
             admit_until(dispatch_at)
 
@@ -160,7 +195,7 @@ class SlotBatchScheduler:
                 if req.expired(dispatch_at):
                     results.append(RequestResult(
                         request_id=req.request_id, outcome="expired",
-                        arrival_s=req.arrival_s,
+                        arrival_s=req.arrival_s, key_group=req.key_group,
                     ))
                     record_request_outcome(
                         "expired", request_id=req.request_id,
@@ -180,8 +215,15 @@ class SlotBatchScheduler:
             if not queue:
                 continue
 
-            batch = queue[: self.capacity]
-            queue = queue[len(batch):]
+            # Only the chosen key group rides this batch — lanes of one
+            # ciphertext stream all decrypt under one key.
+            batch = [
+                r for r in queue if r.key_group == group
+            ][: self.capacity]
+            if not batch:
+                continue  # the whole group expired; re-pick next round
+            taken = {r.request_id for r in batch}
+            queue = [r for r in queue if r.request_id not in taken]
             record_queue_depth(len(queue))
             k = len(batch)
             mode = "batched"
@@ -204,7 +246,7 @@ class SlotBatchScheduler:
             batches.append(BatchRecord(
                 batch_id=len(batches), mode=mode, lanes=k,
                 capacity=self.capacity, start_s=dispatch_at,
-                finish_s=free_at,
+                finish_s=free_at, key_group=group,
             ))
             record_batch_dispatch(k, self.capacity, mode)
             emit_virtual(
@@ -212,7 +254,7 @@ class SlotBatchScheduler:
                 dispatch_at, free_at - dispatch_at, tid=BATCH_TID,
                 args={
                     "batch_id": batches[-1].batch_id, "lanes": k,
-                    "mode": mode,
+                    "mode": mode, "key_group": group,
                     "trace_ids": [r.trace_ref for r in batch[:64]],
                 },
             )
@@ -242,7 +284,7 @@ class SlotBatchScheduler:
         results.append(RequestResult(
             request_id=req.request_id, outcome=mode,
             arrival_s=req.arrival_s, start_s=start_s, finish_s=finish_s,
-            batch_id=batch_id,
+            batch_id=batch_id, key_group=req.key_group,
         ))
         record_request_outcome(mode)
         record_request_latency(finish_s - req.arrival_s, mode)

@@ -122,13 +122,17 @@ class InferenceService:
         payload: Any = None,
         deadline_s: float | None = None,
         trace_id: str | None = None,
+        key_group: str | None = None,
     ) -> Future:
         """Enqueue one request; ``deadline_s`` is relative to now.
 
         ``trace_id`` names the request's end-to-end trace (a fresh ID is
         minted when omitted); spans the workers open while executing the
         batch carry it, so the exported trace connects this request's
-        queue wait and execution across threads.
+        queue wait and execution across threads.  ``key_group`` names the
+        tenant key universe the payload is encrypted under (see
+        :mod:`repro.serve.tenants`); the dispatcher only batches
+        same-key-group requests together.
         """
         now = self._now()
         trace_id = trace_id if trace_id is not None else new_trace_id()
@@ -138,12 +142,19 @@ class InferenceService:
             if len(self._queue) >= self.queue_capacity:
                 self._record(RequestResult(
                     request_id=self._next_id, outcome="rejected",
-                    arrival_s=now,
+                    arrival_s=now, key_group=key_group,
                 ))
                 self._next_id += 1
                 record_request_outcome(
                     "rejected", request_id=self._next_id - 1,
                     trace_id=trace_id, queue="service",
+                )
+                # Backpressure must be visible in dump-on-error windows:
+                # mirror the "admit" flight event for the shed request.
+                record_flight(
+                    "reject", request_id=self._next_id - 1,
+                    trace_id=trace_id, queue="service",
+                    depth=len(self._queue), key_group=key_group,
                 )
                 self._observe_slo("rejected")
                 raise BackpressureError(
@@ -155,6 +166,7 @@ class InferenceService:
                 deadline_s=None if deadline_s is None else now + deadline_s,
                 payload=payload,
                 trace_id=trace_id,
+                key_group=key_group,
             )
             self._next_id += 1
             future: Future = Future()
@@ -163,6 +175,7 @@ class InferenceService:
             record_flight(
                 "admit", request_id=request.request_id, trace_id=trace_id,
                 queue="service", depth=len(self._queue),
+                key_group=key_group,
             )
             self._cond.notify_all()
         return future
@@ -180,6 +193,7 @@ class InferenceService:
                         request_id=entry.request.request_id,
                         outcome="rejected",
                         arrival_s=entry.request.arrival_s,
+                        key_group=entry.request.key_group,
                     ))
                 self._queue.clear()
             self._cond.notify_all()
@@ -228,6 +242,21 @@ class InferenceService:
             if batch:
                 self._pool.submit(self._run_batch, batch)
 
+    def _full_group_head(self) -> _Entry | None:
+        """Oldest entry of the first key group filling a batch (cond held).
+
+        Returning the entry keeps ``key_group=None`` — the valid legacy
+        single-key group — distinguishable from "no group is full".
+        """
+        counts: dict[str | None, int] = {}
+        for entry in self._queue:
+            group = entry.request.key_group
+            counts[group] = counts.get(group, 0) + 1
+        for entry in self._queue:
+            if counts[entry.request.key_group] >= self.capacity:
+                return entry
+        return None
+
     def _collect_batch(self) -> list[_Entry] | None:
         """Block until a batch is due; None means shut down."""
         with self._cond:
@@ -235,18 +264,29 @@ class InferenceService:
                 if self._closed:
                     return None
                 self._cond.wait()
-            # Wait for lane-mates until the oldest request's window closes.
-            while len(self._queue) < self.capacity and not self._closed:
+            # Wait for key-mates until a group fills a batch or the oldest
+            # request's window closes (rare keys age out rather than
+            # stranding behind hot ones).
+            chosen: _Entry | None = None
+            while True:
+                if self._closed:
+                    chosen = self._queue[0] if self._queue else None
+                    break
+                chosen = self._full_group_head()
+                if chosen is not None:
+                    break
                 oldest = self._queue[0].request
                 remaining = (
                     oldest.arrival_s + self.batch_window_s - self._now()
                 )
                 if remaining <= 0:
+                    chosen = self._queue[0]
                     break
                 self._cond.wait(timeout=remaining)
                 if not self._queue:
                     # Everything expired or was drained elsewhere.
                     return self._collect_batch_restart()
+            group = chosen.request.key_group if chosen is not None else None
             now = self._now()
             batch: list[_Entry] = []
             keep: list[_Entry] = []
@@ -260,18 +300,22 @@ class InferenceService:
                         request_id=entry.request.request_id,
                         outcome="expired",
                         arrival_s=entry.request.arrival_s,
+                        key_group=entry.request.key_group,
                     ))
                     record_request_outcome(
                         "expired", request_id=entry.request.request_id,
                         trace_id=entry.request.trace_ref, queue="service",
                     )
                     self._observe_slo("expired")
-                elif len(batch) < self.capacity:
+                elif (entry.request.key_group == group
+                      and len(batch) < self.capacity):
                     batch.append(entry)
                 else:
                     keep.append(entry)
             self._queue = keep
             record_queue_depth(len(self._queue))
+            # An all-expired group returns an empty batch; the dispatch
+            # loop re-enters immediately and picks the next group.
             return batch
 
     def _collect_batch_restart(self) -> list[_Entry] | None:
@@ -286,6 +330,7 @@ class InferenceService:
         record_batch_dispatch(k, self.capacity, mode)
         requests = [entry.request for entry in batch]
         trace_ids = [r.trace_ref for r in requests[:64]]
+        key_group = requests[0].key_group
         try:
             # The batch's lead trace context covers the worker-thread
             # span, so every event it produces is tagged and filterable.
@@ -315,6 +360,7 @@ class InferenceService:
                 self._record(RequestResult(
                     request_id=entry.request.request_id, outcome="expired",
                     arrival_s=entry.request.arrival_s,
+                    key_group=entry.request.key_group,
                 ))
                 record_request_outcome(
                     "expired", request_id=entry.request.request_id,
@@ -328,12 +374,14 @@ class InferenceService:
             self._batches.append(BatchRecord(
                 batch_id=batch_id, mode=mode, lanes=k,
                 capacity=self.capacity, start_s=start, finish_s=finish,
+                key_group=key_group,
             ))
         for entry, output in zip(batch, outputs):
             self._record(RequestResult(
                 request_id=entry.request.request_id, outcome=mode,
                 arrival_s=entry.request.arrival_s, start_s=start,
                 finish_s=finish, batch_id=batch_id,
+                key_group=entry.request.key_group,
             ))
             record_request_outcome(mode)
             latency = finish - entry.request.arrival_s

@@ -4,6 +4,12 @@ All generators return :class:`~repro.serve.request.InferenceRequest`
 lists sorted by arrival time and are fully determined by their arguments
 (Poisson arrivals via a seeded generator), so every bench and test run is
 reproducible.
+
+:func:`zipf_tenant_arrivals` is the multi-tenant workload shape: a
+Poisson arrival stream whose requests are assigned to tenants by a
+zipf-ranked draw — a few hot tenants own most of the traffic and a long
+tail of cold tenants trickles in, the realistic millions-of-users
+population every per-key batching and caching decision must survive.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .request import InferenceRequest
+from .tenants import TIERS, TenantRegistry
 
 
 def uniform_arrivals(
@@ -55,6 +62,85 @@ def poisson_arrivals(
             deadline_s=None if deadline_s is None else float(t) + deadline_s,
         )
         for i, t in enumerate(times)
+    ]
+
+
+def zipf_shares(tenant_count: int, s: float = 1.1) -> np.ndarray:
+    """Normalized zipf(``s``) traffic shares over ranks ``1..tenant_count``.
+
+    Truncated (finite population) rather than ``numpy``'s unbounded zipf
+    sampler, so the distribution is exact and the draw below stays
+    deterministic under a fixed seed across numpy versions.
+    """
+    if tenant_count < 1:
+        raise ValueError("tenant_count must be >= 1")
+    if s <= 0:
+        raise ValueError("s must be > 0")
+    weights = 1.0 / np.arange(1, tenant_count + 1, dtype=float) ** s
+    return weights / weights.sum()
+
+
+def tier_of_rank(rank: int, tenant_count: int) -> str:
+    """Map a zipf rank (0-based, hottest first) onto a service tier.
+
+    The head decile is ``hot``, the next three deciles ``warm``, the
+    tail ``cold`` — tiny populations always keep at least one hot
+    tenant.
+    """
+    if not 0 <= rank < tenant_count:
+        raise ValueError(f"rank must be in [0, {tenant_count})")
+    if rank <= max(0, tenant_count // 10 - 1):
+        return TIERS[0]
+    if rank < tenant_count * 4 // 10:
+        return TIERS[1]
+    return TIERS[2]
+
+
+def zipf_tenant_arrivals(
+    count: int,
+    rate_per_s: float,
+    tenant_count: int,
+    s: float = 1.1,
+    seed: int = 0,
+    deadline_s: float | None = None,
+    registry: TenantRegistry | None = None,
+) -> list[InferenceRequest]:
+    """Poisson arrivals spread over a zipf-ranked tenant population.
+
+    Each request carries the key group of its tenant (``tenant-0000`` is
+    the hottest rank).  When ``registry`` is given, tenants are
+    registered there (with tiers from :func:`tier_of_rank`) and key
+    groups come from the registry — so a pre-rotated registry hands out
+    post-rotation key groups; otherwise epoch-0 groups are synthesized.
+    Fully deterministic under a fixed ``seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be > 0")
+    shares = zipf_shares(tenant_count, s)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=count)
+    times = np.cumsum(gaps)
+    ranks = rng.choice(tenant_count, size=count, p=shares)
+    key_groups = []
+    for rank in range(tenant_count):
+        tenant_id = f"tenant-{rank:04d}"
+        if registry is not None:
+            tenant = registry.register(
+                tenant_id, tier=tier_of_rank(rank, tenant_count)
+            )
+            key_groups.append(tenant.key_group)
+        else:
+            key_groups.append(f"{tenant_id}:k0")
+    return [
+        InferenceRequest(
+            request_id=i,
+            arrival_s=float(t),
+            deadline_s=None if deadline_s is None else float(t) + deadline_s,
+            key_group=key_groups[int(rank)],
+        )
+        for i, (t, rank) in enumerate(zip(times, ranks))
     ]
 
 

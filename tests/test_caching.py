@@ -90,6 +90,101 @@ def test_publishes_obs_events_when_enabled():
         assert reg.gauge("cache_size", cache="probe").value == 1
 
 
+def test_pop_and_clear_publish_cache_size_and_count_evictions():
+    """Regression: pop/clear used to leave the ``cache_size`` gauge at
+    the pre-removal size forever and never touched the eviction stats,
+    so dashboards read phantom capacity headroom."""
+    cache = LruCache(8, name="probe")
+    with obs.observed():
+        obs.reset()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        reg = obs.get_registry()
+        gauge = reg.gauge("cache_size", cache="probe")
+        assert gauge.value == 3
+
+        assert cache.pop("b") == 2
+        assert gauge.value == len(cache) == 2
+        assert cache.stats().evictions == 1
+        assert reg.counter(
+            "cache_events_total", cache="probe", event="pop"
+        ).value == 1
+
+        # Popping a missing key is a no-op: no event, no stats drift.
+        assert cache.pop("nope", "dflt") == "dflt"
+        assert cache.stats().evictions == 1
+
+        cache.clear()
+        assert gauge.value == len(cache) == 0
+        assert cache.stats().evictions == 3
+        assert reg.counter(
+            "cache_events_total", cache="probe", event="clear"
+        ).value == 1
+        # Clearing an empty cache records nothing new.
+        cache.clear()
+        assert cache.stats().evictions == 3
+        assert reg.counter(
+            "cache_events_total", cache="probe", event="clear"
+        ).value == 1
+
+
+def test_get_or_create_runs_racing_factories_exactly_once():
+    """Regression: two threads warming the same key used to both run the
+    factory (the loser's value was discarded) — a duplicated keygen once
+    factories are tenant key material."""
+    cache = LruCache(4, name="t")
+    builds = []
+    build_started = threading.Event()
+    release_build = threading.Event()
+
+    def slow_factory():
+        builds.append(threading.get_ident())
+        build_started.set()
+        release_build.wait(timeout=5.0)
+        return "built"
+
+    results = []
+
+    def worker():
+        results.append(cache.get_or_create("k", slow_factory))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    threads[0].start()
+    assert build_started.wait(timeout=5.0)
+    # The leader is mid-build; the others must block, not build again.
+    for t in threads[1:]:
+        t.start()
+    release_build.set()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert results == ["built"] * 4
+    assert len(builds) == 1
+
+
+def test_get_or_create_hammer_one_key_one_build():
+    """N threads, one key: exactly one factory call survives the race."""
+    for _ in range(20):
+        cache = LruCache(4, name="t")
+        builds = []
+        barrier = threading.Barrier(8)
+
+        def factory():
+            builds.append(1)
+            return "v"
+
+        def worker():
+            barrier.wait()
+            assert cache.get_or_create("hot", factory) == "v"
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+
+
 def test_thread_safety_under_contention():
     cache = LruCache(32, name="t")
     errors = []
