@@ -76,6 +76,18 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
          DEFAULT_TOLERANCE),
         ("fleets.*.plan.fill_latency_seconds", "lower", DEFAULT_TOLERANCE),
     ),
+    # The autoscale replay is fully virtual-time: the request stream,
+    # decision times, and billing integrals are all deterministic, so a
+    # policy/scheduler change that erodes latency, burns more
+    # node-seconds, or shrinks the elasticity win fails the gate.
+    "BENCH_autoscale": (
+        ("autoscale.throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
+        ("autoscale.latency_p99_s", "lower", DEFAULT_TOLERANCE),
+        ("autoscale.node_seconds", "lower", DEFAULT_TOLERANCE),
+        ("autoscale.held_fraction_after_settle", "higher",
+         DEFAULT_TOLERANCE),
+        ("savings_vs_static_max", "higher", DEFAULT_TOLERANCE),
+    ),
     # Analytic noise propagation is closed-form and the audit inputs are
     # seeded, so the whole record is deterministic: tight tolerance.  A
     # packing/estimator change that costs per-layer precision (analytic
@@ -99,6 +111,21 @@ _INVARIANTS: dict[str, tuple[str, ...]] = {
     "BENCH_cluster": ("all_dp_beat_equal", "warm_rerun.flat"),
     "BENCH_fhe_kernels": ("default_beats_reference",),
     "BENCH_noise": ("networks.0.audit_ok",),
+    # The elasticity story is made of correctness properties: the SLO
+    # held through the surge, the elastic bill beat static-max, warm
+    # scale-ups paid no keygen and scanned no DSE points, and every
+    # decision is visible in counters and the Perfetto track.
+    "BENCH_autoscale": (
+        "invariants.p99_held_after_settle",
+        "invariants.scaled_up_through_the_surge",
+        "invariants.beats_static_max_node_hours",
+        "invariants.warm_scale_up_zero_keygen",
+        "invariants.warm_scale_up_zero_dse",
+        "invariants.all_decisions_counted",
+        "invariants.all_resizes_traced",
+        "invariants.no_requests_lost",
+        "invariants.capacity_plan_matches_peak",
+    ),
 }
 
 #: Non-numeric fields that must match the baseline exactly — e.g. the
@@ -115,6 +142,14 @@ _PINNED: dict[str, tuple[str, ...]] = {
     # fresh curve over different population sizes is not comparable to
     # the committed baseline point-by-point.
     "BENCH_tenants": ("tenant_counts", "curve.0.key_groups"),
+    # Scenario identity: a fresh replay that peaked at a different fleet
+    # size or whose planner recommended a different fleet is answering a
+    # different provisioning question than the committed baseline.
+    "BENCH_autoscale": (
+        "autoscale.peak_nodes",
+        "capacity_plan.recommended_nodes",
+        "scenario.requests",
+    ),
 }
 
 

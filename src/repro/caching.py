@@ -13,8 +13,12 @@ cache.  Both need the identical semantics:
 * **observable**: hits, misses, evictions and explicit removals
   (``pop``/``clear``) publish to the ``repro.obs`` registry
   (``cache_events_total{cache=..., event=...}`` plus the ``cache_size``
-  gauge, kept in lock-step with the true size) when observability is
-  enabled, and :meth:`LruCache.stats` is always available for reports.
+  and ``cache_hit_ratio`` gauges, kept in lock-step with the true size
+  and lifetime hit rate) when observability is enabled, and
+  :meth:`LruCache.stats` is always available for reports.  The hit-ratio
+  gauge is the supported way for control-plane consumers (the
+  autoscaler's spin-up cost model) to read cache warmth — they should
+  not re-derive it from the raw event counters.
 
 Kept dependency-free (only ``repro.obs``, itself zero-dependency) so the
 FHE layer can import it without cycles.
@@ -191,6 +195,7 @@ class LruCache:
                 "cache_events_total", cache=self.name, event=event
             ).inc()
             REGISTRY.gauge("cache_size", cache=self.name).set(len(self._data))
+            self._publish_hit_ratio()
             if self.flight:
                 FLIGHT.record(
                     "cache", cache=self.name, event=event,
@@ -199,9 +204,19 @@ class LruCache:
 
     def _publish_size(self) -> None:
         # Keep the size gauge in lock-step with every mutation (put, pop,
-        # clear) — it used to lag behind explicit removals forever.
+        # clear) — it used to lag behind explicit removals forever.  The
+        # hit-ratio gauge rides along so both stay parity-exact with
+        # stats() after any mutation.
         if obs_config.enabled():
             REGISTRY.gauge("cache_size", cache=self.name).set(len(self._data))
+            self._publish_hit_ratio()
+
+    def _publish_hit_ratio(self) -> None:
+        # Called with the lock held.  Lifetime hit rate matching
+        # CacheStats.hit_rate exactly (0.0 before any lookups).
+        total = self._hits + self._misses
+        ratio = self._hits / total if total else 0.0
+        REGISTRY.gauge("cache_hit_ratio", cache=self.name).set(ratio)
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -723,6 +723,156 @@ def cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_plan_capacity(args: argparse.Namespace) -> int:
+    """Sweep fleet sizes: "how many boards for X req/s at p99 <= Y?"."""
+    import json
+
+    from . import obs
+    from .cluster import plan_capacity
+    from .serve import SchedulerConfig
+
+    device = _device(args.device)
+    config = SchedulerConfig(max_lanes=args.max_lanes or None)
+    with obs.observed():
+        obs.reset()
+        plan = plan_capacity(
+            args.rate, args.p99, device,
+            max_nodes=args.max_nodes, poly_degree=args.poly_degree,
+            config=config, horizon_s=args.horizon, seed=args.seed,
+        )
+    rows = [
+        (p.nodes, f"{p.capacity_per_s:.1f}", f"{p.measured_p99_s:.2f}",
+         f"{p.reject_rate:.1%}", f"{p.throughput_images_per_s:.1f}",
+         f"{p.energy_per_inference_joules:.3f}",
+         "yes" if p.meets else "no")
+        for p in plan.frontier
+    ]
+    print(format_table(
+        ["nodes", "cap/s", "p99 s", "reject", "img/s", "J/inf", "meets"],
+        rows,
+        title=f"capacity frontier on {device.name} "
+              f"(target {args.rate:g} req/s, p99 <= {args.p99:g} s)",
+    ))
+    if plan.recommended_nodes is None:
+        print(f"no fleet up to {plan.frontier[-1].nodes} nodes meets the "
+              f"target; raise --max-nodes or relax the SLO")
+    else:
+        rec = plan.recommended
+        print(f"recommendation: {plan.recommended_nodes} x {device.name} "
+              f"({rec.capacity_per_s:.1f} req/s capacity, measured p99 "
+              f"{rec.measured_p99_s:.2f} s)")
+        print("design cache is now warm: an autoscaler sharing this "
+              "planner spins up without re-running DSE")
+    if args.json_out:
+        payload = json.dumps(plan.as_dict(), indent=2) + "\n"
+        if not _write_or_fail(args.json_out, payload, "capacity plan"):
+            return 1
+        print(f"capacity plan written to {args.json_out}")
+    return 0 if plan.recommended_nodes is not None else 1
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    """Replay a diurnal + flash-crowd day through the elastic fleet."""
+    import json
+
+    from . import obs
+    from .serve import (
+        AutoscalerConfig,
+        FleetAutoscaler,
+        SchedulerConfig,
+        Slo,
+        held_fraction,
+        merge_arrivals,
+    )
+    from .serve.traffic import diurnal_arrivals, flash_crowd_arrivals
+
+    device = _device(args.device)
+    try:
+        policy = AutoscalerConfig(
+            min_nodes=args.min_nodes, max_nodes=args.max_nodes,
+            cooldown_s=args.cooldown,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    requests = merge_arrivals(
+        diurnal_arrivals(
+            args.duration, args.base_rate, args.peak_rate,
+            period_s=args.duration, seed=args.seed,
+        ),
+        flash_crowd_arrivals(
+            args.duration, args.surge_base_rate, args.surge_start,
+            args.surge_duration, surge_multiplier=args.surge_multiplier,
+            seed=args.seed + 1,
+        ),
+    )
+    with obs.observed():
+        obs.reset()
+        try:
+            scaler = FleetAutoscaler(
+                device, policy=policy,
+                config=SchedulerConfig(max_lanes=args.max_lanes),
+                slos=(Slo("p99-latency", "p99_latency_s", args.slo_p99,
+                          window=1000),),
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        report = scaler.run(requests)
+    serve = report.serve
+    print(f"{len(requests)} requests over {args.duration:g} s "
+          f"(surge {args.surge_multiplier:g}x at "
+          f"{args.surge_start:g}-{args.surge_start + args.surge_duration:g} "
+          f"s) on {device.name}")
+    rows = [
+        (f"{d.at_s:.1f}", d.action, f"{d.from_nodes}->{d.to_nodes}",
+         f"{d.spin_up_s:.2f}" if d.action == "scale_up" else "-",
+         {True: "warm", False: "cold", None: "-"}[d.warm],
+         d.reason)
+        for d in report.decisions
+    ]
+    print(format_table(
+        ["t s", "action", "nodes", "spin-up s", "caches", "reason"],
+        rows or [("-", "hold", "-", "-", "-", "no decision fired")],
+        title=f"{len(report.resizes)} resizes, "
+              f"{len(report.decisions) - len(report.resizes)} suppressed "
+              f"(cooldown {policy.cooldown_s:g} s)",
+    ))
+    latency = serve.latency_percentiles()
+    print(f"completed: {serve.completed}  rejected: {serve.rejected}  "
+          f"expired: {serve.expired}")
+    print(f"latency: p50 {latency['p50']:.2f} s, p99 {latency['p99']:.2f} s"
+          f" (SLO threshold {args.slo_p99:g} s)")
+    first_up = next(
+        (d for d in report.resizes if d.action == "scale_up"), None
+    )
+    settle = (first_up.at_s + policy.cooldown_s) if first_up else 0.0
+    held = held_fraction(serve, 10.0, args.slo_p99, start_s=settle)
+    print(f"p99 held in {held:.1%} of 10 s windows after "
+          f"{settle:.0f} s (first scale-up + cooldown)")
+    static_max = policy.max_nodes * report.end_s
+    print(f"node-seconds: {report.node_seconds:.0f} billed vs "
+          f"{static_max:.0f} static-max "
+          f"({1.0 - report.node_seconds / static_max:.0%} saved); "
+          f"peak fleet {report.peak_nodes} nodes")
+    ok = True
+    if args.trace_out:
+        try:
+            obs.get_tracer().export_chrome_trace(args.trace_out)
+            print(f"Chrome trace written to {args.trace_out}")
+        except OSError as exc:
+            print(f"error: cannot write Chrome trace to "
+                  f"{args.trace_out!r}: {exc}", file=sys.stderr)
+            ok = False
+    if args.json_out:
+        payload = json.dumps(report.as_dict(), indent=2) + "\n"
+        if not _write_or_fail(args.json_out, payload, "autoscale report"):
+            ok = False
+        else:
+            print(f"autoscale report written to {args.json_out}")
+    if args.slo_strict and held < 0.99:
+        return 1
+    return 0 if ok else 1
+
+
 def cmd_report(_args: argparse.Namespace) -> int:
     """Regenerate the headline evaluation (Table VII + Fig. 10 + Table IX)."""
     from .analysis import TABLE7_FXHENN_PAPER, TABLE7_LITERATURE
@@ -949,6 +1099,65 @@ def build_parser() -> argparse.ArgumentParser:
                            "pipeline")
     p_bc.add_argument("--json", help="write the full report to this file")
 
+    p_pc = sub.add_parser(
+        "plan-capacity",
+        help="sweep fleet sizes: boards needed for a rate + p99 target",
+    )
+    p_pc.add_argument("--device", default="acu15eg")
+    p_pc.add_argument("--rate", type=float, default=70.0,
+                      help="target arrival rate, requests/s")
+    p_pc.add_argument("--p99", type=float, default=13.0,
+                      help="p99 latency SLO threshold in seconds")
+    p_pc.add_argument("--max-nodes", type=int, default=None,
+                      help="largest fleet to sweep (default: the "
+                           "pipeline depth)")
+    p_pc.add_argument("--poly-degree", type=int, default=8192)
+    p_pc.add_argument("--horizon", type=float, default=30.0,
+                      help="virtual seconds of Poisson replay per "
+                           "candidate")
+    p_pc.add_argument("--max-lanes", type=int, default=256,
+                      help="cap batch size below N/2 (0 = uncapped)")
+    p_pc.add_argument("--seed", type=int, default=0)
+    p_pc.add_argument("--json-out",
+                      help="write the capacity plan (JSON) to this file")
+
+    p_as = sub.add_parser(
+        "autoscale",
+        help="replay a diurnal + flash-crowd day through the elastic "
+             "fleet autoscaler",
+    )
+    p_as.add_argument("--device", default="acu15eg")
+    p_as.add_argument("--duration", type=float, default=600.0,
+                      help="replay length in virtual seconds")
+    p_as.add_argument("--base-rate", type=float, default=4.0,
+                      help="diurnal trough rate, requests/s")
+    p_as.add_argument("--peak-rate", type=float, default=12.0,
+                      help="diurnal crest rate, requests/s")
+    p_as.add_argument("--surge-base-rate", type=float, default=6.0,
+                      help="flash-crowd baseline rate, requests/s")
+    p_as.add_argument("--surge-start", type=float, default=240.0)
+    p_as.add_argument("--surge-duration", type=float, default=60.0)
+    p_as.add_argument("--surge-multiplier", type=float, default=10.0)
+    p_as.add_argument("--min-nodes", type=int, default=1)
+    p_as.add_argument("--max-nodes", type=int, default=3)
+    p_as.add_argument("--cooldown", type=float, default=30.0,
+                      help="refractory seconds after any resize")
+    p_as.add_argument("--max-lanes", type=int, default=256,
+                      help="cap batch size below N/2")
+    p_as.add_argument("--slo-p99", type=float, default=13.0,
+                      help="p99 latency SLO threshold in seconds")
+    p_as.add_argument("--slo-strict", action="store_true",
+                      help="exit nonzero when p99 held in < 99%% of "
+                           "windows after the first scale-up settles")
+    p_as.add_argument("--seed", type=int, default=1)
+    p_as.add_argument("--trace-out",
+                      help="write the session's Chrome-trace JSON "
+                           "(request, batch and autoscaler tracks) to "
+                           "this file")
+    p_as.add_argument("--json-out",
+                      help="write the autoscale report (JSON) to this "
+                           "file")
+
     sub.add_parser(
         "report", help="regenerate the headline evaluation tables"
     )
@@ -968,6 +1177,8 @@ _COMMANDS = {
     "bench-throughput": cmd_bench_throughput,
     "cluster": cmd_cluster,
     "bench-cluster": cmd_bench_cluster,
+    "plan-capacity": cmd_plan_capacity,
+    "autoscale": cmd_autoscale,
     "report": cmd_report,
 }
 

@@ -18,6 +18,7 @@ See ``docs/cluster.md`` for the model and the math.
 """
 
 from .bench import bench_fleet, default_fleets, run_cluster_bench
+from .capacity import CapacityPlan, CapacityPoint, plan_capacity
 from .dse import PARTITION_METHODS, FleetPlanner, best_single_device
 from .fleet import Fleet, FleetNode, Link
 from .partition import (
@@ -32,6 +33,8 @@ from .plan import ClusterPlan, StagePlan
 from .serving import ClusterService
 
 __all__ = [
+    "CapacityPlan",
+    "CapacityPoint",
     "ClusterPlan",
     "ClusterService",
     "ClusterSimReport",
@@ -49,6 +52,7 @@ __all__ = [
     "dp_partition",
     "equal_partition",
     "greedy_partition",
+    "plan_capacity",
     "plan_stages",
     "run_cluster_bench",
     "simulate_plan",

@@ -1,0 +1,210 @@
+"""Capacity planning: "how many boards for X req/s at p99 <= Y?".
+
+The dual of the autoscaler: instead of reacting to live SLO state, the
+planner answers the provisioning question up front by sweeping fleet
+sizes through the existing fleet DSE and replaying a deterministic
+Poisson stream at the target rate through each candidate's
+:class:`~repro.cluster.serving.ClusterService`.  Each candidate yields a
+:class:`CapacityPoint` on the cost/SLO frontier:
+
+* **analytic capacity** — slot lanes per bottleneck interval (the
+  pipeline's steady-state ceiling);
+* **measured p99 / reject rate** — from the virtual replay, so queueing
+  and batch-window effects are priced, not hand-waved;
+* **energy per inference** — the fleet's joules at steady state.
+
+The recommendation is the *smallest* fleet meeting both the rate and
+the p99 target — more boards past that point buy latency headroom at
+linear cost, which is exactly the trade the frontier table shows.  All
+DSE flows through the shared :class:`~repro.serve.cache.DesignCache`,
+so planning capacity *warms the deployment*: an autoscaler constructed
+with the same planner afterwards spins nodes up without re-scanning a
+single design point.
+
+HeLayers-style packing choice can join the sweep later as another axis
+(``poly_degrees``) — the sweep API already iterates candidates as
+(nodes, poly_degree) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..fpga.device import FpgaDevice
+from ..hecnn.batched import cryptonets_mnist_batched, max_batch_lanes
+from ..obs.probes import record_flight
+from ..serve.costmodel import ServingCostModel
+from ..serve.request import InferenceRequest
+from ..serve.scheduler import SchedulerConfig
+from ..serve.slo import Slo, evaluate_report
+from ..serve.traffic import poisson_arrivals
+from .dse import FleetPlanner
+from .fleet import Fleet, Link
+from .serving import ClusterService
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One fleet candidate on the cost/SLO frontier."""
+
+    nodes: int
+    poly_degree: int
+    fleet: str
+    bottleneck_seconds: float
+    fill_latency_seconds: float
+    #: Analytic ceiling: slot lanes per bottleneck interval.
+    capacity_per_s: float
+    #: Replay measurements at the target rate.
+    measured_p99_s: float
+    reject_rate: float
+    throughput_images_per_s: float
+    energy_per_inference_joules: float
+    meets_rate: bool
+    meets_p99: bool
+
+    @property
+    def meets(self) -> bool:
+        return self.meets_rate and self.meets_p99
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "poly_degree": self.poly_degree,
+            "fleet": self.fleet,
+            "bottleneck_seconds": self.bottleneck_seconds,
+            "fill_latency_seconds": self.fill_latency_seconds,
+            "capacity_per_s": self.capacity_per_s,
+            "measured_p99_s": self.measured_p99_s,
+            "reject_rate": self.reject_rate,
+            "throughput_images_per_s": self.throughput_images_per_s,
+            "energy_per_inference_joules":
+                self.energy_per_inference_joules,
+            "meets_rate": self.meets_rate,
+            "meets_p99": self.meets_p99,
+            "meets": self.meets,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The swept frontier plus the provisioning recommendation."""
+
+    target_rate_per_s: float
+    p99_slo_s: float
+    device: str
+    frontier: tuple[CapacityPoint, ...]
+    #: Smallest fleet meeting rate and p99; None when nothing does.
+    recommended_nodes: int | None
+    cost_model: dict[str, Any]
+
+    @property
+    def recommended(self) -> CapacityPoint | None:
+        for point in self.frontier:
+            if point.nodes == self.recommended_nodes and point.meets:
+                return point
+        return None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "target_rate_per_s": self.target_rate_per_s,
+            "p99_slo_s": self.p99_slo_s,
+            "device": self.device,
+            "frontier": [p.as_dict() for p in self.frontier],
+            "recommended_nodes": self.recommended_nodes,
+            "cost_model": self.cost_model,
+        }
+
+
+def plan_capacity(
+    target_rate_per_s: float,
+    p99_slo_s: float,
+    device: FpgaDevice,
+    max_nodes: int | None = None,
+    poly_degree: int = 8192,
+    planner: FleetPlanner | None = None,
+    config: SchedulerConfig | None = None,
+    link: Link | None = None,
+    horizon_s: float = 30.0,
+    seed: int = 0,
+    method: str = "dp",
+) -> CapacityPlan:
+    """Sweep homogeneous fleet sizes against the target rate and SLO.
+
+    Every candidate gets a full fleet plan (DP partition, per-stage
+    refinement, all through the shared design cache) and a ``horizon_s``
+    Poisson replay at ``target_rate_per_s``.  Deterministic under
+    ``seed`` — the frontier is reproducible and CI-gateable.
+    """
+    if target_rate_per_s <= 0:
+        raise ValueError("target_rate_per_s must be > 0")
+    if p99_slo_s <= 0:
+        raise ValueError("p99_slo_s must be > 0")
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be > 0")
+    planner = planner if planner is not None else FleetPlanner()
+    config = config or SchedulerConfig()
+    trace = cryptonets_mnist_batched(poly_degree)
+    limit = len(trace.layers)
+    max_nodes = limit if max_nodes is None else min(max_nodes, limit)
+    if max_nodes < 1:
+        raise ValueError("max_nodes must be >= 1")
+
+    count = max(1, int(round(target_rate_per_s * horizon_s)))
+    requests = poisson_arrivals(count, target_rate_per_s, seed=seed)
+    slo = Slo("p99-latency", "p99_latency_s", p99_slo_s, window=count)
+
+    frontier: list[CapacityPoint] = []
+    for nodes in range(1, max_nodes + 1):
+        fleet = Fleet.homogeneous(device, nodes, link=link)
+        plan = planner.plan(trace, fleet, method=method)
+        service = ClusterService(
+            plan, batch_capacity=max_batch_lanes(poly_degree),
+            config=config,
+        )
+        report = service.run(_clone(requests))
+        (status,) = evaluate_report(report, (slo,))
+        total = len(report.results)
+        reject_rate = report.rejected / total if total else 0.0
+        capacity_per_s = service.capacity / plan.bottleneck_seconds
+        point = CapacityPoint(
+            nodes=nodes,
+            poly_degree=poly_degree,
+            fleet=fleet.name,
+            bottleneck_seconds=plan.bottleneck_seconds,
+            fill_latency_seconds=plan.fill_latency_seconds,
+            capacity_per_s=capacity_per_s,
+            measured_p99_s=status.value,
+            reject_rate=reject_rate,
+            throughput_images_per_s=report.throughput_images_per_s,
+            energy_per_inference_joules=plan.energy_per_inference_joules,
+            meets_rate=(
+                capacity_per_s >= target_rate_per_s and reject_rate == 0.0
+            ),
+            meets_p99=status.ok,
+        )
+        frontier.append(point)
+
+    recommended = next((p.nodes for p in frontier if p.meets), None)
+    cost_model = ServingCostModel.cryptonets_mnist(
+        device, poly_degree, designs=planner.designs
+    ).as_dict()
+    record_flight(
+        "capacity_plan", device=device.name,
+        target_rate_per_s=target_rate_per_s, p99_slo_s=p99_slo_s,
+        recommended_nodes=recommended, candidates=len(frontier),
+    )
+    return CapacityPlan(
+        target_rate_per_s=target_rate_per_s,
+        p99_slo_s=p99_slo_s,
+        device=device.name,
+        frontier=tuple(frontier),
+        recommended_nodes=recommended,
+        cost_model=cost_model,
+    )
+
+
+def _clone(requests: list[InferenceRequest]) -> list[InferenceRequest]:
+    """Fresh request objects per candidate replay (requests are frozen
+    records, but each replay should own its list)."""
+    return list(requests)

@@ -211,6 +211,44 @@ def record_cluster_batch(lanes: int, latency_seconds: float) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Autoscaler probes
+# ---------------------------------------------------------------------------
+
+
+def record_fleet_size(size: int) -> None:
+    """Publish the autoscaler's current fleet size (nodes serving)."""
+    if not config.enabled():
+        return
+    REGISTRY.gauge("fleet_size").set(size)
+
+
+def record_autoscale_decision(
+    action: str, fleet_size: int, **fields: Any
+) -> None:
+    """One autoscaler control decision: scale_up / scale_down /
+    flap_suppressed.
+
+    Counts it by action, republishes the ``fleet_size`` gauge, and lands
+    the full decision context in the flight recorder — every resize (and
+    every resize the cooldown vetoed) is reconstructible post-mortem.
+    """
+    if not config.enabled():
+        return
+    REGISTRY.counter("autoscale_decisions_total", action=action).inc()
+    REGISTRY.gauge("fleet_size").set(fleet_size)
+    FLIGHT.record(action, fleet_size=fleet_size, **fields)
+
+
+def record_spin_up_cost(seconds: float, warm: bool) -> None:
+    """The spin-up cost charged for one scale-up (virtual seconds)."""
+    if not config.enabled():
+        return
+    REGISTRY.histogram(
+        "autoscale_spin_up_seconds", warm="true" if warm else "false"
+    ).observe(seconds)
+
+
+# ---------------------------------------------------------------------------
 # DSE progress
 # ---------------------------------------------------------------------------
 

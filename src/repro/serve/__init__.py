@@ -33,6 +33,15 @@ accelerator ran a trace":
 See ``docs/serving.md`` for the design discussion.
 """
 
+from .autoscale import (
+    AutoscaleReport,
+    AutoscalerConfig,
+    FleetAutoscaler,
+    ScaleDecision,
+    SpinUpCostModel,
+    held_fraction,
+    p99_windows,
+)
 from .cache import (
     ContextCache,
     DesignCache,
@@ -57,6 +66,9 @@ from .slo import (
 from .tenants import TIERS, Tenant, TenantRegistry, TenantShardedCache
 from .traffic import (
     burst_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    merge_arrivals,
     poisson_arrivals,
     tier_of_rank,
     uniform_arrivals,
@@ -65,19 +77,24 @@ from .traffic import (
 )
 
 __all__ = [
+    "AutoscaleReport",
+    "AutoscalerConfig",
     "BackpressureError",
     "BatchRecord",
     "ContextCache",
     "DesignCache",
     "DesignKey",
+    "FleetAutoscaler",
     "InferenceRequest",
     "InferenceService",
     "RequestResult",
+    "ScaleDecision",
     "SchedulerConfig",
     "ServeReport",
     "ServiceClosed",
     "ServingCostModel",
     "Slo",
+    "SpinUpCostModel",
     "SloMonitor",
     "SloStatus",
     "SlotBatchScheduler",
@@ -88,10 +105,15 @@ __all__ = [
     "TenantShardedCache",
     "TIERS",
     "burst_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "FLOOR_OBJECTIVES",
     "OBJECTIVES",
     "default_slos",
     "evaluate_report",
+    "held_fraction",
+    "merge_arrivals",
+    "p99_windows",
     "poisson_arrivals",
     "tier_of_rank",
     "uniform_arrivals",

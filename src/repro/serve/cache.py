@@ -95,6 +95,21 @@ class DesignCache:
             ),
         )
 
+    def contains(
+        self,
+        trace: NetworkTrace,
+        device: FpgaDevice,
+        dsp_limit: int | None = None,
+        bram_limit: int | None = None,
+    ) -> bool:
+        """Warm probe: is the design already cached?
+
+        Does not touch hit/miss accounting — the autoscaler's spin-up
+        cost model asks "would this scale-up need DSE?" without the
+        probe itself perturbing the hit-ratio gauge it also reads.
+        """
+        return DesignKey.of(trace, device, dsp_limit, bram_limit) in self._cache
+
     def stats(self) -> CacheStats:
         return self._cache.stats()
 
@@ -123,6 +138,10 @@ class ContextCache:
         self, key: Hashable, factory: Callable[[], Any]
     ) -> Any:
         return self._cache.get_or_create(key, factory)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Warm probe without hit/miss accounting (spin-up cost model)."""
+        return key in self._cache
 
     def stats(self) -> CacheStats:
         return self._cache.stats()

@@ -13,8 +13,9 @@ the most recent terminal requests (outcome + latency).  It is fed by
 calls it from its worker pool, so the window is lock-protected — and
 evaluated on demand with :meth:`evaluate`, which also publishes
 ``slo_value`` / ``slo_ok`` gauges and records a flight event on every
-violation *transition* (ok → violated), so the flight ring shows when an
-objective first broke, not a line per request thereafter.
+*transition* — ``slo_violation`` on ok → violated, ``slo_recovery`` on
+violated → ok — so the flight ring shows when an objective broke and
+when it healed, not a line per request in between.
 
 :func:`evaluate_report` applies the same objectives to a finished
 :class:`~repro.serve.records.ServeReport`, which is how the virtual-time
@@ -215,6 +216,16 @@ class SloMonitor:
             if not ok and slo.name not in self._violated:
                 record_flight(
                     "slo_violation", slo=slo.name,
+                    objective=slo.objective, value=value,
+                    threshold=slo.threshold, samples=samples,
+                )
+            elif ok and slo.name in self._violated:
+                # The mirror transition (violated -> ok) gets exactly one
+                # event too — including when the violation clears exactly
+                # at window close, i.e. the moment the last bad sample
+                # ages out of the sliding window.
+                record_flight(
+                    "slo_recovery", slo=slo.name,
                     objective=slo.objective, value=value,
                     threshold=slo.threshold, samples=samples,
                 )

@@ -184,8 +184,9 @@ class TenantShardedCache:
     event naming it and the entry count lost).
 
     Shards share one metric label (``cache=<name>``) so hit/miss/eviction
-    counters aggregate across tenants; the ``cache_size`` gauge is
-    republished with the *total* entry count after every access.
+    counters aggregate across tenants; the ``cache_size`` and
+    ``cache_hit_ratio`` gauges are republished with the *total* entry
+    count and the population-wide hit rate after every access.
     """
 
     def __init__(
@@ -278,6 +279,13 @@ class TenantShardedCache:
             REGISTRY.gauge("cache_size", cache=self.name).set(len(self))
             REGISTRY.gauge("cache_tenants", cache=self.name).set(
                 self.tenant_count()
+            )
+            # Individual shards publish their own per-shard ratio under the
+            # shared label as they are touched; republish the aggregate so
+            # the gauge always lands on the population-wide hit rate (what
+            # the autoscaler's spin-up cost model reads).
+            REGISTRY.gauge("cache_hit_ratio", cache=self.name).set(
+                self.stats().hit_rate
             )
 
     def tenant_count(self) -> int:

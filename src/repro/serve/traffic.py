@@ -144,6 +144,137 @@ def zipf_tenant_arrivals(
     ]
 
 
+def _thinned_poisson(
+    duration_s: float,
+    rate_fn,
+    max_rate_per_s: float,
+    seed: int,
+    deadline_s: float | None,
+) -> list[InferenceRequest]:
+    """Inhomogeneous Poisson arrivals over ``[0, duration_s)`` by thinning.
+
+    Candidate arrivals are drawn from a homogeneous process at
+    ``max_rate_per_s`` and kept with probability ``rate_fn(t) / max``;
+    the result is an exact draw from the inhomogeneous process with
+    intensity ``rate_fn`` as long as ``rate_fn(t) <= max_rate_per_s``
+    everywhere.  Deterministic under ``seed``.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    if max_rate_per_s <= 0:
+        raise ValueError("max rate must be > 0")
+    rng = np.random.default_rng(seed)
+    requests: list[InferenceRequest] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / max_rate_per_s))
+        if t >= duration_s:
+            break
+        if rng.random() * max_rate_per_s <= rate_fn(t):
+            requests.append(
+                InferenceRequest(
+                    request_id=len(requests),
+                    arrival_s=t,
+                    deadline_s=None if deadline_s is None
+                    else t + deadline_s,
+                )
+            )
+    return requests
+
+
+def diurnal_arrivals(
+    duration_s: float,
+    base_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_s: float,
+    seed: int = 0,
+    deadline_s: float | None = None,
+) -> list[InferenceRequest]:
+    """A day/night load curve: sinusoidal rate between base and peak.
+
+    The rate starts at ``base_rate_per_s`` (trough), crests at
+    ``peak_rate_per_s`` half a period in, and returns — the capacity-vs-
+    demand shape an autoscaler must track without flapping.  Exact
+    inhomogeneous Poisson via thinning; deterministic under ``seed``.
+    """
+    if base_rate_per_s <= 0 or peak_rate_per_s < base_rate_per_s:
+        raise ValueError("need 0 < base_rate_per_s <= peak_rate_per_s")
+    if period_s <= 0:
+        raise ValueError("period_s must be > 0")
+    swing = peak_rate_per_s - base_rate_per_s
+
+    def rate(t: float) -> float:
+        phase = 2.0 * np.pi * t / period_s
+        return base_rate_per_s + swing * (1.0 - np.cos(phase)) / 2.0
+
+    return _thinned_poisson(
+        duration_s, rate, peak_rate_per_s, seed, deadline_s
+    )
+
+
+def flash_crowd_arrivals(
+    duration_s: float,
+    base_rate_per_s: float,
+    surge_start_s: float,
+    surge_duration_s: float,
+    surge_multiplier: float = 10.0,
+    seed: int = 0,
+    deadline_s: float | None = None,
+) -> list[InferenceRequest]:
+    """Steady traffic with one rectangular surge (default 10×).
+
+    The flash-crowd stress case: rate jumps to ``surge_multiplier *
+    base_rate_per_s`` for ``surge_duration_s`` starting at
+    ``surge_start_s``, then collapses back.  Deterministic under
+    ``seed``.
+    """
+    if base_rate_per_s <= 0:
+        raise ValueError("base_rate_per_s must be > 0")
+    if surge_multiplier < 1.0:
+        raise ValueError("surge_multiplier must be >= 1")
+    if surge_start_s < 0 or surge_duration_s < 0:
+        raise ValueError("surge window must be non-negative")
+    surge_end_s = surge_start_s + surge_duration_s
+
+    def rate(t: float) -> float:
+        if surge_start_s <= t < surge_end_s:
+            return base_rate_per_s * surge_multiplier
+        return base_rate_per_s
+
+    return _thinned_poisson(
+        duration_s, rate, base_rate_per_s * surge_multiplier, seed,
+        deadline_s,
+    )
+
+
+def merge_arrivals(
+    *streams: list[InferenceRequest],
+) -> list[InferenceRequest]:
+    """Superpose arrival streams into one, renumbered by arrival order.
+
+    Merging independent Poisson streams yields a Poisson stream at the
+    summed rate, so composite workloads (diurnal baseline + flash-crowd
+    surge) are built by generating each component separately and merging.
+    Deadlines, payloads and key groups are preserved; ``request_id`` is
+    reassigned to match the merged arrival order.
+    """
+    merged = sorted(
+        (req for stream in streams for req in stream),
+        key=lambda r: (r.arrival_s, r.request_id),
+    )
+    return [
+        InferenceRequest(
+            request_id=i,
+            arrival_s=req.arrival_s,
+            deadline_s=req.deadline_s,
+            payload=req.payload,
+            trace_id=req.trace_id,
+            key_group=req.key_group,
+        )
+        for i, req in enumerate(merged)
+    ]
+
+
 def burst_arrivals(
     bursts: int,
     burst_size: int,

@@ -1,0 +1,110 @@
+"""Capacity planner: frontier sweep, recommendation, cache warming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import FleetPlanner, plan_capacity
+from repro.fpga import acu15eg
+from repro.obs.flight import FLIGHT
+from repro.obs.registry import REGISTRY
+from repro.serve import SchedulerConfig
+
+
+@pytest.fixture(scope="module")
+def capacity_planner():
+    return FleetPlanner()
+
+
+@pytest.fixture(scope="module")
+def plan(capacity_planner):
+    # 2.5 req/s against 8-lane batches: one ACU15EG caps out at
+    # 8 / 6.19 s ~ 1.3/s (backlog grows without bound), two nodes at
+    # 8 / 2.67 s ~ 3/s absorb it — the frontier's meets flag must flip
+    # between the candidates.
+    return plan_capacity(
+        2.5, 20.0, acu15eg(), max_nodes=2,
+        planner=capacity_planner, config=SchedulerConfig(max_lanes=8),
+        horizon_s=40.0, seed=3,
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        plan_capacity(0.0, 1.0, acu15eg())
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 0.0, acu15eg())
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 1.0, acu15eg(), horizon_s=0.0)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 1.0, acu15eg(), max_nodes=0)
+
+
+def test_frontier_flips_at_the_capacity_boundary(plan):
+    assert [p.nodes for p in plan.frontier] == [1, 2]
+    one, two = plan.frontier
+    assert not one.meets_rate  # 1.3/s capacity < 2.5/s target
+    assert not one.meets       # and the backlog blows the p99 budget
+    assert two.meets_rate and two.meets_p99 and two.meets
+    assert two.capacity_per_s > one.capacity_per_s
+    assert two.bottleneck_seconds < one.bottleneck_seconds
+    assert two.measured_p99_s < one.measured_p99_s
+
+
+def test_recommendation_is_the_smallest_meeting_fleet(plan):
+    assert plan.recommended_nodes == 2
+    assert plan.recommended is plan.frontier[1]
+    d = plan.as_dict()
+    assert d["recommended_nodes"] == 2
+    assert len(d["frontier"]) == 2
+    assert d["frontier"][0]["meets"] is False
+    assert "batch_seconds" in d["cost_model"]
+
+
+def test_no_fleet_meets_an_impossible_target(capacity_planner):
+    impossible = plan_capacity(
+        50.0, 20.0, acu15eg(), max_nodes=2,
+        planner=capacity_planner, config=SchedulerConfig(max_lanes=8),
+        horizon_s=10.0, seed=3,
+    )
+    assert impossible.recommended_nodes is None
+    assert impossible.recommended is None
+
+
+def test_deterministic_under_a_fixed_seed(capacity_planner, plan):
+    again = plan_capacity(
+        2.5, 20.0, acu15eg(), max_nodes=2,
+        planner=capacity_planner, config=SchedulerConfig(max_lanes=8),
+        horizon_s=40.0, seed=3,
+    )
+    assert again.as_dict() == plan.as_dict()
+
+
+def test_planning_warms_the_design_cache(capacity_planner, plan):
+    # A replan through the same planner scans zero DSE points: capacity
+    # planning pre-warms the deployment the autoscaler will resize.
+    with obs.observed():
+        obs.reset()
+        before = REGISTRY.counter("dse_points_scanned").value
+        plan_capacity(
+            2.5, 20.0, acu15eg(), max_nodes=2,
+            planner=capacity_planner,
+            config=SchedulerConfig(max_lanes=8),
+            horizon_s=40.0, seed=3,
+        )
+        scanned = REGISTRY.counter("dse_points_scanned").value - before
+        events = FLIGHT.events("capacity_plan")
+    assert scanned == 0
+    assert len(events) == 1
+    assert events[0]["recommended_nodes"] == 2
+
+
+def test_max_nodes_clamped_to_pipeline_depth(capacity_planner):
+    clamped = plan_capacity(
+        2.5, 20.0, acu15eg(), max_nodes=99,
+        planner=capacity_planner, config=SchedulerConfig(max_lanes=8),
+        horizon_s=5.0, seed=3,
+    )
+    # The batched CryptoNets trace has 5 layers.
+    assert clamped.frontier[-1].nodes == 5

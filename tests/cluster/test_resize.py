@@ -1,0 +1,89 @@
+"""Fleet resize through the planner: warm replans, stable cuts.
+
+The autoscaler repartitions the pipeline on every resize; these tests
+pin the two properties that make that cheap and predictable — a resize
+against a warm design cache scans zero DSE points, and the DP solver's
+earliest-cut tie-breaking keeps each size's split identical no matter
+how many grow/shrink cycles happen in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.cluster import Fleet, FleetPlanner
+from repro.fpga import acu15eg
+from repro.hecnn.batched import cryptonets_mnist_batched
+from repro.obs.registry import REGISTRY
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return cryptonets_mnist_batched(8192)
+
+
+@pytest.fixture(scope="module")
+def resize_planner(trace):
+    planner = FleetPlanner()
+    # Cold pass: plan every size the autoscaler can reach.
+    for n in (1, 2, 3):
+        planner.plan(trace, Fleet.homogeneous(acu15eg(), n))
+    return planner
+
+
+def _scanned_during(planner, trace, sizes):
+    with obs.observed():
+        obs.reset()
+        before = REGISTRY.counter("dse_points_scanned").value
+        plans = [
+            planner.plan(trace, Fleet.homogeneous(acu15eg(), n))
+            for n in sizes
+        ]
+        scanned = REGISTRY.counter("dse_points_scanned").value - before
+    return plans, scanned
+
+
+def test_warm_replan_after_resize_scans_zero_points(resize_planner, trace):
+    # Grow 1 -> 2 -> 3, shrink back to 1: every replan rides the warm
+    # design cache, so the whole resize storm costs zero DSE.
+    _, scanned = _scanned_during(resize_planner, trace, [1, 2, 3, 2, 1])
+    assert scanned == 0
+
+
+def test_cold_planner_pays_dse_exactly_once(trace):
+    fresh = FleetPlanner()
+    _, first = _scanned_during(fresh, trace, [2])
+    assert first > 0
+    _, again = _scanned_during(fresh, trace, [2])
+    assert again == 0
+
+
+def _cuts(plan) -> list[tuple[int, int]]:
+    return [(s.layer_start, s.layer_stop) for s in plan.stages]
+
+
+def test_cuts_stable_across_resize_cycles(resize_planner, trace):
+    # Ties break toward the earliest feasible cut, so replanning a size
+    # after arbitrary grow/shrink cycles reproduces the same split.
+    (a2,), _ = _scanned_during(resize_planner, trace, [2])
+    plans, _ = _scanned_during(resize_planner, trace, [3, 1, 3, 2])
+    b2 = plans[-1]
+    assert _cuts(a2) == _cuts(b2)
+    assert a2.bottleneck_seconds == pytest.approx(b2.bottleneck_seconds)
+    assert _cuts(plans[0]) == _cuts(plans[2])
+    # And every size maps each stage to a contiguous, exhaustive range.
+    for plan in plans:
+        spans = _cuts(plan)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(trace.layers)
+        assert all(
+            a[1] == b[0] for a, b in zip(spans, spans[1:])
+        )
+        assert all(s0 < s1 for s0, s1 in spans)
+
+
+def test_each_size_keeps_its_own_bottleneck_ordering(resize_planner, trace):
+    plans, _ = _scanned_during(resize_planner, trace, [1, 2, 3])
+    b1, b2, b3 = (p.bottleneck_seconds for p in plans)
+    assert b1 > b2 >= b3  # more stages never hurt the interval

@@ -125,6 +125,48 @@ def test_violation_transition_records_one_flight_event():
         assert len(FLIGHT.events("slo_violation")) == 2
 
 
+def test_recovery_transition_records_one_flight_event():
+    monitor = SloMonitor((Slo("p99-latency", "p99_latency_s", 1.0),))
+    with obs.observed():
+        monitor.observe("batched", 5.0)
+        monitor.evaluate()
+        assert len(FLIGHT.events("slo_violation")) == 1
+        assert not FLIGHT.events("slo_recovery")
+        for _ in range(1000):
+            monitor.observe("batched", 0.1)
+        monitor.evaluate()
+        recoveries = FLIGHT.events("slo_recovery")
+        assert len(recoveries) == 1
+        assert recoveries[0]["slo"] == "p99-latency"
+        assert recoveries[0]["value"] == pytest.approx(0.1)
+        monitor.evaluate()  # still ok: no second recovery event
+        assert len(FLIGHT.events("slo_recovery")) == 1
+
+
+def test_recovery_exactly_at_window_close_emits_once():
+    """The violation clearing the moment the last bad sample ages out of
+    the sliding window is a real transition — exactly one recovery."""
+    monitor = SloMonitor((Slo("p99-latency", "p99_latency_s", 1.0,
+                              window=4),))
+    with obs.observed():
+        monitor.observe("batched", 9.0)
+        monitor.evaluate()
+        assert len(FLIGHT.events("slo_violation")) == 1
+        # Three fast samples: the bad one still sits in the 4-window.
+        for _ in range(3):
+            monitor.observe("batched", 0.1)
+        (status,) = monitor.evaluate()
+        assert not status.ok
+        assert not FLIGHT.events("slo_recovery")
+        # The fourth fast sample closes the window on the bad one.
+        monitor.observe("batched", 0.1)
+        (status,) = monitor.evaluate()
+        assert status.ok
+        assert len(FLIGHT.events("slo_recovery")) == 1
+        monitor.evaluate()
+        assert len(FLIGHT.events("slo_recovery")) == 1
+
+
 def test_headroom_floor_objective_ok_above_threshold():
     monitor = SloMonitor((Slo("headroom", "noise_headroom_bits", 8.0),))
     for bits in (12.0, 10.5, 9.0):
@@ -194,6 +236,16 @@ def test_evaluate_report_applies_slos_to_finished_session():
 def test_evaluate_report_with_default_slos_passes_clean_session():
     report = _report([0.5] * 50)
     assert all(s.ok for s in evaluate_report(report))
+
+
+def test_evaluate_report_on_empty_session_passes_vacuously():
+    """A session with no terminal requests trips nothing: latency
+    percentiles read 0.0 over zero samples and the rates read 0.0."""
+    report = _report([])
+    statuses = evaluate_report(report)
+    assert all(s.ok for s in statuses)
+    assert all(s.samples == 0 for s in statuses)
+    assert all(s.value == 0.0 for s in statuses)
 
 
 def test_status_as_dict_round_trips_the_slo():

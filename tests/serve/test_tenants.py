@@ -141,6 +141,27 @@ def test_sharded_cache_aggregate_stats_and_gauge():
         assert reg.gauge("cache_tenants", cache="probe-shard").value == 2
 
 
+def test_sharded_cache_publishes_population_wide_hit_ratio():
+    """The ``cache_hit_ratio`` gauge aggregates over every shard and
+    stays in lock step with ``stats().hit_rate`` — including after a
+    rotation invalidates a whole shard."""
+    cache = TenantShardedCache("probe-ratio", per_tenant_capacity=4,
+                               max_tenants=8)
+    with obs.observed():
+        obs.reset()
+        reg = obs.get_registry()
+        gauge = reg.gauge("cache_hit_ratio", cache="probe-ratio")
+        cache.get_or_create("a:k0", 1, lambda: "x")   # miss
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+        assert gauge.value == 0.0
+        cache.get_or_create("a:k0", 1, lambda: "x")   # hit
+        cache.get_or_create("b:k0", 1, lambda: "y")   # miss
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+        assert gauge.value == pytest.approx(1 / 3)
+        cache.invalidate("a:k0")
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+
+
 def test_concurrent_same_tenant_context_provisioning_builds_once():
     """Satellite hammer: N threads warming one tenant's context run the
     (expensive keygen) factory exactly once."""

@@ -129,6 +129,37 @@ def test_pop_and_clear_publish_cache_size_and_count_evictions():
         ).value == 1
 
 
+def test_hit_ratio_gauge_stays_in_lock_step_with_stats():
+    """Regression: the ``cache_hit_ratio`` gauge is the control plane's
+    view of cache warmth (the autoscaler's spin-up estimate reads it),
+    so it must match ``stats().hit_rate`` after every mutation —
+    including pop and clear, which touch no hit/miss counter."""
+    cache = LruCache(4, name="probe")
+    with obs.observed():
+        obs.reset()
+        reg = obs.get_registry()
+        gauge = reg.gauge("cache_hit_ratio", cache="probe")
+        assert gauge.value == 0.0  # no lookups yet: reads fully cold
+
+        cache.put("a", 1)
+        cache.get("a")          # hit
+        cache.get("missing")    # miss
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+        assert gauge.value == pytest.approx(0.5)
+
+        cache.get("a")          # 2 hits / 3 lookups
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+
+        cache.pop("a")
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+        assert gauge.value == pytest.approx(2 / 3)
+
+        cache.put("b", 2)
+        cache.clear()
+        assert gauge.value == pytest.approx(cache.stats().hit_rate)
+        assert gauge.value == pytest.approx(2 / 3)  # lifetime ratio
+
+
 def test_get_or_create_runs_racing_factories_exactly_once():
     """Regression: two threads warming the same key used to both run the
     factory (the loser's value was discarded) — a duplicated keygen once

@@ -291,7 +291,9 @@ def test_bench_throughput_bad_windows_exits_nonzero():
     assert excinfo.value.code != 0
 
 
-@pytest.mark.parametrize("command", ["serve", "bench-throughput"])
+@pytest.mark.parametrize(
+    "command", ["serve", "bench-throughput", "plan-capacity", "autoscale"]
+)
 def test_serve_commands_unknown_device_exit_nonzero(command):
     with pytest.raises(SystemExit) as excinfo:
         main([command, "--device", "bogus"])
@@ -349,3 +351,60 @@ def test_bench_cluster_json(tmp_path, capsys):
     row = payload["fleets"][0]
     assert row["sim"]["matches_analytic"] is True
     assert row["beats_single_device"] is True
+
+
+def test_plan_capacity(tmp_path, capsys):
+    out_path = tmp_path / "capacity.json"
+    assert main([
+        "plan-capacity", "--rate", "2.5", "--p99", "20",
+        "--max-nodes", "2", "--max-lanes", "8", "--horizon", "20",
+        "--json-out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "capacity frontier" in out
+    assert "recommendation: 2 x ACU15EG" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["recommended_nodes"] == 2
+    assert [p["nodes"] for p in payload["frontier"]] == [1, 2]
+    assert payload["frontier"][0]["meets"] is False
+    assert payload["frontier"][1]["meets"] is True
+
+
+def test_plan_capacity_unmeetable_target_exits_nonzero(capsys):
+    assert main([
+        "plan-capacity", "--rate", "50", "--p99", "20",
+        "--max-nodes", "2", "--max-lanes", "8", "--horizon", "10",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "no fleet up to 2 nodes meets the target" in out
+
+
+def test_autoscale(tmp_path, capsys):
+    trace_path = tmp_path / "autoscale.trace.json"
+    json_path = tmp_path / "autoscale.json"
+    rc = main([
+        "autoscale", "--duration", "80", "--base-rate", "2",
+        "--peak-rate", "6", "--surge-base-rate", "4",
+        "--surge-start", "20", "--surge-duration", "10",
+        "--surge-multiplier", "20", "--max-nodes", "2",
+        "--cooldown", "10", "--max-lanes", "8", "--slo-p99", "500",
+        "--trace-out", str(trace_path), "--json-out", str(json_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scale_up" in out
+    assert "node-seconds" in out
+    payload = json.loads(json_path.read_text())
+    actions = [d["action"] for d in payload["decisions"]]
+    assert "scale_up" in actions
+    assert payload["peak_nodes"] == 2
+    assert payload["node_seconds"] > 0
+    trace = json.loads(trace_path.read_text())
+    names = {e.get("name") for e in trace["traceEvents"]}
+    assert "spin_up 1->2" in names
+
+
+def test_autoscale_bad_policy_exits_nonzero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["autoscale", "--min-nodes", "0"])
+    assert excinfo.value.code != 0
