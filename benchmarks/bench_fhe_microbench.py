@@ -303,20 +303,28 @@ def test_bench_kernel_backend_matrix(save_report):
 
 def test_bench_obs_overhead_disabled(bench_ctx, bench_ct):
     """With observability off, the ``_probed`` wrapper must cost < 2 % —
-    even with a lineage tracker installed.
+    even with a lineage tracker, time-series recorder and cost ledger
+    installed.
 
     Interleaved min-of-N timing of the decorated CCadd against its
     undecorated original (``__wrapped__``) on the N=2048 ring; min-of-N
     discards scheduler noise, interleaving discards thermal drift.  The
-    probed runs happen inside an (ambient, but dormant) lineage context:
-    the PR-7 lineage hook lives on the enabled path only, so an
-    installed tracker must neither slow the disabled path nor record
-    anything.
+    probed runs happen inside an (ambient, but dormant) lineage context
+    with a charged cost ledger and a non-empty time-series store around:
+    the PR-7 lineage hook and the PR-10 telemetry all live on the
+    enabled path only, so installed recorders must neither slow the
+    disabled path nor record anything new.
     """
+    from repro.obs.timeseries import TIMESERIES
+    from repro.serve.costs import CostLedger
+
     assert not obs.enabled()
     ev = Evaluator(bench_ctx)
     raw_add = Evaluator.add.__wrapped__
     tracker = obs.LineageTracker()
+    ledger = CostLedger()
+    ledger.note_batch(["bench:k0"], 0.001)
+    samples_before = TIMESERIES.sample_count
     reps, rounds = 200, 7
     best_probed = best_raw = float("inf")
     with obs.lineage_context(tracker):
@@ -332,6 +340,9 @@ def test_bench_obs_overhead_disabled(bench_ctx, bench_ct):
     overhead = best_probed / best_raw - 1.0
     print(f"disabled-obs overhead on CCadd: {overhead:+.3%} "
           f"({best_raw * 1e6 / reps:.1f} us/op raw)")
-    # Obs disabled => the lineage hook never ran: an empty DAG.
+    # Obs disabled => the lineage hook never ran: an empty DAG; the
+    # time-series clock never advanced; the ledger still reconciles.
     assert not tracker.nodes
+    assert TIMESERIES.sample_count == samples_before
+    assert ledger.report().reconciled
     assert overhead < 0.02

@@ -99,6 +99,15 @@ _METRICS: dict[str, tuple[tuple[str, str, float], ...]] = {
         ("networks.0.min_gap_bits", "higher", NOISE_TOLERANCE),
         ("networks.0.layers.*.measured_bits", "higher", NOISE_TOLERANCE),
     ),
+    # The cost-attribution session is fully virtual-time: the two-phase
+    # arrival stream, every batch, every expiry, and both alert
+    # lifecycles replay identically, so throughput and the top tenant's
+    # bill share are deterministic numbers worth gating.
+    "BENCH_costs": (
+        ("throughput_images_per_s", "higher", DEFAULT_TOLERANCE),
+        ("top_tenant_cost_share", "lower", DEFAULT_TOLERANCE),
+        ("totals.node_seconds", "lower", DEFAULT_TOLERANCE),
+    ),
 }
 
 #: Boolean invariants that must stay true in the fresh record.
@@ -126,6 +135,23 @@ _INVARIANTS: dict[str, tuple[str, ...]] = {
         "invariants.no_requests_lost",
         "invariants.capacity_plan_matches_peak",
     ),
+    # Exact reconciliation (per-tenant integer sums == fleet totals on
+    # every axis) and the deterministic alert lifecycles are correctness
+    # properties: a cost leak or a dead alert is a bug at any speed.
+    "BENCH_costs": (
+        "invariants.reconciled",
+        "invariants.reconciliation.slot_seconds",
+        "invariants.reconciliation.keygen_count",
+        "invariants.reconciliation.dse_points",
+        "invariants.reconciliation.node_seconds",
+        "invariants.reconciliation.energy_joules",
+        "invariants.all_requests_accounted",
+        "invariants.queue_alert_fired",
+        "invariants.queue_alert_resolved",
+        "invariants.burn_alert_fired",
+        "invariants.burn_alert_resolved",
+        "invariants.no_alerts_active_at_end",
+    ),
 }
 
 #: Non-numeric fields that must match the baseline exactly — e.g. the
@@ -149,6 +175,17 @@ _PINNED: dict[str, tuple[str, ...]] = {
         "autoscale.peak_nodes",
         "capacity_plan.recommended_nodes",
         "scenario.requests",
+    ),
+    # A fresh session over a different tenant population, request mix,
+    # or alert verdict history is answering a different billing question
+    # than the committed baseline.
+    "BENCH_costs": (
+        "tenant_count",
+        "burst_requests",
+        "relief_requests",
+        "completed",
+        "expired",
+        "alert_counts",
     ),
 }
 

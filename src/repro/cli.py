@@ -14,7 +14,11 @@ Subcommands mirror the framework's workflow:
   breakdowns, optionally exporting a Chrome-trace / Perfetto JSON;
 * ``explain`` — reconstruct a request's ciphertext lineage DAG (per-op
   noise accounting) with a per-layer noise waterfall, the dominant noise
-  spenders, and JSON / Graphviz DOT exports.
+  spenders, and JSON / Graphviz DOT exports;
+* ``costs``   — replay a zipf multi-tenant serving session under a
+  :class:`~repro.serve.costs.CostLedger` and print who consumed what
+  (slot time, wire bytes, keygen, DSE, node-seconds, energy) with the
+  exact reconciliation verdict.
 
 Unknown networks and devices exit with a message and a nonzero status —
 never a raw traceback.
@@ -221,6 +225,168 @@ def _write_or_fail(path: str, text: str, what: str) -> bool:
     return True
 
 
+def _load_profile(path: str) -> dict:
+    """Load one ``repro profile --format json`` record, or exit."""
+    import json
+
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read profile {path!r}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"{path!r} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or "layers" not in data or "ops" not in data:
+        raise SystemExit(
+            f"{path!r} is not a 'repro profile --format json' record "
+            f"(missing 'layers'/'ops')"
+        )
+    return data
+
+
+def _diff_flags(
+    wall_old: float, wall_new: float, head_old: float | None,
+    head_new: float | None, tolerance: float,
+) -> list[str]:
+    """Regression flags for one profile row.
+
+    A row regresses when it got *slower* by more than ``tolerance``
+    (relative) or *noisier* by more than half a bit of headroom —
+    absolute, because headroom near zero is exactly where relative
+    comparison degenerates.
+    """
+    flags = []
+    if wall_old > 0 and wall_new > wall_old * (1.0 + tolerance):
+        flags.append("slower")
+    if head_old is not None and head_new is not None \
+            and head_new < head_old - 0.5:
+        flags.append("noisier")
+    return flags
+
+
+def _profile_diff(args: argparse.Namespace) -> int:
+    """Compare two ``repro profile --format json`` records."""
+    import json
+
+    old_path, new_path = args.diff
+    old, new = _load_profile(old_path), _load_profile(new_path)
+    tol = args.diff_tolerance
+
+    old_layers = {r["name"]: r for r in old["layers"]}
+    new_layers = {r["name"]: r for r in new["layers"]}
+    names = [r["name"] for r in new["layers"]]
+    names += [n for n in old_layers if n not in new_layers]
+    layer_rows = []
+    for name in names:
+        o, n = old_layers.get(name), new_layers.get(name)
+        if o is None or n is None:
+            layer_rows.append({
+                "name": name, "status": "added" if o is None else "removed",
+                "wall_ms_old": o["wall_ms"] if o else None,
+                "wall_ms_new": n["wall_ms"] if n else None,
+                "wall_ms_delta": None, "headroom_old": None,
+                "headroom_new": None, "headroom_delta": None, "flags": [],
+            })
+            continue
+        flags = _diff_flags(o["wall_ms"], n["wall_ms"],
+                            o.get("headroom_bits"), n.get("headroom_bits"),
+                            tol)
+        layer_rows.append({
+            "name": name, "status": "common",
+            "wall_ms_old": o["wall_ms"], "wall_ms_new": n["wall_ms"],
+            "wall_ms_delta": n["wall_ms"] - o["wall_ms"],
+            "headroom_old": o.get("headroom_bits"),
+            "headroom_new": n.get("headroom_bits"),
+            "headroom_delta": (
+                n["headroom_bits"] - o["headroom_bits"]
+                if "headroom_bits" in o and "headroom_bits" in n else None
+            ),
+            "flags": flags,
+        })
+
+    old_ops = {r["op"]: r for r in old["ops"]}
+    new_ops = {r["op"]: r for r in new["ops"]}
+    op_names = [r["op"] for r in new["ops"]]
+    op_names += [o for o in old_ops if o not in new_ops]
+    op_rows = []
+    for op in op_names:
+        o, n = old_ops.get(op), new_ops.get(op)
+        if o is None or n is None:
+            op_rows.append({
+                "op": op, "status": "added" if o is None else "removed",
+                "total_ms_old": o["total_ms"] if o else None,
+                "total_ms_new": n["total_ms"] if n else None,
+                "total_ms_delta": None, "p95_ms_old": None,
+                "p95_ms_new": None, "flags": [],
+            })
+            continue
+        flags = _diff_flags(o["total_ms"], n["total_ms"], None, None, tol)
+        op_rows.append({
+            "op": op, "status": "common",
+            "total_ms_old": o["total_ms"], "total_ms_new": n["total_ms"],
+            "total_ms_delta": n["total_ms"] - o["total_ms"],
+            "p95_ms_old": o["p95_ms"], "p95_ms_new": n["p95_ms"],
+            "flags": flags,
+        })
+
+    regressions = [r["name"] for r in layer_rows if r["flags"]] \
+        + [r["op"] for r in op_rows if r["flags"]]
+
+    if args.format == "json":
+        print(json.dumps({
+            "old": old_path, "new": new_path,
+            "old_network": old.get("network"),
+            "new_network": new.get("network"),
+            "old_kernel_backend": old.get("kernel_backend"),
+            "new_kernel_backend": new.get("kernel_backend"),
+            "wall_s_old": old.get("wall_s"), "wall_s_new": new.get("wall_s"),
+            "tolerance": tol,
+            "layers": layer_rows,
+            "ops": op_rows,
+            "regressions": regressions,
+        }, indent=2))
+        return 0
+
+    def _num(v, fmt="{:.1f}"):
+        return "-" if v is None else fmt.format(v)
+
+    def _mark(row):
+        if row["status"] != "common":
+            return row["status"].upper()
+        return ",".join(row["flags"]) if row["flags"] else ""
+
+    print(format_table(
+        ["layer", "wall ms old", "wall ms new", "delta ms", "headroom old",
+         "headroom new", "delta bits", "flag"],
+        [(r["name"], _num(r["wall_ms_old"]), _num(r["wall_ms_new"]),
+          _num(r["wall_ms_delta"], "{:+.1f}"),
+          _num(r["headroom_old"]), _num(r["headroom_new"]),
+          _num(r["headroom_delta"], "{:+.1f}"), _mark(r))
+         for r in layer_rows],
+        title=f"profile diff: {old_path} -> {new_path} "
+              f"(tolerance {tol:.0%})",
+    ))
+    print()
+    print(format_table(
+        ["op", "total ms old", "total ms new", "delta ms", "p95 ms old",
+         "p95 ms new", "flag"],
+        [(r["op"], _num(r["total_ms_old"]), _num(r["total_ms_new"]),
+          _num(r["total_ms_delta"], "{:+.1f}"),
+          _num(r["p95_ms_old"], "{:.2f}"), _num(r["p95_ms_new"], "{:.2f}"),
+          _mark(r))
+         for r in op_rows],
+        title="per-op latency diff",
+    ))
+    if old.get("wall_s") is not None and new.get("wall_s") is not None:
+        print(f"\nend-to-end wall: {old['wall_s']:.2f} s -> "
+              f"{new['wall_s']:.2f} s")
+    if regressions:
+        print(f"{len(regressions)} regression(s) past tolerance "
+              f"{tol:.0%}: {', '.join(regressions)}")
+    else:
+        print(f"no regressions past tolerance {tol:.0%}")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Encrypted inference under the observability layer (``repro.obs``).
 
@@ -231,9 +397,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     exports the span tree as Chrome-trace JSON loadable in
     chrome://tracing or https://ui.perfetto.dev; an unwritable trace
     path exits nonzero.
+
+    ``--diff OLD.json NEW.json`` instead compares two previously saved
+    ``--format json`` records (no inference runs): per-layer wall-time
+    and noise-headroom deltas plus per-op latency deltas, flagging rows
+    that got slower past the tolerance or lost headroom.
     """
     import json
     import time
+
+    if args.diff:
+        return _profile_diff(args)
 
     from . import obs
     from .fhe import CkksContext, kernels
@@ -431,6 +605,34 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _alert_engine(rules_path: str):
+    """Build an :class:`~repro.obs.alerts.AlertEngine` from a RULES.json
+    file, or exit with the parse/validation error."""
+    from .obs.alerts import AlertEngine, load_rules
+
+    try:
+        rules = load_rules(rules_path)
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot read alert rules {rules_path!r}: {exc}"
+        ) from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(
+            f"bad alert rules in {rules_path!r}: {exc}"
+        ) from None
+    return AlertEngine(rules)
+
+
+def _print_alert_summary(engine) -> None:
+    counts = engine.counts()
+    active = set(engine.active())
+    for rule in engine.rules:
+        c = counts[rule.name]
+        state = "ACTIVE" if rule.name in active else "ok"
+        print(f"alert {rule.name} [{rule.kind}]: "
+              f"fired {c['fired']}, resolved {c['resolved']} [{state}]")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Simulate a slot-batched serving session and print the outcome."""
     _select_kernel_backend(args.kernel_backend)
@@ -447,6 +649,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     device = _device(args.device)
     cost_model = ServingCostModel.cryptonets_mnist(device)
+    engine = _alert_engine(args.alerts) if args.alerts else None
     scheduler = SlotBatchScheduler(
         cost_model,
         SchedulerConfig(
@@ -454,6 +657,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_lanes=args.max_lanes,
             queue_capacity=args.queue_capacity,
         ),
+        alerts=engine,
     )
     registry = None
     if args.tenants is not None:
@@ -520,6 +724,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"SLO {status.slo.name}: {status.value:.4f} "
               f"{'<=' if status.ok else '>'} {status.slo.threshold} "
               f"[{'OK' if status.ok else 'VIOLATED'}]")
+    if engine is not None:
+        _print_alert_summary(engine)
     ok = True
     if args.trace_out:
         try:
@@ -539,6 +745,137 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.slo_strict and not all(s.ok for s in slo_statuses):
         return 1
     return 0 if ok else 1
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    """Per-tenant cost attribution for a simulated serving session.
+
+    Replays zipf multi-tenant traffic through the slot-batch scheduler
+    with a :class:`~repro.serve.costs.CostLedger` installed, provisioning
+    per-tenant CKKS contexts through the tenant-sharded cache (a cache
+    miss charges keygen to that tenant; warm tenants amortize to zero)
+    and charging the cost model's DSE scan to the shared pool.  Fleet
+    costs settle onto tenants by slot-time share: node-seconds from the
+    session makespan, energy from accelerator-busy time at the device's
+    TDP.  The exact per-tenant == fleet reconciliation verdict decides
+    the exit status, so this command doubles as a CI smoke check.
+    """
+    import json
+
+    from . import obs
+    from .obs.registry import REGISTRY
+    from .serve import (
+        CostLedger,
+        SchedulerConfig,
+        ServingCostModel,
+        SlotBatchScheduler,
+        TenantShardedCache,
+    )
+    from .serve.tenants import TenantRegistry
+    from .serve.traffic import zipf_tenant_arrivals
+
+    device = _device(args.device)
+    if args.tenants < 1:
+        raise SystemExit("--tenants must be >= 1")
+    engine = _alert_engine(args.alerts) if args.alerts else None
+    ledger = CostLedger()
+    with obs.observed():
+        obs.reset()
+        before = REGISTRY.counter("dse_points_scanned").value
+        cost_model = ServingCostModel.cryptonets_mnist(device)
+        # Designs resolve lazily: price both modes now so the DSE runs
+        # inside the measured window.  The scan serves every tenant, so
+        # it charges the shared pool, distributed like fleet costs.
+        cost_model.single_request_seconds()
+        cost_model.batch_seconds()
+        ledger.note_dse(
+            int(REGISTRY.counter("dse_points_scanned").value - before)
+        )
+        scheduler = SlotBatchScheduler(
+            cost_model,
+            SchedulerConfig(
+                batch_window_s=args.window,
+                max_lanes=args.max_lanes,
+                queue_capacity=args.queue_capacity,
+            ),
+            ledger=ledger,
+            alerts=engine,
+        )
+        registry = TenantRegistry()
+        requests = zipf_tenant_arrivals(
+            args.requests, args.rate, tenant_count=args.tenants,
+            s=args.zipf_s, seed=args.seed, deadline_s=args.deadline,
+            registry=registry,
+        )
+        contexts = TenantShardedCache("context")
+        for req in requests:
+            contexts.get_or_create(
+                req.key_group, "context",
+                ledger.keygen_factory(req.key_group, object),
+            )
+        report = scheduler.run(requests)
+        busy_s = sum(b.finish_s - b.start_s for b in report.batches)
+        ledger.settle(
+            node_seconds=report.makespan_s,
+            energy_joules=busy_s * device.tdp_watts,
+        )
+        ledger.publish()
+        costs = ledger.report()
+
+    reconciliation = costs.reconciliation()
+    if args.format == "json":
+        payload = {
+            "device": device.name,
+            "requests": args.requests,
+            "tenant_count": args.tenants,
+            "zipf_s": args.zipf_s,
+            "window_s": args.window,
+            "seed": args.seed,
+            "makespan_s": report.makespan_s,
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "expired": report.expired,
+            "throughput_images_per_s": report.throughput_images_per_s,
+            "costs": costs.as_dict(),
+            "alerts": engine.summary() if engine is not None else None,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if costs.reconciled else 1
+
+    totals = costs.totals()
+    rows = [
+        (r.tenant, r.requests, f"{r.slot_us / 1e6:.3f}", r.wire_bytes,
+         r.keygen_count, r.dse_points, f"{r.node_us / 1e6:.3f}",
+         f"{r.energy_uj / 1e6:.3f}",
+         f"{costs.share(r.tenant, 'node_seconds'):.1%}")
+        for r in sorted(costs.tenants, key=lambda r: -r.node_us)
+    ]
+    print(format_table(
+        ["tenant", "reqs", "slot s", "wire B", "keygen", "DSE", "node s",
+         "energy J", "node share"],
+        rows,
+        title=f"per-tenant costs on {device.name} "
+              f"({args.requests} requests, {args.tenants} tenants, "
+              f"zipf s={args.zipf_s:g})",
+    ))
+    print(f"fleet totals: {totals['requests']:.0f} requests, "
+          f"{totals['slot_seconds']:.3f} slot-s, "
+          f"{totals['wire_bytes']:.0f} wire B, "
+          f"{totals['keygen_count']:.0f} keygens, "
+          f"{totals['dse_points']:.0f} DSE points, "
+          f"{totals['node_seconds']:.3f} node-s, "
+          f"{totals['energy_joules']:.3f} J")
+    failed = sorted(k for k, ok in reconciliation.items() if not ok)
+    print(f"reconciliation: "
+          f"{'EXACT' if costs.reconciled else 'LEAKED'} "
+          f"({sum(reconciliation.values())}/{len(reconciliation)} axes"
+          + (f"; leaking: {', '.join(failed)}" if failed else "")
+          + ")")
+    print(f"top tenant node-second share: "
+          f"{costs.top_share('node_seconds'):.1%}")
+    if engine is not None:
+        _print_alert_summary(engine)
+    return 0 if costs.reconciled else 1
 
 
 def cmd_bench_throughput(args: argparse.Namespace) -> int:
@@ -979,6 +1316,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "montgomery, parallel, ...); overrides "
                              "REPRO_KERNEL_BACKEND; reported in the "
                              "profile output")
+    p_prof.add_argument("--diff", nargs=2, metavar=("OLD.json", "NEW.json"),
+                        help="compare two saved '--format json' profiles "
+                             "instead of running an inference: per-layer "
+                             "and per-op deltas with regressions flagged")
+    p_prof.add_argument("--diff-tolerance", type=float, default=0.10,
+                        help="relative slowdown past which a --diff row "
+                             "is flagged as a regression (default 0.10)")
 
     p_expl = sub.add_parser(
         "explain",
@@ -1050,6 +1394,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="FHE kernel backend for any real CKKS work "
                               "in this process (the virtual-time sim is "
                               "unaffected); overrides REPRO_KERNEL_BACKEND")
+    p_serve.add_argument("--alerts", metavar="RULES.json",
+                         help="evaluate declarative alert rules (static "
+                              "thresholds + SLO burn rates) along the "
+                              "session's virtual clock; prints fired/"
+                              "resolved counts per rule")
+
+    p_costs = sub.add_parser(
+        "costs",
+        help="per-tenant cost attribution for a simulated serving "
+             "session (exact reconciliation)",
+    )
+    p_costs.add_argument("--device", default="acu9eg")
+    p_costs.add_argument("--window", type=float, default=0.5,
+                         help="batch window in seconds")
+    p_costs.add_argument("--requests", type=int, default=2000)
+    p_costs.add_argument("--rate", type=float, default=5000.0,
+                         help="mean arrival rate, requests/s")
+    p_costs.add_argument("--seed", type=int, default=7)
+    p_costs.add_argument("--tenants", type=int, default=8,
+                         help="zipf-ranked multi-tenant population size")
+    p_costs.add_argument("--zipf-s", type=float, default=1.1,
+                         help="zipf skew exponent")
+    p_costs.add_argument("--max-lanes", type=int, default=None,
+                         help="cap batch size below N/2")
+    p_costs.add_argument("--queue-capacity", type=int, default=1_000_000)
+    p_costs.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+    p_costs.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="human tables or the full cost report as "
+                              "one JSON object")
+    p_costs.add_argument("--alerts", metavar="RULES.json",
+                         help="also evaluate alert rules along the "
+                              "session's virtual clock")
 
     p_bt = sub.add_parser(
         "bench-throughput",
@@ -1174,6 +1552,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "explain": cmd_explain,
     "serve": cmd_serve,
+    "costs": cmd_costs,
     "bench-throughput": cmd_bench_throughput,
     "cluster": cmd_cluster,
     "bench-cluster": cmd_bench_cluster,

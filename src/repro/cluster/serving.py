@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..hecnn.batched import cryptonets_mnist_batched, max_batch_lanes
+from ..obs.alerts import AlertEngine
 from ..obs.probes import (
     record_batch_dispatch,
     record_cluster_batch,
@@ -36,8 +37,11 @@ from ..obs.probes import (
     record_request_latency,
     record_request_outcome,
     record_throughput,
+    record_timeseries_flush,
+    record_timeseries_tick,
 )
 from ..obs.tracing import emit_virtual, trace_span
+from ..serve.costs import CostLedger
 from ..serve.scheduler import BATCH_TID, _request_tid
 from ..serve.records import BatchRecord, RequestResult, ServeReport
 from ..serve.request import InferenceRequest
@@ -55,6 +59,8 @@ class ClusterService:
         plan: ClusterPlan,
         batch_capacity: int,
         config: SchedulerConfig | None = None,
+        ledger: CostLedger | None = None,
+        alerts: AlertEngine | None = None,
     ) -> None:
         if batch_capacity < 1:
             raise ValueError("batch_capacity must be >= 1")
@@ -63,6 +69,21 @@ class ClusterService:
         self.capacity = min(
             self.config.max_lanes or batch_capacity, batch_capacity
         )
+        #: Optional per-tenant cost attribution (charged at dispatch;
+        #: fleet energy settled when the run drains).
+        self.ledger = ledger
+        #: Optional alert engine ticked along the virtual clock.
+        self.alerts = alerts
+
+    def _obs_tick(self, now_s: float) -> None:
+        record_timeseries_tick(now_s)
+        if self.alerts is not None:
+            self.alerts.tick(now_s)
+
+    def _obs_flush(self, now_s: float) -> None:
+        record_timeseries_flush(now_s)
+        if self.alerts is not None:
+            self.alerts.tick(now_s)
 
     @classmethod
     def cryptonets_mnist(
@@ -102,10 +123,13 @@ class ClusterService:
         results: list[RequestResult] = []
         batches: list[BatchRecord] = []
         admit_free_at = 0.0  # when the pipeline can accept the next batch
+        end_s = 0.0
         i = 0
 
         def admit_until(t: float) -> None:
-            nonlocal i
+            nonlocal i, end_s
+            end_s = max(end_s, t)
+            self._obs_tick(t)
             while i < len(pending) and pending[i].arrival_s <= t:
                 req = pending[i]
                 i += 1
@@ -201,12 +225,16 @@ class ClusterService:
             ))
             record_batch_dispatch(len(batch), self.capacity, "cluster")
             record_cluster_batch(len(batch), transit)
+            self._charge_batch(batch)
             self._emit_batch_journey(batch, batch_id, dispatch_at)
             self._publish_stages()
+            end_s = max(end_s, finish)
+            self._obs_tick(finish)
             # The pipeline frees an admission slot one interval later,
             # even though this batch is still in flight downstream.
             admit_free_at = dispatch_at + interval
 
+        self._obs_flush(end_s)
         results.sort(key=lambda r: r.request_id)
         report = ServeReport(
             results=tuple(results),
@@ -219,6 +247,36 @@ class ClusterService:
         )
         record_throughput(report.throughput_images_per_s)
         return report
+
+    # -- cost attribution -----------------------------------------------------
+
+    def _charge_batch(self, batch: list[InferenceRequest]) -> None:
+        """Charge one dispatched batch to the cost ledger.
+
+        Slot time is the batch's total accelerator occupancy across the
+        pipeline (sum of stage compute, not wall latency — stages serve
+        other batches concurrently); wire bytes are the partitioner's
+        serialized ciphertext bytes, charged both per-lane (tenant view)
+        and per-stage (topology view), and energy is the plan's
+        per-inference joules per lane.  Both views of the wire bytes
+        must reconcile, which :meth:`CostReport.reconciliation` checks.
+        """
+        if self.ledger is None:
+            return
+        compute_s = sum(s.compute_seconds for s in self.plan.stages)
+        self.ledger.note_batch(
+            [r.key_group for r in batch], compute_s,
+            wire_bytes=self.plan.total_transfer_bytes,
+        )
+        for stage in self.plan.stages:
+            if stage.transfer_bytes:
+                self.ledger.note_stage_wire(
+                    f"stage{stage.index}:{stage.device.name}",
+                    stage.transfer_bytes,
+                )
+        self.ledger.settle(
+            energy_joules=len(batch) * self.plan.energy_per_inference_joules
+        )
 
     # -- probes / reporting ---------------------------------------------------
 

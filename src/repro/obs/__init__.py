@@ -24,9 +24,17 @@ instrumented hot path costs one flag check (< 2 % on the FHE microbench,
 asserted in CI).  See ``docs/observability.md``.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    load_rules,
+    rule_from_dict,
+)
 from .config import disable, enable, enabled, observed, set_enabled
 from .export import Snapshotter, render_openmetrics, validate_openmetrics
 from .flight import FLIGHT, FlightRecorder, dump_on_error, get_flight_recorder
+from .timeseries import TIMESERIES, TimeSeriesStore, get_timeseries
 from .lineage import (
     HeadroomWatch,
     LineageNode,
@@ -48,7 +56,10 @@ from .probes import (
     record_request_latency,
     record_request_outcome,
     record_sim_layer,
+    record_tenant_cost,
     record_throughput,
+    record_timeseries_flush,
+    record_timeseries_tick,
 )
 from .registry import (
     REGISTRY,
@@ -71,8 +82,8 @@ from .tracing import (
 
 
 def reset() -> None:
-    """Zero the registry, drop trace events and the flight ring (the
-    test-isolation hook).
+    """Zero the registry, drop trace events, the flight ring and the
+    time-series history (the test-isolation hook).
 
     Metric handles cached by other modules stay valid (instruments are
     zeroed in place, not dropped).
@@ -80,9 +91,13 @@ def reset() -> None:
     REGISTRY.reset()
     TRACER.clear()
     FLIGHT.clear()
+    TIMESERIES.clear()
 
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
     "DseProgress",
     "FLIGHT",
@@ -97,8 +112,10 @@ __all__ = [
     "REGISTRY",
     "Snapshotter",
     "Span",
+    "TIMESERIES",
     "TRACER",
     "Tracer",
+    "TimeSeriesStore",
     "current_trace_id",
     "current_tracker",
     "disable",
@@ -108,8 +125,10 @@ __all__ = [
     "enabled",
     "get_flight_recorder",
     "get_registry",
+    "get_timeseries",
     "get_tracer",
     "lineage_context",
+    "load_rules",
     "new_trace_id",
     "observed",
     "record_batch_dispatch",
@@ -123,9 +142,13 @@ __all__ = [
     "record_request_latency",
     "record_request_outcome",
     "record_sim_layer",
+    "record_tenant_cost",
     "record_throughput",
+    "record_timeseries_flush",
+    "record_timeseries_tick",
     "render_openmetrics",
     "reset",
+    "rule_from_dict",
     "set_enabled",
     "trace_context",
     "trace_span",

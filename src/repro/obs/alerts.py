@@ -1,0 +1,343 @@
+"""Declarative alerting over the time-series store.
+
+Two rule shapes, both evaluated inside the virtual-time serving loops
+(so a replay of the same seeded traffic fires the same alerts at the
+same virtual instants):
+
+* **threshold** — an aggregate of one series over a window compared
+  against a constant, with an optional ``for_s`` hold time (the
+  condition must stay true that long before the alert fires — the
+  Prometheus ``for:`` clause);
+* **burn_rate** — the SRE multi-window error-budget rule over an SLO
+  miss fraction: ``miss = increase(bad) / increase(total)`` is computed
+  over a *fast* and a *slow* window and the alert fires only when
+  **both** exceed their burn-rate multiple of the budget.  The fast
+  window makes the alert prompt, the slow window keeps a short blip
+  from paging.
+
+Series references are snapshot-style keys (``name{label=value,...}``)
+and may be ``fnmatch`` globs; globbed counters are summed, which is how
+one rule covers ``serve_requests_total{outcome=*}``.
+
+Every state transition is exactly-once: inactive→active emits one
+``alert_firing`` flight event, bumps ``alerts_fired_total{alert=...}``
+and sets ``alert_active{alert=...}`` to 1; active→inactive mirrors it
+with ``alert_resolved``.  The gauges ride the normal OpenMetrics export,
+so a scrape shows which alerts are live.  Rules load from a JSON file
+(``repro serve --alerts RULES.json``) or construct directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from . import config
+from .flight import FLIGHT
+from .registry import REGISTRY, MetricsRegistry
+from .timeseries import TIMESERIES, TimeSeriesStore
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+_AGGREGATES = ("avg", "last", "rate", "max", "p50", "p95", "p99")
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule; ``kind`` selects which fields apply."""
+
+    name: str
+    kind: str = "threshold"
+    # -- threshold fields --
+    series: str = ""
+    op: str = ">"
+    threshold: float = 0.0
+    window_s: float = 10.0
+    aggregate: str = "avg"
+    for_s: float = 0.0
+    # -- burn-rate fields --
+    bad_series: tuple[str, ...] = ()
+    total_series: tuple[str, ...] = ()
+    budget: float = 0.01
+    fast_window_s: float = 10.0
+    slow_window_s: float = 60.0
+    fast_burn: float = 14.0
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule name must be non-empty")
+        if self.kind not in ("threshold", "burn_rate"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.kind == "threshold":
+            if not self.series:
+                raise ValueError(f"rule {self.name!r}: series required")
+            if self.op not in _OPS:
+                raise ValueError(f"rule {self.name!r}: op must be one of "
+                                 f"{sorted(_OPS)}")
+            if self.aggregate not in _AGGREGATES:
+                raise ValueError(f"rule {self.name!r}: aggregate must be "
+                                 f"one of {_AGGREGATES}")
+            if self.window_s <= 0 or self.for_s < 0:
+                raise ValueError(f"rule {self.name!r}: window_s must be > 0 "
+                                 "and for_s >= 0")
+        else:
+            if not self.bad_series or not self.total_series:
+                raise ValueError(f"rule {self.name!r}: bad_series and "
+                                 "total_series required")
+            if not 0 < self.budget < 1:
+                raise ValueError(f"rule {self.name!r}: budget in (0, 1)")
+            if self.fast_window_s <= 0 or \
+                    self.slow_window_s < self.fast_window_s:
+                raise ValueError(f"rule {self.name!r}: need 0 < "
+                                 "fast_window_s <= slow_window_s")
+            if self.fast_burn <= 0 or self.slow_burn <= 0:
+                raise ValueError(f"rule {self.name!r}: burn rates > 0")
+
+    def as_dict(self) -> dict[str, Any]:
+        if self.kind == "threshold":
+            return {
+                "name": self.name, "kind": self.kind,
+                "series": self.series, "op": self.op,
+                "threshold": self.threshold, "window_s": self.window_s,
+                "aggregate": self.aggregate, "for_s": self.for_s,
+            }
+        return {
+            "name": self.name, "kind": self.kind,
+            "bad_series": list(self.bad_series),
+            "total_series": list(self.total_series),
+            "budget": self.budget,
+            "fast_window_s": self.fast_window_s,
+            "slow_window_s": self.slow_window_s,
+            "fast_burn": self.fast_burn, "slow_burn": self.slow_burn,
+        }
+
+
+def rule_from_dict(obj: dict[str, Any]) -> AlertRule:
+    """Build a rule from a RULES.json entry (unknown keys rejected)."""
+    known = {f for f in AlertRule.__dataclass_fields__}
+    extra = set(obj) - known
+    if extra:
+        raise ValueError(f"unknown rule field(s): {sorted(extra)}")
+    kwargs = dict(obj)
+    for key in ("bad_series", "total_series"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return AlertRule(**kwargs)
+
+
+def load_rules(path: str | Path) -> tuple[AlertRule, ...]:
+    """Parse a RULES.json file: ``{"rules": [...]}`` or a bare list."""
+    obj = json.loads(Path(path).read_text())
+    entries = obj["rules"] if isinstance(obj, dict) else obj
+    if not isinstance(entries, list):
+        raise ValueError("RULES.json must be a list or {'rules': [...]}")
+    rules = tuple(rule_from_dict(e) for e in entries)
+    names = [r.name for r in rules]
+    if len(names) != len(set(names)):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate rule name(s): {dupes}")
+    return rules
+
+
+@dataclass
+class AlertEvent:
+    """One firing or resolution, in virtual time."""
+
+    at_s: float
+    alert: str
+    state: str  # firing | resolved
+    value: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"at_s": self.at_s, "alert": self.alert,
+                "state": self.state, "value": self.value}
+
+
+@dataclass
+class _RuleState:
+    active: bool = False
+    #: First instant the raw condition held continuously (for_s clock).
+    pending_since: float | None = None
+    fired: int = 0
+    resolved: int = 0
+    last_value: float = 0.0
+    events: list[AlertEvent] = field(default_factory=list)
+
+
+class AlertEngine:
+    """Evaluate rules against a time-series store, exactly-once events.
+
+    The loops call :meth:`tick` at every interesting virtual instant;
+    the engine samples the store (cadence-gated) and re-evaluates only
+    when a *new* sample landed — double ticks at the same instant, or
+    two loops sharing the global store, cannot double-fire a rule.
+    All of it is a no-op while observability is disabled, keeping the
+    disabled path at one flag check like every probe.
+    """
+
+    def __init__(
+        self,
+        rules: tuple[AlertRule, ...] | list[AlertRule],
+        store: TimeSeriesStore | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.rules = tuple(rules)
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate rule name(s): {dupes}")
+        self.store = TIMESERIES if store is None else store
+        self.registry = REGISTRY if registry is None else registry
+        self._states = {r.name: _RuleState() for r in self.rules}
+        self._evaluated_mark = -1
+
+    # -- driving --------------------------------------------------------------
+
+    def tick(self, now_s: float) -> None:
+        """Sample (cadence-gated) and evaluate on each new sample."""
+        if not config.enabled():
+            return
+        self.store.maybe_sample(now_s)
+        mark = self.store.sample_count
+        if mark != self._evaluated_mark:
+            self._evaluated_mark = mark
+            self.evaluate(now_s)
+
+    def evaluate(self, now_s: float) -> list[AlertEvent]:
+        """Evaluate every rule at ``now_s``; returns new transitions."""
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            raw, value = self._condition(rule, now_s)
+            state.last_value = value
+            # The for_s clock: raw condition must hold continuously.
+            if raw:
+                if state.pending_since is None:
+                    state.pending_since = now_s
+                held = now_s - state.pending_since
+                active = held >= self._for_s(rule)
+            else:
+                state.pending_since = None
+                active = False
+            if active and not state.active:
+                state.active = True
+                state.fired += 1
+                event = AlertEvent(now_s, rule.name, "firing", value)
+                state.events.append(event)
+                transitions.append(event)
+                self.registry.gauge("alert_active", alert=rule.name).set(1)
+                self.registry.counter(
+                    "alerts_fired_total", alert=rule.name
+                ).inc()
+                FLIGHT.record(
+                    "alert_firing", alert=rule.name, at_s=now_s,
+                    value=value, kind_of_rule=rule.kind,
+                )
+            elif not active and state.active:
+                state.active = False
+                state.resolved += 1
+                event = AlertEvent(now_s, rule.name, "resolved", value)
+                state.events.append(event)
+                transitions.append(event)
+                self.registry.gauge("alert_active", alert=rule.name).set(0)
+                self.registry.counter(
+                    "alerts_resolved_total", alert=rule.name
+                ).inc()
+                FLIGHT.record(
+                    "alert_resolved", alert=rule.name, at_s=now_s,
+                    value=value, kind_of_rule=rule.kind,
+                )
+        return transitions
+
+    @staticmethod
+    def _for_s(rule: AlertRule) -> float:
+        return rule.for_s if rule.kind == "threshold" else 0.0
+
+    # -- rule conditions ------------------------------------------------------
+
+    def _condition(
+        self, rule: AlertRule, now_s: float
+    ) -> tuple[bool, float]:
+        if rule.kind == "threshold":
+            value = self._aggregate(rule, now_s)
+            return _OPS[rule.op](value, rule.threshold), value
+        fast = self._miss_fraction(rule, rule.fast_window_s, now_s)
+        slow = self._miss_fraction(rule, rule.slow_window_s, now_s)
+        firing = (
+            fast >= rule.fast_burn * rule.budget
+            and slow >= rule.slow_burn * rule.budget
+        )
+        # The fast-window burn is the value dashboards care about.
+        return firing, fast / rule.budget if rule.budget else 0.0
+
+    def _aggregate(self, rule: AlertRule, now_s: float) -> float:
+        store, key, w = self.store, rule.series, rule.window_s
+        if rule.aggregate == "avg":
+            return store.avg_over(key, w, now_s)
+        if rule.aggregate == "last":
+            last = store.last(key, now_s)
+            return 0.0 if last is None else last
+        if rule.aggregate == "rate":
+            return store.rate(key, w, now_s)
+        if rule.aggregate == "max":
+            return store.max_over(key, w, now_s)
+        p = float(rule.aggregate[1:])  # p50 / p95 / p99
+        return store.quantile_over(key, p, w, now_s)
+
+    def _sum_increase(
+        self, patterns: tuple[str, ...], window_s: float, now_s: float
+    ) -> float:
+        total = 0.0
+        for pattern in patterns:
+            for key in self.store.keys(pattern):
+                total += self.store.increase(key, window_s, now_s)
+        return total
+
+    def _miss_fraction(
+        self, rule: AlertRule, window_s: float, now_s: float
+    ) -> float:
+        bad = self._sum_increase(rule.bad_series, window_s, now_s)
+        total = self._sum_increase(rule.total_series, window_s, now_s)
+        return bad / total if total > 0 else 0.0
+
+    # -- reporting ------------------------------------------------------------
+
+    def active(self) -> list[str]:
+        return [r.name for r in self.rules if self._states[r.name].active]
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """``{rule: {"fired": n, "resolved": m}}`` for every rule."""
+        return {
+            r.name: {
+                "fired": self._states[r.name].fired,
+                "resolved": self._states[r.name].resolved,
+            }
+            for r in self.rules
+        }
+
+    def events(self, alert: str | None = None) -> list[AlertEvent]:
+        """Every transition so far, in firing order."""
+        out: list[AlertEvent] = []
+        for r in self.rules:
+            if alert is not None and r.name != alert:
+                continue
+            out.extend(self._states[r.name].events)
+        out.sort(key=lambda e: e.at_s)
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready session summary for CLIs and benches."""
+        return {
+            "rules": [r.as_dict() for r in self.rules],
+            "active": self.active(),
+            "counts": self.counts(),
+            "events": [e.as_dict() for e in self.events()],
+        }

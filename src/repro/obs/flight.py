@@ -60,12 +60,30 @@ class FlightRecorder:
             self._ring.append(event)
         return event
 
-    def events(self, kind: str | None = None) -> list[dict[str, Any]]:
-        """The surviving window, oldest first (optionally one kind)."""
+    def events(
+        self,
+        kind: str | None = None,
+        trace_id: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """The surviving window, oldest first, optionally filtered.
+
+        ``kind`` selects one event kind; ``trace_id`` selects the events
+        of one request's journey — an event matches when its own
+        ``trace_id`` field equals it, or its ``trace_ids`` batch list
+        contains it (batch dispatches and stage handoffs carry the
+        lists).  Both filters compose, so "this request's expiries" is
+        one call instead of a ring replay.
+        """
         with self._lock:
             window = list(self._ring)
         if kind is not None:
             window = [e for e in window if e["kind"] == kind]
+        if trace_id is not None:
+            window = [
+                e for e in window
+                if e.get("trace_id") == trace_id
+                or trace_id in e.get("trace_ids", ())
+            ]
         return window
 
     def clear(self) -> None:
@@ -85,9 +103,18 @@ class FlightRecorder:
         with self._lock:
             return self._seq
 
-    def dump_jsonl(self, path: str | Path) -> int:
-        """Write the surviving window as JSON Lines; returns event count."""
-        events = self.events()
+    def dump_jsonl(
+        self,
+        path: str | Path,
+        kind: str | None = None,
+        trace_id: str | None = None,
+    ) -> int:
+        """Write the surviving window as JSON Lines; returns event count.
+
+        Takes the same filters as :meth:`events`, so a post-mortem can
+        dump just one request's journey or just the alert transitions.
+        """
+        events = self.events(kind=kind, trace_id=trace_id)
         lines = "".join(
             json.dumps(e, sort_keys=True, default=str) + "\n" for e in events
         )

@@ -92,6 +92,34 @@ def record_sim_layer(name: str, simulated_cycles: int,
         REGISTRY.histogram("sim_relative_error").observe(rel)
 
 
+def record_timeseries_tick(now_s: float) -> None:
+    """Sample the global time-series store at a virtual instant.
+
+    The virtual-time serving loops call this at every interesting
+    moment; the store's own cadence check keeps stored history evenly
+    spaced, and the disabled path stays one flag check.
+    """
+    if not config.enabled():
+        return
+    from .timeseries import TIMESERIES
+
+    TIMESERIES.maybe_sample(now_s)
+
+
+def record_timeseries_flush(now_s: float) -> None:
+    """Force one final time-series sample at the end of a virtual run.
+
+    Terminal events (the last batch's outcomes, a drain's expirations)
+    land *after* the last cadence tick; without a flush they would never
+    appear in the history — or in any alert evaluation keyed off it.
+    """
+    if not config.enabled():
+        return
+    from .timeseries import TIMESERIES
+
+    TIMESERIES.sample(now_s)
+
+
 # ---------------------------------------------------------------------------
 # Serving-layer probes
 # ---------------------------------------------------------------------------
@@ -145,6 +173,19 @@ def record_tenant_event(event: str) -> None:
     if not config.enabled():
         return
     REGISTRY.counter("tenant_events_total", event=event).inc()
+
+
+def record_tenant_cost(tenant: str, **values: float) -> None:
+    """Publish one tenant's settled charges as ``cost_<metric>`` gauges.
+
+    Per-tenant labels are high cardinality by design (the whole point of
+    attribution); small OpenMetrics exports scope the ``cost_`` prefix
+    out with the exporter's include/exclude filters.
+    """
+    if not config.enabled():
+        return
+    for metric, value in values.items():
+        REGISTRY.gauge(f"cost_{metric}", tenant=tenant).set(value)
 
 
 def record_throughput(images_per_second: float) -> None:

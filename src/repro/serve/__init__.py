@@ -50,6 +50,14 @@ from .cache import (
     TenantDesignCache,
 )
 from .costmodel import ServingCostModel
+from .costs import (
+    METRICS as COST_METRICS,
+    UNKEYED,
+    CostLedger,
+    CostReport,
+    TenantCharges,
+    split_exact,
+)
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
 from .scheduler import SchedulerConfig, SlotBatchScheduler
@@ -81,7 +89,10 @@ __all__ = [
     "AutoscalerConfig",
     "BackpressureError",
     "BatchRecord",
+    "COST_METRICS",
     "ContextCache",
+    "CostLedger",
+    "CostReport",
     "DesignCache",
     "DesignKey",
     "FleetAutoscaler",
@@ -99,11 +110,13 @@ __all__ = [
     "SloStatus",
     "SlotBatchScheduler",
     "Tenant",
+    "TenantCharges",
     "TenantContextCache",
     "TenantDesignCache",
     "TenantRegistry",
     "TenantShardedCache",
     "TIERS",
+    "UNKEYED",
     "burst_arrivals",
     "diurnal_arrivals",
     "flash_crowd_arrivals",
@@ -115,6 +128,7 @@ __all__ = [
     "merge_arrivals",
     "p99_windows",
     "poisson_arrivals",
+    "split_exact",
     "tier_of_rank",
     "uniform_arrivals",
     "zipf_shares",

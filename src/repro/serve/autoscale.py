@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from ..fpga.device import FpgaDevice
 from ..hecnn.batched import cryptonets_mnist_batched, max_batch_lanes
+from ..obs.alerts import AlertEngine
 from ..obs.probes import (
     record_autoscale_decision,
     record_batch_dispatch,
@@ -63,10 +64,13 @@ from ..obs.probes import (
     record_request_outcome,
     record_spin_up_cost,
     record_throughput,
+    record_timeseries_flush,
+    record_timeseries_tick,
 )
 from ..obs.registry import REGISTRY
 from ..obs.tracing import emit_virtual, trace_span
 from .cache import ContextCache
+from .costs import CostLedger
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
 from .scheduler import SchedulerConfig, _request_tid
@@ -351,6 +355,8 @@ class FleetAutoscaler:
         method: str = "dp",
         link: Link | None = None,
         prewarm: bool = True,
+        ledger: CostLedger | None = None,
+        alerts: AlertEngine | None = None,
     ) -> None:
         # Imported here, not at module top: ``repro.cluster`` imports
         # this package back (dse -> serve.cache), so a module-level
@@ -378,6 +384,11 @@ class FleetAutoscaler:
         self.slos = tuple(slos) if slos is not None else (
             Slo("p99-latency", "p99_latency_s", 13.0, window=1000),
         )
+        #: Optional per-tenant cost attribution: batches are charged at
+        #: dispatch; billed node-seconds settle when the run drains.
+        self.ledger = ledger
+        #: Optional alert engine ticked at every control tick.
+        self.alerts = alerts
         self._fleets = {
             n: Fleet.homogeneous(device, n, link=link)
             for n in range(self.policy.min_nodes, self.policy.max_nodes + 1)
@@ -637,6 +648,9 @@ class FleetAutoscaler:
                     _, _, outcome, latency = heapq.heappop(terminals)
                     monitor.observe(outcome, latency)
                 statuses = monitor.evaluate()
+                record_timeseries_tick(t)
+                if self.alerts is not None:
+                    self.alerts.tick(t)
                 depth = len(queue)
                 breach = (
                     any(not s.ok for s in statuses)
@@ -748,6 +762,26 @@ class FleetAutoscaler:
             ))
             record_batch_dispatch(len(batch), self.capacity, "cluster")
             record_cluster_batch(len(batch), transit)
+            if self.ledger is not None:
+                # Slot time is the batch's stage-compute occupancy of
+                # the *current* plan; wire bytes and per-inference
+                # energy likewise follow the plan serving the dispatch.
+                self.ledger.note_batch(
+                    [r.key_group for r in batch],
+                    sum(s.compute_seconds for s in plan.stages),
+                    wire_bytes=plan.total_transfer_bytes,
+                )
+                for stage in plan.stages:
+                    if stage.transfer_bytes:
+                        self.ledger.note_stage_wire(
+                            f"stage{stage.index}:{stage.device.name}",
+                            stage.transfer_bytes,
+                        )
+                self.ledger.settle(
+                    energy_joules=(
+                        len(batch) * plan.energy_per_inference_joules
+                    )
+                )
             svc = self._service_for(size)
             svc._emit_batch_journey(batch, batch_id, dispatch_at)
             svc._publish_stages()
@@ -762,7 +796,16 @@ class FleetAutoscaler:
             last_finish, max(t for t, _ in billing),
             timeline[-1][0],
         )
+        # End-of-run telemetry flush: the drain's terminal events must
+        # reach the time-series history and get one last alert pass.
+        record_timeseries_flush(end_s)
+        if self.alerts is not None:
+            self.alerts.tick(end_s)
         node_seconds = _integrate(billing, end_s)
+        if self.ledger is not None:
+            # Billed node-seconds (spin-up and drain intervals included)
+            # settle onto tenants by their slot-time weight.
+            self.ledger.settle(node_seconds=node_seconds)
 
         results.sort(key=lambda r: r.request_id)
         serve = ServeReport(

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from ..obs.alerts import AlertEngine
 from ..obs.probes import (
     record_batch_dispatch,
     record_flight,
@@ -40,6 +41,8 @@ from ..obs.probes import (
     record_request_latency,
     record_request_outcome,
     record_throughput,
+    record_timeseries_flush,
+    record_timeseries_tick,
 )
 from ..obs.tracing import emit_virtual, trace_span
 
@@ -51,6 +54,7 @@ BATCH_TID = 0
 def _request_tid(request_id: int) -> int:
     return request_id + 1
 from .costmodel import ServingCostModel
+from .costs import CostLedger
 from .records import BatchRecord, RequestResult, ServeReport
 from .request import InferenceRequest
 
@@ -95,11 +99,31 @@ class SlotBatchScheduler:
         self,
         cost_model: ServingCostModel,
         config: SchedulerConfig | None = None,
+        ledger: CostLedger | None = None,
+        alerts: AlertEngine | None = None,
     ) -> None:
         self.cost_model = cost_model
         self.config = config or SchedulerConfig()
         cap = self.cost_model.batch_capacity
         self.capacity = min(self.config.max_lanes or cap, cap)
+        #: Optional per-tenant cost attribution (charged at dispatch).
+        self.ledger = ledger
+        #: Optional alert engine ticked along the virtual clock.
+        self.alerts = alerts
+
+    def _obs_tick(self, now_s: float) -> None:
+        """Advance the telemetry clock at a virtual instant: sample the
+        time-series store and evaluate alert rules against it."""
+        record_timeseries_tick(now_s)
+        if self.alerts is not None:
+            self.alerts.tick(now_s)
+
+    def _obs_flush(self, now_s: float) -> None:
+        """End-of-run: force a final sample so terminal events are in
+        the history, then give alert rules one last evaluation."""
+        record_timeseries_flush(now_s)
+        if self.alerts is not None:
+            self.alerts.tick(now_s)
 
     def run(self, requests: list[InferenceRequest]) -> ServeReport:
         with trace_span("serve.run", category="serve",
@@ -115,10 +139,13 @@ class SlotBatchScheduler:
         results: list[RequestResult] = []
         batches: list[BatchRecord] = []
         free_at = 0.0
+        end_s = 0.0
         i = 0
 
         def admit_until(t: float) -> None:
-            nonlocal i
+            nonlocal i, end_s
+            end_s = max(end_s, t)
+            self._obs_tick(t)
             while i < len(pending) and pending[i].arrival_s <= t:
                 req = pending[i]
                 i += 1
@@ -248,7 +275,15 @@ class SlotBatchScheduler:
                 capacity=self.capacity, start_s=dispatch_at,
                 finish_s=free_at, key_group=group,
             ))
+            if self.ledger is not None:
+                # The batch occupies the accelerator dispatch->finish;
+                # each lane is charged its exact share.
+                self.ledger.note_batch(
+                    [r.key_group for r in batch], free_at - dispatch_at
+                )
             record_batch_dispatch(k, self.capacity, mode)
+            end_s = max(end_s, free_at)
+            self._obs_tick(free_at)
             emit_virtual(
                 f"batch {batches[-1].batch_id} [{mode}]", "serve.batch",
                 dispatch_at, free_at - dispatch_at, tid=BATCH_TID,
@@ -259,6 +294,7 @@ class SlotBatchScheduler:
                 },
             )
 
+        self._obs_flush(end_s)
         results.sort(key=lambda r: r.request_id)
         report = ServeReport(
             results=tuple(results),

@@ -1,0 +1,347 @@
+"""Alert rules: parsing, thresholds, burn rates, exactly-once events."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    load_rules,
+    rule_from_dict,
+)
+from repro.obs.flight import FLIGHT
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def _engine(rules, interval_s: float = 1.0):
+    reg = MetricsRegistry()
+    store = TimeSeriesStore(registry=reg, interval_s=interval_s)
+    return reg, store, AlertEngine(rules, store=store, registry=reg)
+
+
+# -- rule construction / parsing ---------------------------------------------
+
+
+def test_threshold_rule_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        AlertRule(name="")
+    with pytest.raises(ValueError, match="kind"):
+        AlertRule(name="r", kind="sorcery")
+    with pytest.raises(ValueError, match="series required"):
+        AlertRule(name="r")
+    with pytest.raises(ValueError, match="op"):
+        AlertRule(name="r", series="x", op="!=")
+    with pytest.raises(ValueError, match="aggregate"):
+        AlertRule(name="r", series="x", aggregate="median")
+    with pytest.raises(ValueError, match="window_s"):
+        AlertRule(name="r", series="x", window_s=0.0)
+
+
+def test_burn_rate_rule_validation():
+    with pytest.raises(ValueError, match="total_series"):
+        AlertRule(name="r", kind="burn_rate", bad_series=("b",))
+    with pytest.raises(ValueError, match="budget"):
+        AlertRule(name="r", kind="burn_rate", bad_series=("b",),
+                  total_series=("t",), budget=1.5)
+    with pytest.raises(ValueError, match="fast_window_s"):
+        AlertRule(name="r", kind="burn_rate", bad_series=("b",),
+                  total_series=("t",), fast_window_s=60.0, slow_window_s=5.0)
+    with pytest.raises(ValueError, match="burn rates"):
+        AlertRule(name="r", kind="burn_rate", bad_series=("b",),
+                  total_series=("t",), fast_burn=0.0)
+
+
+def test_rule_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown rule field"):
+        rule_from_dict({"name": "r", "series": "x", "treshold": 1.0})
+
+
+def test_rule_round_trips_through_as_dict():
+    for rule in (
+        AlertRule(name="t", series="q", op=">=", threshold=5.0,
+                  window_s=3.0, aggregate="p95", for_s=2.0),
+        AlertRule(name="b", kind="burn_rate", bad_series=("bad{x=*}",),
+                  total_series=("all",), budget=0.05),
+    ):
+        assert rule_from_dict(rule.as_dict()) == rule
+
+
+def test_load_rules_accepts_wrapper_and_bare_list(tmp_path):
+    entries = [{"name": "r1", "series": "x"},
+               {"name": "r2", "kind": "burn_rate", "bad_series": ["b"],
+                "total_series": ["t"]}]
+    wrapped = tmp_path / "wrapped.json"
+    wrapped.write_text(json.dumps({"rules": entries}))
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps(entries))
+    assert load_rules(wrapped) == load_rules(bare)
+    assert [r.kind for r in load_rules(wrapped)] == [
+        "threshold", "burn_rate"
+    ]
+
+
+def test_load_rules_rejects_duplicates_and_non_lists(tmp_path):
+    dupes = tmp_path / "dupes.json"
+    dupes.write_text(json.dumps([{"name": "r", "series": "x"},
+                                 {"name": "r", "series": "y"}]))
+    with pytest.raises(ValueError, match="duplicate"):
+        load_rules(dupes)
+    scalar = tmp_path / "scalar.json"
+    scalar.write_text(json.dumps({"rules": 7}))
+    with pytest.raises(ValueError, match="must be a list"):
+        load_rules(scalar)
+
+
+def test_engine_rejects_duplicate_rule_names():
+    rule = AlertRule(name="r", series="x")
+    with pytest.raises(ValueError, match="duplicate"):
+        AlertEngine((rule, rule))
+
+
+# -- threshold evaluation ----------------------------------------------------
+
+
+def test_threshold_fires_and_resolves_exactly_once():
+    rule = AlertRule(name="deep-queue", series="queue_depth",
+                     op=">", threshold=10.0, window_s=2.0,
+                     aggregate="last")
+    reg, store, engine = _engine([rule])
+    g = reg.gauge("queue_depth")
+    with obs.observed():
+        for t, depth in enumerate((0, 5, 50, 60, 70, 5, 3, 2)):
+            g.set(depth)
+            engine.tick(float(t))
+    events = engine.events()
+    assert [(e.state, e.at_s) for e in events] == [
+        ("firing", 2.0), ("resolved", 5.0)
+    ]
+    assert engine.counts()["deep-queue"] == {"fired": 1, "resolved": 1}
+    assert engine.active() == []
+    # Exactly one flight event per transition.
+    assert len(FLIGHT.events("alert_firing")) == 1
+    assert len(FLIGHT.events("alert_resolved")) == 1
+    # The gauge mirrors the final state.
+    assert reg.gauge("alert_active", alert="deep-queue").value == 0
+    assert reg.counter("alerts_fired_total", alert="deep-queue").value == 1
+    assert reg.counter(
+        "alerts_resolved_total", alert="deep-queue"
+    ).value == 1
+
+
+def test_for_s_holds_the_firing_back():
+    rule = AlertRule(name="hot", series="load", op=">", threshold=1.0,
+                     window_s=1.0, aggregate="last", for_s=2.0)
+    reg, store, engine = _engine([rule])
+    g = reg.gauge("load")
+    with obs.observed():
+        g.set(5.0)
+        engine.tick(0.0)   # condition true, hold starts
+        engine.tick(1.0)   # held 1 s < 2 s
+        assert engine.active() == []
+        engine.tick(2.0)   # held 2 s -> fires
+        assert engine.active() == ["hot"]
+        # A dip resets the hold clock.
+        g.set(0.0)
+        engine.tick(3.0)
+        g.set(5.0)
+        engine.tick(4.0)
+        assert engine.active() == []
+    assert engine.counts()["hot"] == {"fired": 1, "resolved": 1}
+
+
+def test_double_tick_at_same_instant_cannot_double_fire():
+    rule = AlertRule(name="r", series="g", op=">", threshold=0.0,
+                     window_s=1.0, aggregate="last")
+    reg, store, engine = _engine([rule])
+    reg.gauge("g").set(1.0)
+    with obs.observed():
+        engine.tick(0.0)
+        engine.tick(0.0)   # same sample -> no re-evaluation
+        engine.tick(0.5)   # inside cadence -> no new sample either
+    assert engine.counts()["r"]["fired"] == 1
+    assert len(engine.events()) == 1
+
+
+def test_engine_tick_is_gated_on_master_switch():
+    rule = AlertRule(name="r", series="g", op=">", threshold=0.0,
+                     window_s=1.0, aggregate="last")
+    reg, store, engine = _engine([rule])
+    reg.gauge("g").set(1.0)
+    engine.tick(0.0)  # switch off (autouse fixture)
+    assert store.sample_count == 0
+    assert engine.events() == []
+
+
+def test_threshold_aggregates_dispatch():
+    reg, store, engine = _engine([])
+    g = reg.gauge("v")
+    with obs.observed():
+        for t, v in enumerate((1.0, 2.0, 3.0, 4.0)):
+            g.set(v)
+            store.sample(float(t))
+    cases = {
+        "avg": 2.5, "last": 4.0, "max": 4.0, "p50": 2.5,
+    }
+    for aggregate, expected in cases.items():
+        rule = AlertRule(name=aggregate, series="v", window_s=10.0,
+                         aggregate=aggregate)
+        _, value = AlertEngine(
+            [rule], store=store, registry=reg
+        )._condition(rule, 3.0)
+        assert value == pytest.approx(expected), aggregate
+
+
+# -- burn-rate evaluation ----------------------------------------------------
+
+
+def _burn_rule(**overrides) -> AlertRule:
+    kwargs = dict(
+        name="slo-burn", kind="burn_rate",
+        bad_series=("req{outcome=expired}", "req{outcome=rejected}"),
+        total_series=("req{outcome=*}",),
+        budget=0.01, fast_window_s=5.0, slow_window_s=30.0,
+        fast_burn=14.0, slow_burn=6.0,
+    )
+    kwargs.update(overrides)
+    return AlertRule(**kwargs)
+
+
+def test_burn_rate_fires_on_both_windows_and_resolves():
+    reg, store, engine = _engine([_burn_rule()])
+    ok = reg.counter("req", outcome="ok")
+    expired = reg.counter("req", outcome="expired")
+    with obs.observed():
+        # Phase 1: healthy traffic.
+        for t in range(3):
+            ok.inc(100)
+            engine.tick(float(t))
+        assert engine.active() == []
+        # Phase 2: 50% of requests expire — far past 14x of a 1% budget.
+        for t in range(3, 8):
+            ok.inc(50)
+            expired.inc(50)
+            engine.tick(float(t))
+        assert engine.active() == ["slo-burn"]
+        # Phase 3: recovery; the fast window drains first, then slow.
+        for t in range(8, 45):
+            ok.inc(100)
+            engine.tick(float(t))
+        assert engine.active() == []
+    counts = engine.counts()["slo-burn"]
+    assert counts == {"fired": 1, "resolved": 1}
+    # Deterministic replay: same stream, same transitions.
+    reg2, store2, engine2 = _engine([_burn_rule()])
+    ok2 = reg2.counter("req", outcome="ok")
+    exp2 = reg2.counter("req", outcome="expired")
+    with obs.observed():
+        for t in range(3):
+            ok2.inc(100)
+            engine2.tick(float(t))
+        for t in range(3, 8):
+            ok2.inc(50)
+            exp2.inc(50)
+            engine2.tick(float(t))
+        for t in range(8, 45):
+            ok2.inc(100)
+            engine2.tick(float(t))
+    assert [(e.state, e.at_s) for e in engine2.events()] \
+        == [(e.state, e.at_s) for e in engine.events()]
+
+
+def test_burn_rate_slow_window_suppresses_short_blips():
+    """A one-sample spike trips the fast window but not the slow one."""
+    rule = _burn_rule(fast_window_s=2.0, slow_window_s=20.0,
+                      fast_burn=10.0, slow_burn=10.0, budget=0.02)
+    reg, store, engine = _engine([rule])
+    ok = reg.counter("req", outcome="ok")
+    expired = reg.counter("req", outcome="expired")
+    with obs.observed():
+        for t in range(10):
+            ok.inc(100)
+            engine.tick(float(t))
+        # One bad second: fast miss 50% >> 20%, slow miss ~4.7% < 20%.
+        ok.inc(50)
+        expired.inc(50)
+        engine.tick(10.0)
+        assert engine.active() == []
+    assert engine.counts()["slo-burn"]["fired"] == 0
+
+
+def test_burn_rate_value_is_fast_burn_multiple():
+    rule = _burn_rule()
+    reg, store, engine = _engine([rule])
+    ok = reg.counter("req", outcome="ok")
+    expired = reg.counter("req", outcome="expired")
+    with obs.observed():
+        ok.inc(90)
+        expired.inc(10)
+        engine.tick(0.0)
+    # miss = 0.1, budget = 0.01 -> 10x burn.
+    state = engine._states["slo-burn"]
+    assert state.last_value == pytest.approx(10.0)
+
+
+# -- SLO monitor parity ------------------------------------------------------
+
+
+def test_slo_monitor_and_burn_alert_agree_on_the_same_stream():
+    """Satellite invariant: the SloMonitor's violation/recovery flight
+    events and the burn-rate alert's firing/resolved events must tell
+    the same story when fed the same outcome stream."""
+    from repro.serve.slo import Slo, SloMonitor
+
+    rule = _burn_rule(budget=0.05, fast_window_s=4.0, slow_window_s=8.0,
+                      fast_burn=2.0, slow_burn=1.0)
+    reg, store, engine = _engine([rule])
+    monitor = SloMonitor(
+        (Slo("deadline-misses", "deadline_miss_rate", 0.10, window=40),)
+    )
+    ok = reg.counter("req", outcome="ok")
+    expired = reg.counter("req", outcome="expired")
+
+    def feed(t: float, good: int, bad: int) -> None:
+        for _ in range(good):
+            monitor.observe("batched", 1.0)
+            ok.inc()
+        for _ in range(bad):
+            monitor.observe("expired", None)
+            expired.inc()
+        monitor.evaluate()
+        engine.tick(t)
+
+    with obs.observed():
+        for t in range(4):
+            feed(float(t), good=10, bad=0)
+        for t in range(4, 10):
+            feed(float(t), good=5, bad=5)   # 50% miss: both trip
+        for t in range(10, 40):
+            feed(float(t), good=10, bad=0)  # recovery: both clear
+
+    violations = FLIGHT.events("slo_violation")
+    recoveries = FLIGHT.events("slo_recovery")
+    firings = FLIGHT.events("alert_firing")
+    resolutions = FLIGHT.events("alert_resolved")
+    assert len(violations) == 1
+    assert len(violations) == len(firings)
+    assert len(recoveries) == 1
+    assert len(recoveries) == len(resolutions)
+    assert engine.counts()["slo-burn"] == {"fired": 1, "resolved": 1}
+
+
+def test_summary_is_json_ready():
+    rule = AlertRule(name="r", series="g", op=">", threshold=0.0,
+                     window_s=1.0, aggregate="last")
+    reg, store, engine = _engine([rule])
+    reg.gauge("g").set(1.0)
+    with obs.observed():
+        engine.tick(0.0)
+    summary = engine.summary()
+    json.dumps(summary)  # must round-trip
+    assert summary["active"] == ["r"]
+    assert summary["counts"]["r"]["fired"] == 1
+    assert summary["events"][0]["state"] == "firing"

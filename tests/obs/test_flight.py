@@ -39,6 +39,43 @@ def test_events_filter_by_kind():
     assert len(r.events()) == 3
 
 
+def test_events_filter_by_trace_id():
+    r = FlightRecorder()
+    r.record("admit", request_id=0, trace_id="t-000001")
+    r.record("admit", request_id=1, trace_id="t-000002")
+    # Batch events carry the member journeys as a trace_ids list.
+    r.record("dispatch", lanes=2, trace_ids=["t-000001", "t-000002"])
+    r.record("tick")  # no trace at all
+    hits = r.events(trace_id="t-000001")
+    assert [e["kind"] for e in hits] == ["admit", "dispatch"]
+    assert [e["kind"] for e in r.events(trace_id="t-000002")] == [
+        "admit", "dispatch"
+    ]
+    assert r.events(trace_id="t-999999") == []
+
+
+def test_events_compose_kind_and_trace_id():
+    r = FlightRecorder()
+    r.record("admit", trace_id="t-1")
+    r.record("expire", trace_id="t-1")
+    r.record("admit", trace_id="t-2")
+    hits = r.events("admit", trace_id="t-1")
+    assert len(hits) == 1
+    assert hits[0]["kind"] == "admit"
+
+
+def test_dump_jsonl_applies_the_same_filters(tmp_path):
+    r = FlightRecorder()
+    r.record("admit", trace_id="t-1")
+    r.record("dispatch", trace_ids=["t-1"])
+    r.record("admit", trace_id="t-2")
+    path = tmp_path / "flight.jsonl"
+    assert r.dump_jsonl(path, trace_id="t-1") == 2
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [e["kind"] for e in lines] == ["admit", "dispatch"]
+    assert r.dump_jsonl(path, kind="admit", trace_id="t-2") == 1
+
+
 def test_clear_keeps_sequence_rising():
     r = FlightRecorder()
     r.record("a")

@@ -1,0 +1,235 @@
+"""Time-series store: cadence, ring bounds, windowed queries, races."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TIMESERIES, TimeSeriesStore, series_key
+
+
+def _store(**kwargs) -> tuple[MetricsRegistry, TimeSeriesStore]:
+    reg = MetricsRegistry()
+    return reg, TimeSeriesStore(registry=reg, **kwargs)
+
+
+def test_series_key_matches_snapshot_style():
+    assert series_key("x", ()) == "x"
+    assert series_key("x", (("a", 1), ("b", "y"))) == "x{a=1,b=y}"
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TimeSeriesStore(capacity=1)
+    with pytest.raises(ValueError):
+        TimeSeriesStore(interval_s=0.0)
+
+
+def test_cadence_gates_maybe_sample():
+    reg, store = _store(interval_s=1.0)
+    reg.gauge("g").set(1)
+    assert store.maybe_sample(0.0)
+    assert not store.maybe_sample(0.5)
+    assert not store.maybe_sample(0.99)
+    assert store.maybe_sample(1.0)
+    assert store.sample_count == 2
+    assert store.last_sample_s == 1.0
+
+
+def test_backwards_time_is_ignored():
+    reg, store = _store()
+    reg.gauge("g").set(1)
+    store.sample(5.0)
+    store.sample(3.0)  # an interleaved loop's older clock
+    assert store.points("g") == [(5.0, 1.0)]
+    assert store.sample_count == 1
+
+
+def test_ring_is_bounded_per_series():
+    reg, store = _store(capacity=4)
+    g = reg.gauge("g")
+    for t in range(10):
+        g.set(t)
+        store.sample(float(t))
+    pts = store.points("g")
+    assert len(pts) == 4
+    assert pts == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+
+
+def test_histogram_derives_quantiles_and_count():
+    reg, store = _store()
+    h = reg.histogram("lat", mode="batched")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    store.sample(0.0)
+    key = "lat{mode=batched}"
+    assert store.last(key + ":count") == 4.0
+    assert store.kind(key + ":count") == "counter"
+    assert store.last(key + ":p50") == pytest.approx(2.5)
+    assert store.kind(key + ":p95") == "gauge"
+    assert store.last(key + ":p99") == pytest.approx(3.97, abs=0.01)
+
+
+def test_keys_filter_by_fnmatch_pattern():
+    reg, store = _store()
+    reg.counter("serve_requests_total", outcome="ok").inc()
+    reg.counter("serve_requests_total", outcome="expired").inc()
+    reg.gauge("queue_depth").set(1)
+    store.sample(0.0)
+    assert store.keys("serve_requests_total{outcome=*}") == [
+        "serve_requests_total{outcome=expired}",
+        "serve_requests_total{outcome=ok}",
+    ]
+    assert len(store) == 3
+    assert sorted(store) == store.keys()
+
+
+def test_window_and_last_respect_at_s():
+    reg, store = _store()
+    g = reg.gauge("g")
+    for t, v in ((0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)):
+        g.set(v)
+        store.sample(t)
+    assert store.window("g", 1.0, at_s=2.0) == [(1.0, 2.0), (2.0, 3.0)]
+    assert store.last("g", at_s=1.5) == 2.0
+    assert store.last("g") == 4.0
+    assert store.last("missing") is None
+
+
+def test_increase_and_rate_over_window():
+    reg, store = _store()
+    c = reg.counter("reqs")
+    for t in range(5):
+        c.inc(10)
+        store.sample(float(t))
+    # Window [2, 4]: 30 -> 50.
+    assert store.increase("reqs", 2.0, at_s=4.0) == pytest.approx(20.0)
+    assert store.rate("reqs", 2.0, at_s=4.0) == pytest.approx(10.0)
+    assert store.increase("missing", 10.0) == 0.0
+    assert store.rate("reqs", 0.0, at_s=4.0) == 0.0  # single point
+
+
+def test_increase_counts_series_born_inside_the_window():
+    """A counter first incremented mid-run starts at an implicit 0."""
+    reg, store = _store()
+    reg.counter("ok").inc()
+    store.sample(0.0)
+    store.sample(1.0)
+    reg.counter("expired").inc(7)  # first appearance
+    store.sample(2.0)
+    assert store.increase("expired", 10.0, at_s=2.0) == pytest.approx(7.0)
+    # A window that starts strictly after the birth sample sees plain
+    # deltas only.
+    reg.counter("expired").inc(3)
+    store.sample(3.0)
+    reg.counter("expired").inc(2)
+    store.sample(4.0)
+    assert store.increase("expired", 1.0, at_s=4.0) == pytest.approx(2.0)
+
+
+def test_increase_is_reset_aware():
+    reg, store = _store()
+    c = reg.counter("reqs")
+    c.inc(100)
+    store.sample(0.0)
+    reg.reset()  # zeroes in place
+    c.inc(5)
+    store.sample(1.0)
+    # 100 at birth, then the post-reset value 5 counts as the increase.
+    assert store.increase("reqs", 10.0, at_s=1.0) == pytest.approx(105.0)
+
+
+def test_avg_max_quantile_over_window():
+    reg, store = _store()
+    g = reg.gauge("depth")
+    for t, v in enumerate((10.0, 20.0, 30.0, 40.0)):
+        g.set(v)
+        store.sample(float(t))
+    assert store.avg_over("depth", 10.0) == pytest.approx(25.0)
+    assert store.max_over("depth", 10.0) == 40.0
+    assert store.avg_over("depth", 1.0, at_s=3.0) == pytest.approx(35.0)
+    assert store.quantile_over("depth", 50.0, 10.0) == pytest.approx(25.0)
+    assert store.quantile_over("depth", 100.0, 10.0) == 40.0
+    assert store.avg_over("missing", 10.0) == 0.0
+    with pytest.raises(ValueError):
+        store.quantile_over("depth", 101.0, 10.0)
+
+
+def test_clear_resets_history_and_counters():
+    reg, store = _store()
+    reg.gauge("g").set(1)
+    store.sample(0.0)
+    store.clear()
+    assert len(store) == 0
+    assert store.sample_count == 0
+    assert store.last_sample_s is None
+    # After clear the clock starts over: older timestamps sample again.
+    reg.gauge("g").set(2)
+    store.sample(0.0)
+    assert store.points("g") == [(0.0, 2.0)]
+
+
+def test_obs_reset_clears_the_global_store():
+    with obs.observed():
+        from repro.obs.probes import record_timeseries_tick
+
+        obs.REGISTRY.gauge("g").set(1)
+        record_timeseries_tick(0.0)
+        assert len(TIMESERIES) > 0
+        obs.reset()
+        assert len(TIMESERIES) == 0
+
+
+def test_tick_probe_is_gated_on_master_switch():
+    from repro.obs.probes import record_timeseries_tick
+
+    record_timeseries_tick(0.0)
+    assert len(TIMESERIES) == 0  # switch off (autouse fixture)
+
+
+def test_flush_probe_samples_unconditionally():
+    from repro.obs.probes import record_timeseries_flush, \
+        record_timeseries_tick
+
+    with obs.observed():
+        obs.REGISTRY.counter("c").inc()
+        record_timeseries_tick(0.0)
+        record_timeseries_tick(0.2)   # inside the cadence: no sample
+        assert TIMESERIES.sample_count == 1
+        record_timeseries_flush(0.2)  # forced
+        assert TIMESERIES.sample_count == 2
+
+
+def test_registry_reset_racing_the_sampler_never_corrupts():
+    """Hammer test: obs.reset() spam while another thread samples.
+
+    The store must never raise, and reset-aware increases must never go
+    negative no matter how the writes interleave.
+    """
+    reg, store = _store(capacity=256)
+    c = reg.counter("reqs")
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def resetter() -> None:
+        try:
+            while not stop.is_set():
+                reg.reset()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    t = threading.Thread(target=resetter)
+    t.start()
+    try:
+        for i in range(2000):
+            c.inc()
+            store.sample(float(i))
+            assert store.increase("reqs", 50.0, at_s=float(i)) >= 0.0
+    finally:
+        stop.set()
+        t.join()
+    assert not errors
+    assert store.sample_count == 2000

@@ -408,3 +408,169 @@ def test_autoscale_bad_policy_exits_nonzero():
     with pytest.raises(SystemExit) as excinfo:
         main(["autoscale", "--min-nodes", "0"])
     assert excinfo.value.code != 0
+
+
+def _profile_record(**overrides):
+    base = {
+        "network": "tiny",
+        "kernel_backend": "reference",
+        "wall_s": 1.0,
+        "layers": [
+            {"name": "conv1", "wall_ms": 100.0, "headroom_bits": 10.0},
+            {"name": "fc1", "wall_ms": 50.0, "headroom_bits": 12.0},
+        ],
+        "ops": [
+            {"op": "CMult", "total_ms": 60.0, "p95_ms": 1.5},
+            {"op": "CAdd", "total_ms": 10.0, "p95_ms": 0.2},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_profile_diff_flags_regressions(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_profile_record()))
+    new.write_text(json.dumps(_profile_record(
+        wall_s=1.4,
+        layers=[
+            # >10% slower AND >0.5 bits less headroom.
+            {"name": "conv1", "wall_ms": 150.0, "headroom_bits": 8.0},
+            {"name": "fc1", "wall_ms": 51.0, "headroom_bits": 12.0},
+            {"name": "pool1", "wall_ms": 5.0, "headroom_bits": 20.0},
+        ],
+        ops=[
+            {"op": "CMult", "total_ms": 90.0, "p95_ms": 2.0},
+            {"op": "CAdd", "total_ms": 10.0, "p95_ms": 0.2},
+        ],
+    )))
+    assert main(["profile", "--diff", str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "slower,noisier" in out
+    assert "ADDED" in out  # pool1 only exists in the new profile
+    assert "end-to-end wall: 1.00 s -> 1.40 s" in out
+    assert "2 regression(s) past tolerance 10%" in out
+    assert "conv1" in out and "CMult" in out
+
+
+def test_profile_diff_json_payload(tmp_path, capsys):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_profile_record()))
+    new.write_text(json.dumps(_profile_record()))
+    assert main([
+        "profile", "--diff", str(old), str(new), "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["regressions"] == []
+    assert all(r["status"] == "common" for r in payload["layers"])
+    assert payload["tolerance"] == pytest.approx(0.10)
+
+
+def test_profile_diff_round_trips_a_real_profile(tmp_path, capsys):
+    assert main([
+        "profile", "--network", "tiny", "--format", "json",
+    ]) == 0
+    record = capsys.readouterr().out
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(record)
+    new.write_text(record)
+    assert main(["profile", "--diff", str(old), str(new)]) == 0
+    assert "no regressions past tolerance 10%" in capsys.readouterr().out
+
+
+def test_profile_diff_rejects_non_profile_json(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["profile", "--diff", str(bogus), str(bogus)])
+    assert "missing 'layers'/'ops'" in str(excinfo.value)
+
+
+def test_profile_diff_missing_file_exits_nonzero(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["profile", "--diff", str(tmp_path / "no.json"),
+              str(tmp_path / "pe.json")])
+    assert "cannot read profile" in str(excinfo.value)
+
+
+_BURN_RULES = {
+    "rules": [
+        {
+            "name": "slo-burn", "kind": "burn_rate",
+            "bad_series": ["serve_requests_total{outcome=expired}",
+                           "serve_requests_total{outcome=rejected}"],
+            "total_series": ["serve_requests_total{outcome=*}"],
+            "budget": 0.01, "fast_window_s": 5.0, "slow_window_s": 30.0,
+            "fast_burn": 14.0, "slow_burn": 6.0,
+        },
+    ]
+}
+
+
+def test_serve_alerts_fire_under_deadline_pressure(tmp_path, capsys):
+    rules = tmp_path / "rules.json"
+    rules.write_text(json.dumps(_BURN_RULES))
+    assert main([
+        "serve", "--requests", "400", "--rate", "4000", "--window", "0.5",
+        "--deadline", "0.05", "--alerts", str(rules),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "alert slo-burn [burn_rate]: fired 1" in out
+    assert "ACTIVE" in out
+
+
+def test_serve_bad_alerts_file_exits_nonzero(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--requests", "10",
+              "--alerts", str(tmp_path / "no.json")])
+    assert "cannot read alert rules" in str(excinfo.value)
+
+
+def test_serve_malformed_alert_rules_exit_nonzero(tmp_path):
+    rules = tmp_path / "rules.json"
+    rules.write_text(json.dumps([{"name": "r", "kind": "sorcery"}]))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--requests", "10", "--alerts", str(rules)])
+    assert "bad alert rules" in str(excinfo.value)
+
+
+def test_costs_text_reconciles(capsys):
+    assert main([
+        "costs", "--requests", "300", "--rate", "2000", "--tenants", "3",
+        "--window", "0.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "reconciliation: EXACT (6/6 axes)" in out
+    assert "tenant-0000" in out
+    assert "fleet totals:" in out
+    assert "top tenant node-second share:" in out
+
+
+def test_costs_json_payload(capsys):
+    assert main([
+        "costs", "--requests", "300", "--rate", "2000", "--tenants", "3",
+        "--window", "0.1", "--format", "json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["costs"]["reconciled"] is True
+    assert payload["tenant_count"] == 3
+    assert len(payload["costs"]["tenants"]) == 3
+    assert payload["costs"]["totals"]["dse_points"] > 0
+    assert payload["completed"] + payload["rejected"] \
+        + payload["expired"] == 300
+    assert payload["alerts"] is None
+
+
+def test_costs_with_alerts(tmp_path, capsys):
+    rules = tmp_path / "rules.json"
+    rules.write_text(json.dumps(_BURN_RULES))
+    assert main([
+        "costs", "--requests", "300", "--rate", "4000", "--tenants", "3",
+        "--window", "0.5", "--deadline", "0.05", "--alerts", str(rules),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "reconciliation: EXACT" in out
+    assert "alert slo-burn [burn_rate]: fired 1" in out
